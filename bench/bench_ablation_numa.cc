@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Ablation of the NUMA-aware memory-placement extension (the future
+ * work Sec. III defers; cf. the Fig. 11d remark that NUMA-aware
+ * techniques would further reduce the dominant LLC-to-memory
+ * traffic): first-touch page-to-controller affinity vs. the paper's
+ * page-interleaved baseline, under R-NUCA and CDCS.
+ */
+
+#include "bench/bench_util.hh"
+
+namespace
+{
+
+using namespace cdcs;
+
+void
+runOne(const char *tag, const SystemConfig &cfg,
+       const SchemeSpec &spec, const MixSpec &mix)
+{
+    const RunResult r = runScheme(cfg, spec, mix);
+    std::printf("%-24s %14.3f %16.3f %12.2f\n", tag,
+                r.flitHopsPerInstr(TrafficClass::LLCToMem),
+                r.offChipLatPerInstr(),
+                1e9 * r.energy.total() / r.totalInstrs);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    using namespace cdcs;
+
+    SystemConfig base = benchConfig();
+    SystemConfig numa = base;
+    numa.numaAwareMem = true;
+    printHeader("NUMA-aware memory placement ablation",
+                "Sec. III future work / Fig. 11d remark", base, 1);
+
+    const MixSpec mix = MixSpec::cpu(48, 9950);
+    std::printf("%-24s %14s %16s %12s\n", "config",
+                "LLCMem fh/instr", "offchip/instr", "nJ/instr");
+    runOne("R-NUCA interleaved", base, SchemeSpec::rnuca(), mix);
+    runOne("R-NUCA numa-aware", numa, SchemeSpec::rnuca(), mix);
+    runOne("CDCS interleaved", base, SchemeSpec::cdcs(), mix);
+    runOne("CDCS numa-aware", numa, SchemeSpec::cdcs(), mix);
+    return 0;
+}

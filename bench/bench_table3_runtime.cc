@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Table 3: CPU time of the CDCS reconfiguration steps (capacity
+ * allocation, thread placement, data placement) for 16 threads / 16
+ * cores, 16 / 64 and 64 / 64, measured with google-benchmark on
+ * realistic inputs and reported in Mcycles at the paper's 2 GHz.
+ *
+ * Paper numbers: 0.72 / 1.46 / 6.49 Mcycles total respectively —
+ * ~0.2% of system cycles at a 25 ms period.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "mesh/mesh.hh"
+#include "nuca/policy.hh"
+#include "runtime/cdcs_runtime.hh"
+
+namespace
+{
+
+using namespace cdcs;
+
+/** Build a realistic RuntimeInput for T threads on an NxN mesh. */
+RuntimeInput
+makeInput(const Mesh &mesh, int threads, std::uint64_t seed)
+{
+    Rng rng(seed);
+    RuntimeInput in;
+    in.mesh = &mesh;
+    in.numBanks = mesh.numTiles();
+    in.banksPerTile = 1;
+    in.bankLines = 8192;
+    in.allocGranule = 64;
+    const int num_vcs = threads + threads / 8 + 2;
+    for (int d = 0; d < num_vcs; d++) {
+        Curve miss;
+        const double total = rng.uniform(1e4, 1e5);
+        const double knee = rng.uniform(4096.0, 65536.0);
+        miss.addPoint(0.0, total);
+        miss.addPoint(knee, total * rng.uniform(0.05, 0.7));
+        miss.addPoint(knee * 8, total * 0.04);
+        in.missCurves.push_back(miss);
+    }
+    for (int t = 0; t < threads; t++) {
+        std::vector<double> row(num_vcs, 0.0);
+        row[t % num_vcs] = rng.uniform(1e4, 1e5);
+        row[num_vcs - 2] = rng.uniform(10.0, 1e3);
+        row[num_vcs - 1] = rng.uniform(1.0, 50.0);
+        in.access.push_back(row);
+        in.threadCore.push_back(static_cast<TileId>(t));
+    }
+    return in;
+}
+
+void
+reportSteps(benchmark::State &state, const RuntimeStepTimes &times,
+            int invocations)
+{
+    // Convert microseconds to Mcycles at 2 GHz (2000 cycles / us).
+    const double to_mcycles = 2000.0 / 1e6 / invocations;
+    state.counters["alloc_Mcyc"] = times.allocUs * to_mcycles;
+    state.counters["thread_Mcyc"] = times.threadPlaceUs * to_mcycles;
+    state.counters["data_Mcyc"] = times.dataPlaceUs * to_mcycles;
+    state.counters["total_Mcyc"] = times.totalUs() * to_mcycles;
+}
+
+void
+benchReconfigure(benchmark::State &state)
+{
+    const int threads = static_cast<int>(state.range(0));
+    const int dim = static_cast<int>(state.range(1));
+    Mesh mesh(dim, dim);
+    const RuntimeInput input = makeInput(mesh, threads, 7);
+
+    CdcsRuntime runtime;
+    RuntimeStepTimes sums;
+    int invocations = 0;
+    for (auto _ : state) {
+        const RuntimeOutput out = runtime.reconfigure(input);
+        benchmark::DoNotOptimize(out.alloc.data());
+        sums.allocUs += out.times.allocUs;
+        sums.threadPlaceUs += out.times.threadPlaceUs;
+        sums.dataPlaceUs += out.times.dataPlaceUs;
+        invocations++;
+    }
+    reportSteps(state, sums, invocations);
+}
+
+} // anonymous namespace
+
+BENCHMARK(benchReconfigure)
+    ->ArgNames({"threads", "meshdim"})
+    ->Args({16, 4})     // 16 threads / 16 cores
+    ->Args({16, 8})     // 16 threads / 64 cores
+    ->Args({64, 8})     // 64 threads / 64 cores
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

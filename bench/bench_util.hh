@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Shared helpers for the bench harnesses: parallel mix sweeps,
+ * weighted-speedup aggregation, inverse-CDF and breakdown printing,
+ * and an ASCII chip-map renderer for the Fig. 1 / Fig. 16b style
+ * placement plots.
+ *
+ * Every harness honors the CDCS_MIXES / CDCS_EPOCH_ACCESSES /
+ * CDCS_EPOCHS / CDCS_WARMUP environment knobs (see EXPERIMENTS.md)
+ * and prints its seed so results are reproducible.
+ */
+
+#ifndef CDCS_BENCH_BENCH_UTIL_HH
+#define CDCS_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "sim/experiment.hh"
+
+namespace cdcs
+{
+
+/** Per-scheme results of a mix sweep. */
+struct SweepResult
+{
+    std::vector<SchemeSpec> schemes;
+    /// ws[s][m]: weighted speedup of scheme s on mix m vs. S-NUCA.
+    std::vector<std::vector<double>> ws;
+    /// Per-scheme aggregates over mixes.
+    std::vector<RunResult> firstRun;    ///< Scheme results on mix 0.
+    std::vector<double> onChipLat;      ///< Mean avg on-chip latency.
+    std::vector<double> offChipLat;     ///< Mean off-chip lat/instr.
+    std::vector<std::array<double, 3>> trafficPerInstr;
+    std::vector<double> energyPerInstr;
+    std::vector<std::array<double, 5>> energyParts;
+};
+
+/**
+ * Run `schemes` (scheme 0 must be the S-NUCA baseline) over `mixes`
+ * mixes built by `mix_of`, in parallel over mixes.
+ */
+inline SweepResult
+sweepMixes(const SystemConfig &cfg,
+           const std::vector<SchemeSpec> &schemes, int mixes,
+           const std::function<MixSpec(int)> &mix_of)
+{
+    SweepResult out;
+    out.schemes = schemes;
+    out.ws.assign(schemes.size(), std::vector<double>(mixes, 0.0));
+    out.onChipLat.assign(schemes.size(), 0.0);
+    out.offChipLat.assign(schemes.size(), 0.0);
+    out.trafficPerInstr.assign(schemes.size(), {0.0, 0.0, 0.0});
+    out.energyPerInstr.assign(schemes.size(), 0.0);
+    out.energyParts.assign(schemes.size(), {0, 0, 0, 0, 0});
+    out.firstRun.resize(schemes.size());
+
+    std::vector<std::vector<RunResult>> all(mixes);
+    parallelFor(mixes, [&](int m) {
+        all[m] = runSchemes(cfg, schemes, mix_of(m));
+    });
+
+    for (int m = 0; m < mixes; m++) {
+        const RunResult &base = all[m][0];
+        for (std::size_t s = 0; s < schemes.size(); s++) {
+            const RunResult &r = all[m][s];
+            out.ws[s][m] = weightedSpeedup(r, base);
+            out.onChipLat[s] += r.avgOnChipLatency() / mixes;
+            out.offChipLat[s] += r.offChipLatPerInstr() / mixes;
+            for (int c = 0; c < 3; c++) {
+                out.trafficPerInstr[s][c] +=
+                    r.flitHopsPerInstr(static_cast<TrafficClass>(c)) /
+                    mixes;
+            }
+            out.energyPerInstr[s] +=
+                r.energy.total() / r.totalInstrs / mixes;
+            out.energyParts[s][0] +=
+                r.energy.staticE / r.totalInstrs / mixes;
+            out.energyParts[s][1] +=
+                r.energy.core / r.totalInstrs / mixes;
+            out.energyParts[s][2] +=
+                r.energy.net / r.totalInstrs / mixes;
+            out.energyParts[s][3] +=
+                r.energy.llc / r.totalInstrs / mixes;
+            out.energyParts[s][4] +=
+                r.energy.mem / r.totalInstrs / mixes;
+        }
+    }
+    out.firstRun = all[0];
+    return out;
+}
+
+/** Print the per-mix weighted speedups as inverse CDF rows. */
+inline void
+printInverseCdf(const SweepResult &sweep)
+{
+    std::printf("%-12s", "mix-rank");
+    for (std::size_t m = 0; m < sweep.ws[0].size(); m++)
+        std::printf("  %6zu", m);
+    std::printf("\n");
+    for (std::size_t s = 0; s < sweep.schemes.size(); s++) {
+        const auto sorted = inverseCdf(sweep.ws[s]);
+        std::printf("%-12s", sweep.schemes[s].name.c_str());
+        for (double w : sorted)
+            std::printf("  %6.3f", w);
+        std::printf("\n");
+    }
+}
+
+/** Print gmean / max weighted speedups per scheme. */
+inline void
+printWsSummary(const SweepResult &sweep)
+{
+    std::printf("%-12s  %8s  %8s\n", "scheme", "gmeanWS", "maxWS");
+    for (std::size_t s = 0; s < sweep.schemes.size(); s++) {
+        std::printf("%-12s  %8.3f  %8.3f\n",
+                    sweep.schemes[s].name.c_str(), gmean(sweep.ws[s]),
+                    maxOf(sweep.ws[s]));
+    }
+}
+
+/** Print on-/off-chip latency and traffic/energy vs. the last scheme
+ *  (the paper normalizes Figs. 11b-e to CDCS). */
+inline void
+printBreakdowns(const SweepResult &sweep)
+{
+    const std::size_t ref = sweep.schemes.size() - 1;
+    std::printf("\n%-12s %10s %10s %28s %10s\n", "scheme",
+                "onchip/ref", "offchip/ref",
+                "traffic/instr (L2LLC|LLCMem|Oth)", "energy/ref");
+    for (std::size_t s = 0; s < sweep.schemes.size(); s++) {
+        std::printf(
+            "%-12s %10.2f %10.2f      %6.2f | %6.2f | %6.2f %10.2f\n",
+            sweep.schemes[s].name.c_str(),
+            sweep.onChipLat[s] / std::max(sweep.onChipLat[ref], 1e-12),
+            sweep.offChipLat[s] /
+                std::max(sweep.offChipLat[ref], 1e-12),
+            sweep.trafficPerInstr[s][0], sweep.trafficPerInstr[s][1],
+            sweep.trafficPerInstr[s][2],
+            sweep.energyPerInstr[s] /
+                std::max(sweep.energyPerInstr[ref], 1e-12));
+    }
+    std::printf("\n%-12s %8s %8s %8s %8s %8s  (nJ/instr)\n", "scheme",
+                "static", "core", "net", "llc", "mem");
+    for (std::size_t s = 0; s < sweep.schemes.size(); s++) {
+        std::printf("%-12s %8.3f %8.3f %8.3f %8.3f %8.3f\n",
+                    sweep.schemes[s].name.c_str(),
+                    1e9 * sweep.energyParts[s][0],
+                    1e9 * sweep.energyParts[s][1],
+                    1e9 * sweep.energyParts[s][2],
+                    1e9 * sweep.energyParts[s][3],
+                    1e9 * sweep.energyParts[s][4]);
+    }
+}
+
+/**
+ * Render the Fig. 1 / Fig. 16b style chip map: per tile, the thread
+ * running there (process letter + index) and the process whose data
+ * dominates the tile's bank(s).
+ */
+inline void
+printChipMap(const System &system)
+{
+    const Mesh &mesh = system.meshRef();
+    const WorkloadMix &mix = system.workload();
+    const auto &thread_core = system.threadPlacement();
+    const auto *policy = system.partitionedPolicy();
+
+    std::vector<std::string> thread_label(mesh.numTiles(), "--");
+    for (ThreadId t = 0; t < mix.numThreads(); t++) {
+        const ProcId p = mix.thread(t).proc;
+        std::string label;
+        label += static_cast<char>('A' + (p % 26));
+        label += std::to_string(t % 10);
+        thread_label[thread_core[t]] = label;
+    }
+
+    std::vector<std::string> data_label(mesh.numTiles(), "..");
+    if (policy != nullptr) {
+        const auto &alloc = policy->allocation();
+        for (TileId tile = 0; tile < mesh.numTiles(); tile++) {
+            double best = 0.0;
+            int best_vc = -1;
+            for (std::size_t d = 0; d < alloc.size(); d++) {
+                double here = 0.0;
+                // Sum this tile's banks.
+                const std::size_t bpt =
+                    alloc[d].size() / mesh.numTiles();
+                for (std::size_t k = 0; k < bpt; k++)
+                    here += alloc[d][tile * bpt + k];
+                if (here > best) {
+                    best = here;
+                    best_vc = static_cast<int>(d);
+                }
+            }
+            if (best_vc >= 0) {
+                // Map VC to owning process.
+                ProcId proc;
+                const int threads = mix.numThreads();
+                if (best_vc < threads)
+                    proc = mix.thread(
+                        static_cast<ThreadId>(best_vc)).proc;
+                else if (best_vc < threads + mix.numProcesses())
+                    proc = static_cast<ProcId>(best_vc - threads);
+                else
+                    proc = 255; // Global VC.
+                std::string label;
+                label += proc == 255
+                    ? '*' : static_cast<char>('a' + (proc % 26));
+                label += best_vc < threads ? 'p' : 's';
+                data_label[tile] = label;
+            }
+        }
+    }
+
+    std::printf("thread placement (process letter + thread digit; "
+                "-- idle) / dominant data (process letter: p=private "
+                "s=shared)\n");
+    for (int y = 0; y < mesh.height(); y++) {
+        for (int x = 0; x < mesh.width(); x++)
+            std::printf(" %s", thread_label[mesh.tileAt(x, y)].c_str());
+        std::printf("   |");
+        for (int x = 0; x < mesh.width(); x++)
+            std::printf(" %s", data_label[mesh.tileAt(x, y)].c_str());
+        std::printf("\n");
+    }
+}
+
+/** Standard five-scheme lineup with S-NUCA first. */
+inline std::vector<SchemeSpec>
+standardSchemes()
+{
+    return {SchemeSpec::snuca(), SchemeSpec::rnuca(),
+            SchemeSpec::jigsaw(InitialSched::Clustered),
+            SchemeSpec::jigsaw(InitialSched::Random),
+            SchemeSpec::cdcs()};
+}
+
+/** Print the reproducibility header every bench emits. */
+inline void
+printHeader(const char *name, const char *paper_ref,
+            const SystemConfig &cfg, int mixes)
+{
+    std::printf("== %s (%s) ==\n", name, paper_ref);
+    std::printf("mesh %dx%d, %d banks/tile, %llu-line banks, "
+                "%llu accesses/thread/epoch, %d epochs (%d warmup), "
+                "%d mixes, seed base 1000\n\n",
+                cfg.meshWidth, cfg.meshHeight, cfg.banksPerTile,
+                static_cast<unsigned long long>(cfg.bankLines),
+                static_cast<unsigned long long>(
+                    cfg.accessesPerThreadEpoch),
+                cfg.epochs, cfg.warmupEpochs, mixes);
+}
+
+} // namespace cdcs
+
+#endif // CDCS_BENCH_BENCH_UTIL_HH

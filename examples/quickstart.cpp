@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Quickstart: simulate a small tiled CMP running a mix of
+ * SPEC-CPU2006-like applications under S-NUCA and CDCS, and print the
+ * headline numbers. This is the smallest end-to-end use of the
+ * library: build a SystemConfig, pick a SchemeSpec, run, inspect
+ * RunResult.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "sim/experiment.hh"
+
+int
+main()
+{
+    using namespace cdcs;
+
+    // A 4x4-tile CMP with 512 KB LLC banks (an 8 MB NUCA LLC).
+    SystemConfig cfg;
+    cfg.meshWidth = 4;
+    cfg.meshHeight = 4;
+    cfg.accessesPerThreadEpoch = 20000;
+    cfg.epochs = 8;
+    cfg.warmupEpochs = 4;
+
+    // Eight random SPEC-CPU2006-like applications.
+    const MixSpec mix = MixSpec::cpu(8, /*seed=*/123);
+
+    std::printf("running %d apps on a %dx%d CMP under S-NUCA and "
+                "CDCS...\n\n",
+                mix.count, cfg.meshWidth, cfg.meshHeight);
+
+    const RunResult snuca = runScheme(cfg, SchemeSpec::snuca(), mix);
+    const RunResult cdcs_r = runScheme(cfg, SchemeSpec::cdcs(), mix);
+
+    std::printf("%-22s %12s %12s\n", "", "S-NUCA", "CDCS");
+    std::printf("%-22s %12.3f %12.3f\n", "LLC hit ratio",
+                static_cast<double>(snuca.llcHits) / snuca.llcAccesses,
+                static_cast<double>(cdcs_r.llcHits) /
+                    cdcs_r.llcAccesses);
+    std::printf("%-22s %12.1f %12.1f\n", "on-chip cycles/access",
+                snuca.avgOnChipLatency(), cdcs_r.avgOnChipLatency());
+    std::printf("%-22s %12.2f %12.2f\n", "energy (nJ/instr)",
+                1e9 * snuca.energy.total() / snuca.totalInstrs,
+                1e9 * cdcs_r.energy.total() / cdcs_r.totalInstrs);
+    std::printf("%-22s %12s %12.3f\n", "weighted speedup", "1.000",
+                weightedSpeedup(cdcs_r, snuca));
+
+    std::printf("\nCDCS reconfigured %d times; average runtime "
+                "%.0f us per reconfiguration\n",
+                cdcs_r.reconfigs, cdcs_r.avgTimes.totalUs());
+    return 0;
+}

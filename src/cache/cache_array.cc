@@ -1,0 +1,102 @@
+#include "cache/cache_array.hh"
+
+#include "common/log.hh"
+
+namespace cdcs
+{
+
+CacheArray::CacheArray(std::uint32_t num_sets, std::uint32_t num_ways,
+                       std::uint64_t hash_seed)
+    : sets(num_sets), ways(num_ways), seed(hash_seed)
+{
+    cdcs_assert(sets > 0 && (sets & (sets - 1)) == 0,
+                "set count must be a power of two");
+    cdcs_assert(ways > 0, "associativity must be positive");
+    lines.resize(static_cast<std::size_t>(sets) * ways);
+}
+
+CacheLine *
+CacheArray::probe(LineAddr addr)
+{
+    const std::uint32_t set = setOf(addr);
+    CacheLine *base = &lines[static_cast<std::size_t>(set) * ways];
+    for (std::uint32_t w = 0; w < ways; w++) {
+        CacheLine &line = base[w];
+        if (line.valid && line.addr == addr) {
+            line.lruStamp = touch();
+            return &line;
+        }
+    }
+    return nullptr;
+}
+
+const CacheLine *
+CacheArray::peek(LineAddr addr) const
+{
+    const std::uint32_t set = setOf(addr);
+    const CacheLine *base = &lines[static_cast<std::size_t>(set) * ways];
+    for (std::uint32_t w = 0; w < ways; w++) {
+        const CacheLine &line = base[w];
+        if (line.valid && line.addr == addr)
+            return &line;
+    }
+    return nullptr;
+}
+
+CacheLine &
+CacheArray::entry(std::uint32_t set, std::uint32_t way)
+{
+    return lines[static_cast<std::size_t>(set) * ways + way];
+}
+
+const CacheLine &
+CacheArray::entry(std::uint32_t set, std::uint32_t way) const
+{
+    return lines[static_cast<std::size_t>(set) * ways + way];
+}
+
+CacheLine &
+CacheArray::install(LineAddr addr, VcId vc, std::uint32_t way)
+{
+    const std::uint32_t set = setOf(addr);
+    CacheLine &line = entry(set, way);
+    line.addr = addr;
+    line.vc = vc;
+    line.sharers = 0;
+    line.valid = true;
+    line.lruStamp = touch();
+    return line;
+}
+
+bool
+CacheArray::invalidate(LineAddr addr)
+{
+    const std::uint32_t set = setOf(addr);
+    CacheLine *base = &lines[static_cast<std::size_t>(set) * ways];
+    for (std::uint32_t w = 0; w < ways; w++) {
+        CacheLine &line = base[w];
+        if (line.valid && line.addr == addr) {
+            line.valid = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+CacheArray::invalidateAll()
+{
+    for (CacheLine &line : lines)
+        line.valid = false;
+}
+
+std::uint64_t
+CacheArray::numValid() const
+{
+    std::uint64_t count = 0;
+    for (const CacheLine &line : lines)
+        count += line.valid ? 1 : 0;
+    return count;
+}
+
+} // namespace cdcs

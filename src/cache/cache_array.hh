@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Set-associative tag array with LRU replacement and per-line metadata
+ * (owning virtual cache, sharer bitmask). The base building block for
+ * LLC banks.
+ */
+
+#ifndef CDCS_CACHE_CACHE_ARRAY_HH
+#define CDCS_CACHE_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cdcs
+{
+
+/** One tag-array entry. */
+struct CacheLine
+{
+    LineAddr addr = 0;          ///< Full line address (simulation only).
+    VcId vc = invalidVc;        ///< Owning virtual cache / partition.
+    std::uint64_t sharers = 0;  ///< Bitmask of cores with an L2 copy.
+    std::uint64_t lruStamp = 0; ///< Global timestamp for LRU.
+    bool valid = false;
+};
+
+/**
+ * A sets x ways tag array. Victim selection policy lives in the caller
+ * (PartitionedBank); this class only provides probe/insert/invalidate
+ * and set iteration primitives.
+ */
+class CacheArray
+{
+  public:
+    /**
+     * @param num_sets Number of sets (power of two).
+     * @param num_ways Associativity.
+     * @param hash_seed Seed decorrelating the set-index hash from the
+     *        hashes used elsewhere (bank selection, monitors).
+     */
+    CacheArray(std::uint32_t num_sets, std::uint32_t num_ways,
+               std::uint64_t hash_seed = 0xC0FFEE);
+
+    std::uint32_t numSets() const { return sets; }
+    std::uint32_t numWays() const { return ways; }
+    std::uint64_t numLines() const { return lines.size(); }
+
+    /** Set index for a line address. */
+    std::uint32_t
+    setOf(LineAddr addr) const
+    {
+        return static_cast<std::uint32_t>(mix64(addr ^ seed) & (sets - 1));
+    }
+
+    /**
+     * Look up a line. Updates LRU on hit.
+     * @return Pointer to the line, or nullptr on miss.
+     */
+    CacheLine *probe(LineAddr addr);
+
+    /** Look up without touching replacement state. */
+    const CacheLine *peek(LineAddr addr) const;
+
+    /** Entry (valid or not) at (set, way). */
+    CacheLine &entry(std::uint32_t set, std::uint32_t way);
+    const CacheLine &entry(std::uint32_t set, std::uint32_t way) const;
+
+    /**
+     * Install a line into a given way of its set, overwriting whatever
+     * is there. The caller must have chosen the victim beforehand.
+     * @return Reference to the installed line.
+     */
+    CacheLine &install(LineAddr addr, VcId vc, std::uint32_t way);
+
+    /**
+     * Invalidate a line if present.
+     * @return True if the line was present and valid.
+     */
+    bool invalidate(LineAddr addr);
+
+    /** Invalidate every line in the array. */
+    void invalidateAll();
+
+    /** Count of currently valid lines. */
+    std::uint64_t numValid() const;
+
+    /** Advance and return the global LRU clock. */
+    std::uint64_t touch() { return ++lruClock; }
+
+  private:
+    std::uint32_t sets;
+    std::uint32_t ways;
+    std::uint64_t seed;
+    std::uint64_t lruClock = 0;
+    std::vector<CacheLine> lines;
+};
+
+} // namespace cdcs
+
+#endif // CDCS_CACHE_CACHE_ARRAY_HH

@@ -1,0 +1,297 @@
+#include "cache/partitioned_bank.hh"
+
+#include <limits>
+
+#include "common/log.hh"
+
+namespace cdcs
+{
+
+PartitionedBank::PartitionedBank(std::uint64_t num_lines,
+                                 std::uint32_t num_ways,
+                                 std::uint64_t hash_seed)
+    : array(static_cast<std::uint32_t>(num_lines / num_ways), num_ways,
+            hash_seed)
+{
+    cdcs_assert(num_lines % num_ways == 0,
+                "bank lines must be a multiple of associativity");
+}
+
+void
+PartitionedBank::growTables(VcId vc)
+{
+    if (vc >= vcOccupancy.size()) {
+        vcOccupancy.resize(vc + 1, 0);
+        vcTarget.resize(vc + 1, unmanagedTarget);
+    }
+}
+
+std::uint32_t
+PartitionedBank::pickVictim(std::uint32_t set, VcId vc)
+{
+    // Victim priority: (1) LRU line of an over-budget VC — including
+    // the inserting VC itself once it exceeds its own target, which is
+    // what keeps unallocated capacity unused (Sec. IV-C); (2) an
+    // invalid way (partitions still growing toward their targets);
+    // (3) the set's global LRU (set-level skew with all VCs at
+    // target).
+    std::uint32_t over_budget_way = array.numWays();
+    std::uint64_t over_budget_lru = std::numeric_limits<std::uint64_t>::max();
+    std::uint32_t invalid_way = array.numWays();
+    std::uint32_t global_way = 0;
+    std::uint64_t global_lru = std::numeric_limits<std::uint64_t>::max();
+
+    for (std::uint32_t w = 0; w < array.numWays(); w++) {
+        const CacheLine &line = array.entry(set, w);
+        if (!line.valid) {
+            if (invalid_way == array.numWays())
+                invalid_way = w;
+            continue;
+        }
+        if (line.lruStamp < global_lru) {
+            global_lru = line.lruStamp;
+            global_way = w;
+        }
+        const std::uint64_t occ =
+            line.vc < vcOccupancy.size() ? vcOccupancy[line.vc] : 0;
+        const std::uint64_t tgt = line.vc < vcTarget.size()
+            ? vcTarget[line.vc] : unmanagedTarget;
+        if (occ > tgt && line.lruStamp < over_budget_lru) {
+            over_budget_lru = line.lruStamp;
+            over_budget_way = w;
+        }
+    }
+    if (over_budget_way < array.numWays())
+        return over_budget_way;
+    if (invalid_way < array.numWays())
+        return invalid_way;
+    return global_way;
+}
+
+void
+PartitionedBank::noteEviction(const CacheLine &line)
+{
+    cdcs_assert(line.vc < vcOccupancy.size() && vcOccupancy[line.vc] > 0,
+                "eviction from VC with zero occupancy");
+    vcOccupancy[line.vc]--;
+    totalValid--;
+}
+
+bool
+PartitionedBank::probeHit(LineAddr addr, VcId vc, TileId core)
+{
+    CacheLine *line = array.probe(addr);
+    if (line == nullptr)
+        return false;
+    cdcs_assert(line->vc == vc, "line owned by a different VC");
+    line->sharers |= 1ull << (core % 64);
+    return true;
+}
+
+std::uint32_t
+PartitionedBank::pickOwnVictim(std::uint32_t set, VcId vc) const
+{
+    std::uint32_t own_way = array.numWays();
+    std::uint64_t own_lru = std::numeric_limits<std::uint64_t>::max();
+    for (std::uint32_t w = 0; w < array.numWays(); w++) {
+        const CacheLine &line = array.entry(set, w);
+        if (line.valid && line.vc == vc && line.lruStamp < own_lru) {
+            own_lru = line.lruStamp;
+            own_way = w;
+        }
+    }
+    return own_way;
+}
+
+bool
+PartitionedBank::atTarget(VcId vc) const
+{
+    if (vc >= vcTarget.size() || vcTarget[vc] == unmanagedTarget)
+        return false;
+    return vcOccupancy[vc] >= vcTarget[vc];
+}
+
+BankAccessResult
+PartitionedBank::insertLine(LineAddr addr, VcId vc,
+                            std::uint64_t sharers)
+{
+    growTables(vc);
+    BankAccessResult res;
+    const std::uint32_t set = array.setOf(addr);
+
+    std::uint32_t way;
+    if (atTarget(vc)) {
+        // Vantage churn containment: a partition at its target can
+        // only replace its own lines; if it owns none in this set,
+        // the fill is dropped rather than displacing another VC.
+        way = pickOwnVictim(set, vc);
+        if (way >= array.numWays()) {
+            res.bypassed = true;
+            return res;
+        }
+    } else {
+        way = pickVictim(set, vc);
+    }
+
+    CacheLine &victim = array.entry(set, way);
+    if (victim.valid) {
+        res.evicted = true;
+        res.evictedAddr = victim.addr;
+        res.evictedVc = victim.vc;
+        res.evictedSharers = victim.sharers;
+        noteEviction(victim);
+    }
+    CacheLine &filled = array.install(addr, vc, way);
+    filled.sharers = sharers;
+    vcOccupancy[vc]++;
+    totalValid++;
+    return res;
+}
+
+BankAccessResult
+PartitionedBank::fill(LineAddr addr, VcId vc, TileId core)
+{
+    return insertLine(addr, vc, 1ull << (core % 64));
+}
+
+BankAccessResult
+PartitionedBank::access(LineAddr addr, VcId vc, TileId core)
+{
+    if (probeHit(addr, vc, core)) {
+        BankAccessResult res;
+        res.hit = true;
+        return res;
+    }
+    return fill(addr, vc, core);
+}
+
+bool
+PartitionedBank::extractForMove(LineAddr addr, CacheLine &out)
+{
+    CacheLine *line = array.probe(addr);
+    if (line == nullptr)
+        return false;
+    out = *line;
+    noteEviction(*line);
+    line->valid = false;
+    return true;
+}
+
+BankAccessResult
+PartitionedBank::installMoved(const CacheLine &moved, VcId vc)
+{
+    BankAccessResult res = insertLine(moved.addr, vc, moved.sharers);
+    if (res.bypassed) {
+        // The moved line was dropped at its destination; report its
+        // sharers so the caller can account the L2 invalidations.
+        res.evictedAddr = moved.addr;
+        res.evictedVc = moved.vc;
+        res.evictedSharers = moved.sharers;
+    }
+    return res;
+}
+
+bool
+PartitionedBank::invalidateLine(LineAddr addr)
+{
+    CacheLine *line = array.probe(addr);
+    if (line == nullptr)
+        return false;
+    noteEviction(*line);
+    line->valid = false;
+    return true;
+}
+
+void
+PartitionedBank::setTarget(VcId vc, std::uint64_t target_lines)
+{
+    growTables(vc);
+    vcTarget[vc] = target_lines;
+}
+
+void
+PartitionedBank::clearTargets()
+{
+    for (auto &t : vcTarget)
+        t = unmanagedTarget;
+}
+
+std::uint64_t
+PartitionedBank::occupancy(VcId vc) const
+{
+    return vc < vcOccupancy.size() ? vcOccupancy[vc] : 0;
+}
+
+std::uint64_t
+PartitionedBank::target(VcId vc) const
+{
+    return vc < vcTarget.size() ? vcTarget[vc] : unmanagedTarget;
+}
+
+bool
+PartitionedBank::walkInvalidate(std::uint32_t num_sets,
+                                const std::function<bool(const CacheLine &)>
+                                    &should_go,
+                                std::uint64_t &invalidated)
+{
+    for (std::uint32_t i = 0; i < num_sets; i++) {
+        if (walkCursor >= array.numSets()) {
+            walkCursor = 0;
+            return true;
+        }
+        for (std::uint32_t w = 0; w < array.numWays(); w++) {
+            CacheLine &line = array.entry(walkCursor, w);
+            if (line.valid && should_go(line)) {
+                noteEviction(line);
+                line.valid = false;
+                invalidated++;
+            }
+        }
+        walkCursor++;
+    }
+    if (walkCursor >= array.numSets()) {
+        walkCursor = 0;
+        return true;
+    }
+    return false;
+}
+
+bool
+PartitionedBank::walkCollect(std::uint32_t num_sets,
+                             const std::function<bool(const CacheLine &)>
+                                 &should_go,
+                             std::vector<CacheLine> &out)
+{
+    for (std::uint32_t i = 0; i < num_sets; i++) {
+        if (walkCursor >= array.numSets()) {
+            walkCursor = 0;
+            return true;
+        }
+        for (std::uint32_t w = 0; w < array.numWays(); w++) {
+            CacheLine &line = array.entry(walkCursor, w);
+            if (line.valid && should_go(line)) {
+                out.push_back(line);
+                noteEviction(line);
+                line.valid = false;
+            }
+        }
+        walkCursor++;
+    }
+    if (walkCursor >= array.numSets()) {
+        walkCursor = 0;
+        return true;
+    }
+    return false;
+}
+
+void
+PartitionedBank::invalidateAll()
+{
+    array.invalidateAll();
+    for (auto &occ : vcOccupancy)
+        occ = 0;
+    totalValid = 0;
+    walkCursor = 0;
+}
+
+} // namespace cdcs

@@ -1,0 +1,123 @@
+#include "common/curve.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/log.hh"
+
+namespace cdcs
+{
+
+Curve::Curve(std::vector<CurvePoint> pts)
+    : points(std::move(pts))
+{
+    for (std::size_t i = 1; i < points.size(); i++) {
+        cdcs_assert(points[i - 1].x < points[i].x,
+                    "curve x values must be strictly ascending");
+    }
+}
+
+void
+Curve::addPoint(double x, double y)
+{
+    if (!points.empty()) {
+        cdcs_assert(x >= points.back().x, "curve points must ascend in x");
+        if (x == points.back().x) {
+            points.back().y = y;
+            return;
+        }
+    }
+    points.push_back({x, y});
+}
+
+double
+Curve::maxX() const
+{
+    return points.empty() ? 0.0 : points.back().x;
+}
+
+double
+Curve::at(double x) const
+{
+    cdcs_assert(!points.empty(), "evaluating empty curve");
+    if (x <= points.front().x)
+        return points.front().y;
+    if (x >= points.back().x)
+        return points.back().y;
+    // Binary search for the segment containing x.
+    const auto it = std::upper_bound(
+        points.begin(), points.end(), x,
+        [](double v, const CurvePoint &p) { return v < p.x; });
+    const CurvePoint &hi = *it;
+    const CurvePoint &lo = *(it - 1);
+    const double t = (x - lo.x) / (hi.x - lo.x);
+    return lo.y + t * (hi.y - lo.y);
+}
+
+Curve
+Curve::convexHull() const
+{
+    Curve hull;
+    if (points.size() <= 2) {
+        hull.points = points;
+        return hull;
+    }
+    // Monotone-chain lower hull over points already sorted by x.
+    std::vector<CurvePoint> stack;
+    for (const CurvePoint &p : points) {
+        while (stack.size() >= 2) {
+            const CurvePoint &a = stack[stack.size() - 2];
+            const CurvePoint &b = stack[stack.size() - 1];
+            // Remove b if it lies on or above segment a->p.
+            const double cross =
+                (b.x - a.x) * (p.y - a.y) - (b.y - a.y) * (p.x - a.x);
+            if (cross <= 0.0)
+                stack.pop_back();
+            else
+                break;
+        }
+        stack.push_back(p);
+    }
+    hull.points = std::move(stack);
+    return hull;
+}
+
+Curve
+Curve::plus(const Curve &other) const
+{
+    if (points.empty())
+        return other;
+    if (other.points.empty())
+        return *this;
+    std::set<double> xs;
+    for (const auto &p : points)
+        xs.insert(p.x);
+    for (const auto &p : other.points)
+        xs.insert(p.x);
+    Curve out;
+    for (double x : xs)
+        out.addPoint(x, at(x) + other.at(x));
+    return out;
+}
+
+Curve
+Curve::scaled(double factor) const
+{
+    Curve out;
+    for (const auto &p : points)
+        out.addPoint(p.x, p.y * factor);
+    return out;
+}
+
+bool
+Curve::isNonIncreasing(double tol) const
+{
+    for (std::size_t i = 1; i < points.size(); i++) {
+        if (points[i].y > points[i - 1].y + tol)
+            return false;
+    }
+    return true;
+}
+
+} // namespace cdcs

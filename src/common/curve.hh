@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Piecewise-linear curves: the common representation for miss curves
+ * (misses vs. allocated capacity) and total-latency curves used by the
+ * allocation and placement algorithms.
+ */
+
+#ifndef CDCS_COMMON_CURVE_HH
+#define CDCS_COMMON_CURVE_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace cdcs
+{
+
+/** A single (x, y) sample of a curve. */
+struct CurvePoint
+{
+    double x;
+    double y;
+};
+
+/**
+ * A piecewise-linear function y(x) defined by samples with strictly
+ * ascending x. Between samples the curve interpolates linearly; outside
+ * the sampled range it clamps to the first/last value.
+ *
+ * Miss curves are monotonically non-increasing; total-latency curves
+ * (miss latency + on-chip latency) are generally U-shaped.
+ */
+class Curve
+{
+  public:
+    Curve() = default;
+
+    /** Construct from a point list. @pre xs strictly ascending. */
+    explicit Curve(std::vector<CurvePoint> pts);
+
+    /**
+     * Append a sample. @pre x greater than the last sample's x
+     * (equal x replaces the last sample's y).
+     */
+    void addPoint(double x, double y);
+
+    /** Number of samples. */
+    std::size_t size() const { return points.size(); }
+
+    /** True if the curve has no samples. */
+    bool empty() const { return points.empty(); }
+
+    /** Access the i-th sample. */
+    const CurvePoint &operator[](std::size_t i) const { return points[i]; }
+
+    /** All samples, ascending in x. */
+    const std::vector<CurvePoint> &samples() const { return points; }
+
+    /** Largest sampled x (0 if empty). */
+    double maxX() const;
+
+    /**
+     * Evaluate the curve at x with linear interpolation, clamping
+     * outside the sampled domain.
+     */
+    double at(double x) const;
+
+    /**
+     * Lower convex hull of the samples: the largest convex function
+     * below all samples. Used to extract diminishing-returns segments
+     * for the Peekahead allocator; for a convex curve this is the
+     * curve itself.
+     */
+    Curve convexHull() const;
+
+    /**
+     * Pointwise sum with another curve; the result is sampled at the
+     * union of both curves' x positions.
+     */
+    Curve plus(const Curve &other) const;
+
+    /** Pointwise scale of y by a constant factor. */
+    Curve scaled(double factor) const;
+
+    /**
+     * True if y never increases along the curve (within tolerance).
+     * Miss curves must satisfy this.
+     */
+    bool isNonIncreasing(double tol = 1e-9) const;
+
+  private:
+    std::vector<CurvePoint> points;
+};
+
+} // namespace cdcs
+
+#endif // CDCS_COMMON_CURVE_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Logging and error-reporting helpers, following the gem5 conventions:
+ * panic() for internal invariant violations (aborts), fatal() for user
+ * errors (clean exit), warn()/inform() for status messages.
+ */
+
+#ifndef CDCS_COMMON_LOG_HH
+#define CDCS_COMMON_LOG_HH
+
+#include <cstdarg>
+
+namespace cdcs
+{
+
+/**
+ * Report an internal error that should never happen and abort. Use for
+ * simulator bugs, not for user mistakes.
+ *
+ * @param fmt printf-style format string.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error (bad configuration, invalid
+ * arguments) and exit with status 1.
+ *
+ * @param fmt printf-style format string.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Warn about suspicious but non-fatal conditions.
+ *
+ * @param fmt printf-style format string.
+ */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Print an informational status message.
+ *
+ * @param fmt printf-style format string.
+ */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert-like helper used on hot paths; compiled in all build types
+ * because simulation correctness depends on these invariants.
+ */
+#define cdcs_assert(cond, ...)                                         \
+    do {                                                               \
+        if (!(cond)) {                                                 \
+            ::cdcs::panic("assertion '%s' failed at %s:%d", #cond,     \
+                          __FILE__, __LINE__);                         \
+        }                                                              \
+    } while (0)
+
+} // namespace cdcs
+
+#endif // CDCS_COMMON_LOG_HH

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * All stochastic behaviour in the simulator (workload address streams,
+ * mix sampling, random thread schedulers, annealers) draws from seeded
+ * Rng instances so that every experiment is exactly reproducible.
+ */
+
+#ifndef CDCS_COMMON_RNG_HH
+#define CDCS_COMMON_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace cdcs
+{
+
+/**
+ * xoshiro256** generator. Small, fast and statistically strong; good
+ * enough for workload synthesis and stochastic search.
+ */
+class Rng
+{
+  public:
+    /**
+     * Construct from a 64-bit seed; the state is expanded with
+     * splitmix64 so that nearby seeds give independent streams.
+     */
+    explicit Rng(std::uint64_t seed = 1)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state) {
+            x += 0x9E3779B97F4A7C15ull;
+            word = mix64(x);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's nearly-divisionless bounded generation; the tiny
+        // modulo bias of the simple variant is irrelevant here, but
+        // the multiply-shift is also faster than '%'.
+        const unsigned __int128 m =
+            static_cast<unsigned __int128>(next()) * bound;
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Bernoulli trial with probability p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state[4];
+};
+
+/**
+ * Sampler for a (truncated) Zipf distribution over [0, n): item i is
+ * drawn with probability proportional to 1 / (i + 1)^alpha.
+ *
+ * Uses rejection-inversion (Hormann & Derflinger), which is O(1) per
+ * sample and needs no per-item tables, so footprints of hundreds of
+ * thousands of lines cost nothing to set up.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n Number of items (footprint).
+     * @param alpha Skew parameter; alpha == 0 degenerates to uniform.
+     */
+    ZipfSampler(std::uint64_t n, double alpha)
+        : numItems(n), skew(alpha)
+    {
+        hIntegralX1 = hIntegral(1.5) - 1.0;
+        hIntegralNum = hIntegral(static_cast<double>(numItems) + 0.5);
+        sCache = 2.0 - hIntegralInverse(hIntegral(2.5) - h(2.0));
+    }
+
+    /** Draw one item index in [0, n). */
+    std::uint64_t
+    sample(Rng &rng)
+    {
+        if (skew <= 0.0)
+            return rng.below(numItems);
+        while (true) {
+            const double u = hIntegralNum +
+                rng.uniform() * (hIntegralX1 - hIntegralNum);
+            const double x = hIntegralInverse(u);
+            std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+            if (k < 1)
+                k = 1;
+            else if (k > numItems)
+                k = numItems;
+            const double kd = static_cast<double>(k);
+            if (kd - x <= sCache ||
+                u >= hIntegral(kd + 0.5) - h(kd)) {
+                return k - 1;
+            }
+        }
+    }
+
+  private:
+    double
+    h(double x) const
+    {
+        return std::exp(-skew * std::log(x));
+    }
+
+    double
+    hIntegral(double x) const
+    {
+        const double logx = std::log(x);
+        return helper2((1.0 - skew) * logx) * logx;
+    }
+
+    double
+    hIntegralInverse(double x) const
+    {
+        double t = x * (1.0 - skew);
+        if (t < -1.0)
+            t = -1.0;
+        return std::exp(helper1(t) * x);
+    }
+
+    /** (exp(x) - 1) / x, stable near 0. */
+    static double
+    helper2(double x)
+    {
+        if (std::fabs(x) > 1e-8)
+            return std::expm1(x) / x;
+        return 1.0 + x * 0.5 * (1.0 + x / 3.0);
+    }
+
+    /** log1p(x) / x, stable near 0. */
+    static double
+    helper1(double x)
+    {
+        if (std::fabs(x) > 1e-8)
+            return std::log1p(x) / x;
+        return 1.0 - x * (0.5 - x / 3.0);
+    }
+
+    std::uint64_t numItems;
+    double skew;
+    double hIntegralX1;
+    double hIntegralNum;
+    double sCache;
+};
+
+} // namespace cdcs
+
+#endif // CDCS_COMMON_RNG_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Small statistical helpers for aggregating experiment results.
+ */
+
+#ifndef CDCS_COMMON_STATS_HH
+#define CDCS_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace cdcs
+{
+
+/** Arithmetic mean. @pre xs non-empty. */
+inline double
+mean(const std::vector<double> &xs)
+{
+    cdcs_assert(!xs.empty(), "mean of empty vector");
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+/** Geometric mean. @pre xs non-empty, all positive. */
+inline double
+gmean(const std::vector<double> &xs)
+{
+    cdcs_assert(!xs.empty(), "gmean of empty vector");
+    double logsum = 0.0;
+    for (double x : xs) {
+        cdcs_assert(x > 0.0, "gmean requires positive values");
+        logsum += std::log(x);
+    }
+    return std::exp(logsum / static_cast<double>(xs.size()));
+}
+
+/** Maximum element. @pre xs non-empty. */
+inline double
+maxOf(const std::vector<double> &xs)
+{
+    cdcs_assert(!xs.empty(), "max of empty vector");
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+/** Minimum element. @pre xs non-empty. */
+inline double
+minOf(const std::vector<double> &xs)
+{
+    cdcs_assert(!xs.empty(), "min of empty vector");
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+/**
+ * Quantize a positive value into a logarithmic bucket (~10% wide by
+ * default). Reconfiguration runtimes sort VCs/threads by noisy
+ * monitored quantities; bucketing plus an id tie-break makes those
+ * orderings stable across epochs, which keeps placements — and thus
+ * VC descriptors — at a fixed point when the workload is stationary.
+ */
+inline long
+logBucket(double x, double ratio = 1.1)
+{
+    if (x <= 0.0)
+        return std::numeric_limits<long>::min();
+    return std::lround(std::log(x) / std::log(ratio));
+}
+
+/**
+ * Values sorted in descending order: the paper plots per-mix speedups
+ * as inverse CDFs (Figs. 11a, 14, 15a, 16a).
+ */
+inline std::vector<double>
+inverseCdf(std::vector<double> xs)
+{
+    std::sort(xs.begin(), xs.end(), std::greater<double>());
+    return xs;
+}
+
+} // namespace cdcs
+
+#endif // CDCS_COMMON_STATS_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fundamental types and constants shared by all CDCS subsystems.
+ */
+
+#ifndef CDCS_COMMON_TYPES_HH
+#define CDCS_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace cdcs
+{
+
+/** Byte address in a process' simulated address space. */
+using Addr = std::uint64_t;
+
+/** Cache-line address: byte address >> lineShift. */
+using LineAddr = std::uint64_t;
+
+/** Simulated clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Virtual cache identifier (a share, in Jigsaw terminology). */
+using VcId = std::uint16_t;
+
+/** Sentinel for "no virtual cache". */
+constexpr VcId invalidVc = 0xFFFF;
+
+/** Tile / bank / core identifier in the tiled CMP. */
+using TileId = std::uint16_t;
+
+/** Sentinel for "no tile". */
+constexpr TileId invalidTile = 0xFFFF;
+
+/** Thread identifier within a workload mix. */
+using ThreadId = std::uint16_t;
+
+/** Process identifier within a workload mix. */
+using ProcId = std::uint16_t;
+
+/** Cache line size in bytes (fixed across the hierarchy). */
+constexpr std::uint32_t lineBytes = 64;
+
+/** log2(lineBytes). */
+constexpr std::uint32_t lineShift = 6;
+
+/** Page size used by the virtual-memory mapping layers. */
+constexpr std::uint32_t pageBytes = 4096;
+
+/** Lines per page. */
+constexpr std::uint32_t linesPerPage = pageBytes / lineBytes;
+
+/** log2(linesPerPage). */
+constexpr std::uint32_t pageLineShift = 6;
+
+/** Convert a capacity in bytes to cache lines (rounding down). */
+constexpr std::uint64_t
+bytesToLines(std::uint64_t bytes)
+{
+    return bytes / lineBytes;
+}
+
+/** Convert a capacity in cache lines to bytes. */
+constexpr std::uint64_t
+linesToBytes(std::uint64_t lines)
+{
+    return lines * lineBytes;
+}
+
+/**
+ * Finalizer of splitmix64: a strong 64-bit mixing function. Used to hash
+ * line addresses for bank-bucket selection, set indexing and monitor
+ * sampling so that the three uses are decorrelated by seeding.
+ *
+ * @param x Value to mix.
+ * @return Mixed value, uniformly distributed for distinct inputs.
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+} // namespace cdcs
+
+#endif // CDCS_COMMON_TYPES_HH

@@ -1,0 +1,146 @@
+#include "mesh/mesh.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace cdcs
+{
+
+Mesh::Mesh(int width, int height, NocConfig cfg, int num_mem_ctrls)
+    : meshWidth(width), meshHeight(height), nocConfig(cfg)
+{
+    cdcs_assert(width > 0 && height > 0, "mesh dimensions must be positive");
+    flitHops.fill(0);
+
+    // Attach memory controllers to edge tiles, spread over the four
+    // sides like the target CMP (Fig. 3): positions at roughly 1/3 and
+    // 2/3 along each edge.
+    int ctrls = num_mem_ctrls > 0 ? num_mem_ctrls : (width >= 4 ? 8 : 4);
+    ctrls = std::max(4, (ctrls / 4) * 4);
+    const int per_side = ctrls / 4;
+    auto edge_pos = [](int extent, int k, int of) {
+        // k-th of `of` positions along an edge of `extent` tiles.
+        return ((2 * k + 1) * extent) / (2 * of);
+    };
+    for (int k = 0; k < per_side; k++) {
+        const int px = edge_pos(width, k, per_side);
+        const int py = edge_pos(height, k, per_side);
+        memCtrlTiles.push_back(tileAt(px, 0));               // top
+        memCtrlTiles.push_back(tileAt(px, height - 1));      // bottom
+        memCtrlTiles.push_back(tileAt(0, py));               // left
+        memCtrlTiles.push_back(tileAt(width - 1, py));       // right
+    }
+
+    // Precompute distance-sorted tile lists for every origin.
+    sortedTiles.resize(numTiles());
+    for (TileId from = 0; from < numTiles(); from++) {
+        auto &list = sortedTiles[from];
+        list.resize(numTiles());
+        for (TileId t = 0; t < numTiles(); t++)
+            list[t] = t;
+        std::stable_sort(list.begin(), list.end(),
+                         [this, from](TileId a, TileId b) {
+                             return hops(from, a) < hops(from, b);
+                         });
+    }
+
+    // Optimistic compact placement around the chip's center point:
+    // sort tiles by euclidean-ish (manhattan) distance from center and
+    // build prefix-average distances.
+    const double cx = (width - 1) / 2.0;
+    const double cy = (height - 1) / 2.0;
+    std::vector<std::pair<double, TileId>> by_center;
+    for (TileId t = 0; t < numTiles(); t++) {
+        const MeshCoord c = coordOf(t);
+        const double d = std::abs(c.x - cx) + std::abs(c.y - cy);
+        by_center.push_back({d, t});
+    }
+    std::stable_sort(by_center.begin(), by_center.end());
+    centerDistPrefix.resize(numTiles() + 1);
+    centerDistPrefix[0] = 0.0;
+    for (int i = 0; i < numTiles(); i++)
+        centerDistPrefix[i + 1] = centerDistPrefix[i] + by_center[i].first;
+}
+
+double
+Mesh::distanceToPoint(TileId tile, double x, double y) const
+{
+    const MeshCoord c = coordOf(tile);
+    return std::abs(c.x - x) + std::abs(c.y - y);
+}
+
+int
+Mesh::hopsToMemCtrl(TileId tile, LineAddr line) const
+{
+    const std::uint64_t page = line >> pageLineShift;
+    const std::size_t ctrl = mix64(page * 0x51ED2700 + 17) %
+        memCtrlTiles.size();
+    return hops(tile, memCtrlTiles[ctrl]) + 1;
+}
+
+double
+Mesh::avgHopsToMemCtrl(TileId tile) const
+{
+    double sum = 0.0;
+    for (TileId ctrl_tile : memCtrlTiles)
+        sum += hops(tile, ctrl_tile) + 1;
+    return sum / static_cast<double>(memCtrlTiles.size());
+}
+
+int
+Mesh::nearestMemCtrl(TileId tile) const
+{
+    int best = 0;
+    int best_hops = hops(tile, memCtrlTiles[0]);
+    for (std::size_t c = 1; c < memCtrlTiles.size(); c++) {
+        const int h = hops(tile, memCtrlTiles[c]);
+        if (h < best_hops) {
+            best_hops = h;
+            best = static_cast<int>(c);
+        }
+    }
+    return best;
+}
+
+std::uint64_t
+Mesh::totalFlitHops() const
+{
+    std::uint64_t sum = 0;
+    for (std::uint64_t f : flitHops)
+        sum += f;
+    return sum;
+}
+
+void
+Mesh::clearTraffic()
+{
+    flitHops.fill(0);
+}
+
+const std::vector<TileId> &
+Mesh::tilesByDistance(TileId from) const
+{
+    cdcs_assert(from < sortedTiles.size(), "tile out of range");
+    return sortedTiles[from];
+}
+
+double
+Mesh::optimisticDistance(double banks) const
+{
+    if (banks <= 0.0)
+        return 0.0;
+    const double capped = std::min(banks,
+                                   static_cast<double>(numTiles()));
+    const int whole = static_cast<int>(capped);
+    double sum = centerDistPrefix[whole];
+    if (whole < numTiles()) {
+        const double frac = capped - whole;
+        sum += frac *
+            (centerDistPrefix[whole + 1] - centerDistPrefix[whole]);
+    }
+    return sum / capped;
+}
+
+} // namespace cdcs

@@ -1,0 +1,3 @@
+// Gmon is header-only (a thin configuration of SampledMonitor); this
+// translation unit exists to anchor the library target.
+#include "monitor/gmon.hh"

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Geometric monitor (GMON, Sec. IV-G): per-way limit registers decay
+ * the sampling rate by gamma per way, giving fine resolution at small
+ * sizes and full-LLC coverage from only 64 ways.
+ */
+
+#ifndef CDCS_MONITOR_GMON_HH
+#define CDCS_MONITOR_GMON_HH
+
+#include "monitor/sampled_monitor.hh"
+
+namespace cdcs
+{
+
+/**
+ * GMON: way w samples gamma^w of the lines way 0 samples, so way w
+ * models gamma^-w times more capacity. gamma is solved so the monitor
+ * covers `modeled_lines`; with the paper's geometry (1024 tags, 64
+ * ways, 1/64 global sampling) covering a 32 MB LLC yields
+ * gamma ~= 0.95 and way-0 resolution of 64 KB.
+ */
+class Gmon : public SampledMonitor
+{
+  public:
+    /**
+     * @param num_ways Monitor ways (64 in the paper).
+     * @param modeled_lines Capacity to cover, in lines.
+     * @param num_sets Tag-array sets (16 in the paper: 1024 tags).
+     * @param sample_shift Global sampling of 1 in 2^shift accesses.
+     * @param seed Hash seed.
+     */
+    Gmon(std::uint32_t num_ways, std::uint64_t modeled_lines,
+         std::uint32_t num_sets = 16, std::uint32_t sample_shift = 6,
+         std::uint64_t seed = 0x6E0)
+        : SampledMonitor(num_sets, num_ways, sample_shift,
+                         gammaForCoverage(num_sets, num_ways,
+                                          sample_shift, modeled_lines),
+                         seed)
+    {
+    }
+};
+
+} // namespace cdcs
+
+#endif // CDCS_MONITOR_GMON_HH

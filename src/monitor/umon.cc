@@ -1,0 +1,3 @@
+// Umon is header-only (a thin configuration of SampledMonitor); this
+// translation unit exists to anchor the library target.
+#include "monitor/umon.hh"

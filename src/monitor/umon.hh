@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Classic utility monitor (UMON): uniform sampling across ways, so W
+ * ways cover modeled_lines with modeled_lines / W resolution. Used as
+ * the baseline monitor CDCS's GMON is compared against (Sec. VI-C).
+ */
+
+#ifndef CDCS_MONITOR_UMON_HH
+#define CDCS_MONITOR_UMON_HH
+
+#include "monitor/sampled_monitor.hh"
+
+namespace cdcs
+{
+
+/**
+ * UMON: each way models the same amount of capacity. To model
+ * `modeled_lines` with W ways, the sampling rate is chosen so that one
+ * way's tags represent modeled_lines / W lines.
+ */
+class Umon : public SampledMonitor
+{
+  public:
+    /**
+     * @param num_ways Monitor ways; resolution is coverage / ways.
+     * @param modeled_lines Capacity the monitor must cover, in lines.
+     * @param num_sets Tag-array sets.
+     * @param seed Hash seed.
+     */
+    Umon(std::uint32_t num_ways, std::uint64_t modeled_lines,
+         std::uint32_t num_sets = 16, std::uint64_t seed = 0xA11CE)
+        : SampledMonitor(num_sets, num_ways,
+                         shiftForCoverage(num_sets, num_ways,
+                                          modeled_lines),
+                         1.0, seed)
+    {
+    }
+
+  private:
+    /**
+     * Smallest power-of-two sampling ratio whose coverage reaches
+     * modeled_lines: sets * 2^shift * ways >= modeled_lines.
+     */
+    static std::uint32_t
+    shiftForCoverage(std::uint32_t num_sets, std::uint32_t num_ways,
+                     std::uint64_t modeled_lines)
+    {
+        std::uint32_t shift = 0;
+        while ((static_cast<std::uint64_t>(num_sets) << shift) * num_ways <
+               modeled_lines) {
+            shift++;
+        }
+        return shift;
+    }
+};
+
+} // namespace cdcs
+
+#endif // CDCS_MONITOR_UMON_HH

@@ -1,0 +1,3 @@
+// SNucaPolicy is header-only; this translation unit anchors the
+// library target.
+#include "nuca/snuca.hh"

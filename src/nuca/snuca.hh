@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Static NUCA (S-NUCA): lines are spread over all banks with a fixed
+ * address hash. The baseline every scheme is normalized against.
+ */
+
+#ifndef CDCS_NUCA_SNUCA_HH
+#define CDCS_NUCA_SNUCA_HH
+
+#include "nuca/policy.hh"
+
+namespace cdcs
+{
+
+/** S-NUCA mapping policy. */
+class SNucaPolicy : public NucaPolicy
+{
+  public:
+    /**
+     * @param num_banks Banks on the chip.
+     * @param seed Hash seed (decorrelated from set indexing).
+     */
+    explicit SNucaPolicy(int num_banks, std::uint64_t seed = 0x54AC)
+        : numBanks(num_banks), hashSeed(seed)
+    {
+    }
+
+    MapResult
+    map(ThreadId thread, TileId core, VcId vc, LineAddr line) override
+    {
+        MapResult res;
+        res.bank = static_cast<TileId>(mix64(line ^ hashSeed) %
+                                       static_cast<std::uint64_t>(numBanks));
+        return res;
+    }
+
+  private:
+    int numBanks;
+    std::uint64_t hashSeed;
+};
+
+} // namespace cdcs
+
+#endif // CDCS_NUCA_SNUCA_HH

@@ -1,0 +1,223 @@
+#include "runtime/bisect.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/log.hh"
+
+namespace cdcs
+{
+
+namespace
+{
+
+/** A rectangular tile region. */
+struct Region
+{
+    int x0, y0, x1, y1; // Half-open: [x0, x1) x [y0, y1).
+
+    int tiles() const { return (x1 - x0) * (y1 - y0); }
+};
+
+struct BisectState
+{
+    const Mesh *mesh = nullptr;
+    double tileCapacity = 0.0;
+    const std::vector<std::vector<double>> *access = nullptr;
+    std::vector<TileId> threadCore;
+    std::vector<std::vector<double>> alloc; // [vc][tile]
+};
+
+/**
+ * Cut cost of a thread bipartition: VCs whose accesses straddle both
+ * halves pay the smaller side's access weight.
+ */
+double
+cutCost(const std::vector<std::size_t> &threads,
+        const std::vector<bool> &in_a,
+        const std::vector<std::vector<double>> &access,
+        std::size_t num_vcs)
+{
+    std::vector<double> acc_a(num_vcs, 0.0), acc_b(num_vcs, 0.0);
+    for (std::size_t i = 0; i < threads.size(); i++) {
+        const auto &row = access[threads[i]];
+        for (std::size_t d = 0; d < num_vcs; d++) {
+            if (in_a[i])
+                acc_a[d] += row[d];
+            else
+                acc_b[d] += row[d];
+        }
+    }
+    double cut = 0.0;
+    for (std::size_t d = 0; d < num_vcs; d++)
+        cut += std::min(acc_a[d], acc_b[d]);
+    return cut;
+}
+
+void
+bisect(BisectState &state, const Region &region,
+       std::vector<std::size_t> threads, std::vector<double> vc_cap)
+{
+    const std::size_t num_vcs = vc_cap.size();
+    if (region.tiles() == 1) {
+        const TileId tile =
+            state.mesh->tileAt(region.x0, region.y0);
+        cdcs_assert(threads.size() <= 1, "leaf region over-committed");
+        for (std::size_t t : threads)
+            state.threadCore[t] = tile;
+        double used = 0.0;
+        for (std::size_t d = 0; d < num_vcs; d++) {
+            const double take = std::min(vc_cap[d],
+                                         state.tileCapacity - used);
+            if (take <= 0.0)
+                continue;
+            state.alloc[d][tile] += take;
+            used += take;
+        }
+        return;
+    }
+
+    // Split the longer dimension.
+    Region a = region, b = region;
+    if (region.x1 - region.x0 >= region.y1 - region.y0) {
+        const int mid = (region.x0 + region.x1) / 2;
+        a.x1 = mid;
+        b.x0 = mid;
+    } else {
+        const int mid = (region.y0 + region.y1) / 2;
+        a.y1 = mid;
+        b.y0 = mid;
+    }
+
+    // --- Partition threads: proportional counts, min-cut refined ---
+    const int want_a = std::clamp(
+        static_cast<int>(std::lround(
+            static_cast<double>(threads.size()) * a.tiles() /
+            region.tiles())),
+        static_cast<int>(threads.size()) - b.tiles(),
+        std::min(a.tiles(), static_cast<int>(threads.size())));
+
+    // Initial split: group threads by their dominant VC so sharers
+    // start on the same side.
+    std::stable_sort(threads.begin(), threads.end(),
+                     [&](std::size_t ta, std::size_t tb) {
+                         const auto &ra = (*state.access)[ta];
+                         const auto &rb = (*state.access)[tb];
+                         const auto da = std::max_element(ra.begin(),
+                                                          ra.end()) -
+                             ra.begin();
+                         const auto db = std::max_element(rb.begin(),
+                                                          rb.end()) -
+                             rb.begin();
+                         return da < db;
+                     });
+    std::vector<bool> in_a(threads.size(), false);
+    for (int i = 0; i < want_a; i++)
+        in_a[i] = true;
+
+    // Kernighan-Lin-style improvement: best pairwise swaps.
+    bool improved = !threads.empty();
+    int passes = 0;
+    while (improved && passes < 4) {
+        improved = false;
+        passes++;
+        double best = cutCost(threads, in_a, *state.access, num_vcs);
+        for (std::size_t i = 0; i < threads.size(); i++) {
+            for (std::size_t j = i + 1; j < threads.size(); j++) {
+                if (in_a[i] == in_a[j])
+                    continue;
+                in_a[i] = !in_a[i];
+                in_a[j] = !in_a[j];
+                const double cost =
+                    cutCost(threads, in_a, *state.access, num_vcs);
+                if (cost + 1e-12 < best) {
+                    best = cost;
+                    improved = true;
+                } else {
+                    in_a[i] = !in_a[i];
+                    in_a[j] = !in_a[j];
+                }
+            }
+        }
+    }
+
+    std::vector<std::size_t> threads_a, threads_b;
+    std::vector<double> acc_a(num_vcs, 0.0), acc_b(num_vcs, 0.0);
+    for (std::size_t i = 0; i < threads.size(); i++) {
+        const auto &row = (*state.access)[threads[i]];
+        if (in_a[i]) {
+            threads_a.push_back(threads[i]);
+            for (std::size_t d = 0; d < num_vcs; d++)
+                acc_a[d] += row[d];
+        } else {
+            threads_b.push_back(threads[i]);
+            for (std::size_t d = 0; d < num_vcs; d++)
+                acc_b[d] += row[d];
+        }
+    }
+
+    // --- Split VC capacity by access share, capped to fit ---
+    const double cap_a = a.tiles() * state.tileCapacity;
+    const double cap_b = b.tiles() * state.tileCapacity;
+    std::vector<double> cap_va(num_vcs, 0.0), cap_vb(num_vcs, 0.0);
+    double tot_a = 0.0, tot_b = 0.0;
+    for (std::size_t d = 0; d < num_vcs; d++) {
+        const double acc = acc_a[d] + acc_b[d];
+        const double frac_a = acc > 0.0
+            ? acc_a[d] / acc
+            : static_cast<double>(a.tiles()) / region.tiles();
+        cap_va[d] = vc_cap[d] * frac_a;
+        cap_vb[d] = vc_cap[d] - cap_va[d];
+        tot_a += cap_va[d];
+        tot_b += cap_vb[d];
+    }
+    // Rebalance overflow toward the other half.
+    auto rebalance = [&](std::vector<double> &from,
+                         std::vector<double> &to, double cap_from,
+                         double tot_from) {
+        if (tot_from <= cap_from)
+            return;
+        const double scale = cap_from / tot_from;
+        for (std::size_t d = 0; d < num_vcs; d++) {
+            const double spill = from[d] * (1.0 - scale);
+            from[d] -= spill;
+            to[d] += spill;
+        }
+    };
+    rebalance(cap_va, cap_vb, cap_a, tot_a);
+    rebalance(cap_vb, cap_va, cap_b, tot_b);
+
+    bisect(state, a, std::move(threads_a), std::move(cap_va));
+    bisect(state, b, std::move(threads_b), std::move(cap_vb));
+}
+
+} // anonymous namespace
+
+RuntimeOutput
+BisectRuntime::reconfigure(const RuntimeInput &input)
+{
+    RuntimeOutput out;
+    const std::vector<double> sizes = allocate(input);
+
+    BisectState state;
+    state.mesh = input.mesh;
+    state.tileCapacity =
+        static_cast<double>(input.bankLines) * input.banksPerTile;
+    state.access = &input.access;
+    state.threadCore.assign(input.threadCore.size(), 0);
+    state.alloc.assign(sizes.size(),
+                       std::vector<double>(input.mesh->numTiles(), 0.0));
+
+    std::vector<std::size_t> threads(input.threadCore.size());
+    std::iota(threads.begin(), threads.end(), 0);
+    const Region whole{0, 0, input.mesh->width(), input.mesh->height()};
+    bisect(state, whole, std::move(threads), sizes);
+
+    out.alloc = tilesToBanks(state.alloc, input.banksPerTile,
+                             input.bankLines);
+    out.threadCore = std::move(state.threadCore);
+    return out;
+}
+
+} // namespace cdcs

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Recursive-bisection co-placement: the graph-partitioning comparator
+ * of Sec. VI-C (the paper uses METIS). Threads and their VC capacity
+ * are recursively split across halves of the chip, minimizing the
+ * access weight that crosses each cut. The paper observes this family
+ * always splits around the chip center and cannot cluster one app at
+ * the center, losing ~2.5% network latency vs. CDCS — the bench
+ * harness reproduces that comparison.
+ */
+
+#ifndef CDCS_RUNTIME_BISECT_HH
+#define CDCS_RUNTIME_BISECT_HH
+
+#include "runtime/cdcs_runtime.hh"
+
+namespace cdcs
+{
+
+/**
+ * A runtime that allocates like CDCS (latency-aware Peekahead) but
+ * places threads and data by recursive bisection.
+ */
+class BisectRuntime : public CdcsRuntime
+{
+  public:
+    explicit BisectRuntime(CdcsOptions opts = {}) : CdcsRuntime(opts) {}
+
+    RuntimeOutput reconfigure(const RuntimeInput &input) override;
+};
+
+} // namespace cdcs
+
+#endif // CDCS_RUNTIME_BISECT_HH

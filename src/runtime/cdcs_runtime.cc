@@ -1,0 +1,191 @@
+#include "runtime/cdcs_runtime.hh"
+
+#include <chrono>
+#include <cmath>
+
+#include "common/log.hh"
+#include "runtime/optimistic_placer.hh"
+#include "runtime/refined_placer.hh"
+#include "runtime/peekahead.hh"
+#include "runtime/thread_placer.hh"
+
+namespace cdcs
+{
+
+namespace
+{
+
+double
+microsSince(std::chrono::steady_clock::time_point start)
+{
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(now - start).count();
+}
+
+} // anonymous namespace
+
+std::vector<double>
+CdcsRuntime::allocate(const RuntimeInput &input)
+{
+    const std::size_t num_vcs = input.missCurves.size();
+    const double tile_capacity =
+        static_cast<double>(input.bankLines) * input.banksPerTile;
+    const double total_capacity =
+        tile_capacity * input.mesh->numTiles();
+
+    // Per-VC accesses this epoch.
+    std::vector<double> vc_access(num_vcs, 0.0);
+    for (const auto &row : input.access) {
+        for (std::size_t d = 0; d < num_vcs; d++)
+            vc_access[d] += row[d];
+    }
+
+    LatencyModel lat;
+    lat.hopCycles = input.hopCycles;
+    lat.bankAccessCycles = input.bankAccessCycles;
+    lat.memAccessCycles = input.memAccessCycles;
+
+    std::vector<Curve> cost;
+    cost.reserve(num_vcs);
+    for (std::size_t d = 0; d < num_vcs; d++) {
+        cost.push_back(totalLatencyCurve(
+            input.missCurves[d], vc_access[d], *input.mesh,
+            tile_capacity, lat, options.latencyAwareAlloc));
+    }
+
+    // Reserve a small floor for every active VC so its data maps
+    // somewhere sensible even when the allocator grants it nothing
+    // (e.g., streaming apps like milc get "near-zero" capacity).
+    double floor_total = 0.0;
+    std::vector<double> floors(num_vcs, 0.0);
+    for (std::size_t d = 0; d < num_vcs; d++) {
+        if (vc_access[d] > 0.0) {
+            floors[d] = options.minAllocLines;
+            floor_total += floors[d];
+        }
+    }
+
+    // Allocate only capacity with real marginal utility first; the
+    // zero-utility leftover (Jigsaw mode) is distributed after size
+    // hysteresis so it cannot wobble with curve noise.
+    std::vector<double> sizes = peekaheadAllocate(
+        cost, total_capacity - floor_total,
+        /*allow_unused=*/true, input.allocGranule);
+    for (std::size_t d = 0; d < num_vcs; d++)
+        sizes[d] += floors[d];
+
+    if (!options.latencyAwareAlloc) {
+        // Jigsaw mode: hand out the remaining capacity proportionally
+        // to the utility-driven sizes. Deterministic, so it cannot
+        // churn placements on its own; unlike CDCS, Jigsaw never
+        // holds capacity back (Sec. IV-C).
+        double used = 0.0;
+        for (double s : sizes)
+            used += s;
+        const double leftover = total_capacity - used;
+        if (leftover > 0.0 && used > 0.0) {
+            const double scale = leftover / used;
+            for (double &s : sizes)
+                s += s * scale;
+        }
+    }
+
+    // Size hysteresis: monitored curves are noisy; a VC keeps its
+    // previous size unless the change is material. This is what lets
+    // the downstream (deterministic) placement reach a fixed point.
+    if (prevSizes.size() == sizes.size()) {
+        for (std::size_t d = 0; d < num_vcs; d++) {
+            const double prev = prevSizes[d];
+            if (std::abs(sizes[d] - prev) <=
+                options.sizeHysteresis * std::max(prev, 1.0)) {
+                sizes[d] = prev;
+            }
+        }
+    }
+    prevSizes = sizes;
+    return sizes;
+}
+
+std::vector<std::vector<double>>
+CdcsRuntime::tilesToBanks(const std::vector<std::vector<double>>
+                              &tile_alloc,
+                          int banks_per_tile, std::uint64_t bank_lines)
+{
+    if (banks_per_tile == 1)
+        return tile_alloc;
+    const std::size_t num_vcs = tile_alloc.size();
+    const std::size_t num_tiles =
+        num_vcs > 0 ? tile_alloc[0].size() : 0;
+    std::vector<std::vector<double>> bank_alloc(
+        num_vcs, std::vector<double>(num_tiles * banks_per_tile, 0.0));
+
+    // Per tile, pack VCs into the tile's banks first-fit; with
+    // bank-granular allocation each VC share is a whole multiple of
+    // the bank size, so the packing is exact.
+    for (std::size_t tile = 0; tile < num_tiles; tile++) {
+        std::vector<double> bank_free(
+            banks_per_tile, static_cast<double>(bank_lines));
+        for (std::size_t d = 0; d < num_vcs; d++) {
+            double rest = tile_alloc[d][tile];
+            for (int k = 0; k < banks_per_tile && rest > 0.0; k++) {
+                const double take = std::min(rest, bank_free[k]);
+                if (take <= 0.0)
+                    continue;
+                bank_alloc[d][tile * banks_per_tile + k] += take;
+                bank_free[k] -= take;
+                rest -= take;
+            }
+        }
+    }
+    return bank_alloc;
+}
+
+RuntimeOutput
+CdcsRuntime::reconfigure(const RuntimeInput &input)
+{
+    RuntimeOutput out;
+
+    // Step 1: latency-aware capacity allocation.
+    auto t0 = std::chrono::steady_clock::now();
+    const std::vector<double> sizes = allocate(input);
+    out.times.allocUs = microsSince(t0);
+
+    const double tile_capacity =
+        static_cast<double>(input.bankLines) * input.banksPerTile;
+
+    // Steps 2 + 3: optimistic placement informs thread placement.
+    t0 = std::chrono::steady_clock::now();
+    std::vector<TileId> cores = input.threadCore;
+    if (options.placeThreads) {
+        // Anchor the optimistic placement to the VCs' current
+        // accessor positions: with a stationary workload, placements
+        // (and thus descriptors) reach a fixed point instead of
+        // rotating among equivalent layouts every epoch.
+        const VcAnchors anchors = computeVcAnchors(
+            input.access, input.threadCore, *input.mesh, sizes.size());
+        const OptimisticPlacement optimistic =
+            optimisticPlace(sizes, *input.mesh, tile_capacity,
+                            anchors.x, anchors.y);
+        cores = placeThreads(optimistic, input.access, sizes,
+                             *input.mesh, input.threadCore);
+    }
+    out.times.threadPlaceUs = microsSince(t0);
+
+    // Step 4: refined placement (greedy + optional trades).
+    t0 = std::chrono::steady_clock::now();
+    RefinedPlacerConfig place_cfg;
+    place_cfg.granule = std::max<double>(options.placeGranule,
+                                         input.allocGranule);
+    place_cfg.trades = options.refineTrades;
+    const auto tile_alloc =
+        refinePlace(sizes, input.access, cores, *input.mesh,
+                    tile_capacity, place_cfg);
+    out.times.dataPlaceUs = microsSince(t0);
+
+    out.alloc = tilesToBanks(tile_alloc, input.banksPerTile,
+                             input.bankLines);
+    out.threadCore = std::move(cores);
+    return out;
+}
+
+} // namespace cdcs

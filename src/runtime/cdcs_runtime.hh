@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The CDCS reconfiguration runtime (Sec. IV, Fig. 4): the OS-level
+ * procedure invoked every epoch that turns monitor miss curves into a
+ * joint thread-and-data placement via four steps:
+ *
+ *   1. latency-aware capacity allocation (Peekahead over
+ *      total-latency curves, Sec. IV-C);
+ *   2. optimistic contention-aware VC placement (Sec. IV-D);
+ *   3. thread placement at data centers of mass (Sec. IV-E);
+ *   4. refined VC placement with capacity trading (Sec. IV-F).
+ *
+ * The steps are individually switchable to support the paper's factor
+ * analysis (Fig. 12: +L, +T, +D, +LTD) and to express Jigsaw (all
+ * off) as a configuration of the same machinery.
+ */
+
+#ifndef CDCS_RUNTIME_CDCS_RUNTIME_HH
+#define CDCS_RUNTIME_CDCS_RUNTIME_HH
+
+#include "nuca/policy.hh"
+#include "runtime/curves.hh"
+#include "runtime/refined_placer.hh"
+
+namespace cdcs
+{
+
+/** Which CDCS techniques are enabled on top of the Jigsaw baseline. */
+struct CdcsOptions
+{
+    /** Step 1 uses total-latency curves instead of miss curves. */
+    bool latencyAwareAlloc = true;
+
+    /** Steps 2-3: optimistic placement + thread placement. */
+    bool placeThreads = true;
+
+    /** Step 4 runs the trading pass after greedy placement. */
+    bool refineTrades = true;
+
+    /** Minimum lines granted to any VC with traffic. */
+    double minAllocLines = 64.0;
+
+    /**
+     * Size hysteresis: keep a VC's previous size when the newly
+     * computed one differs by less than this fraction. Allocation is
+     * driven by sampled (noisy) miss curves; without hysteresis the
+     * whole placement pipeline reshuffles every epoch and the moved
+     * data costs far more than the capacity imprecision.
+     */
+    double sizeHysteresis = 0.15;
+
+    /** Placement granule in lines. */
+    double placeGranule = 256.0;
+};
+
+/** The CDCS runtime. */
+class CdcsRuntime : public ReconfigRuntime
+{
+  public:
+    explicit CdcsRuntime(CdcsOptions opts = {}) : options(opts) {}
+
+    RuntimeOutput reconfigure(const RuntimeInput &input) override;
+
+    const CdcsOptions &opts() const { return options; }
+
+  protected:
+    /**
+     * Step 1: capacity allocation. Exposed to subclasses so the
+     * Sec. VI-C comparators can reuse it and replace placement.
+     * Stateful: applies size hysteresis against the previous epoch.
+     */
+    std::vector<double> allocate(const RuntimeInput &input);
+
+    /** Expand a per-tile allocation into per-bank rows. */
+    static std::vector<std::vector<double>>
+    tilesToBanks(const std::vector<std::vector<double>> &tile_alloc,
+                 int banks_per_tile, std::uint64_t bank_lines);
+
+    CdcsOptions options;
+
+  private:
+    /** Previous epoch's sizes (for hysteresis). */
+    std::vector<double> prevSizes;
+};
+
+} // namespace cdcs
+
+#endif // CDCS_RUNTIME_CDCS_RUNTIME_HH

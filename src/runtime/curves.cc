@@ -1,0 +1,52 @@
+#include "runtime/curves.hh"
+
+#include <set>
+
+namespace cdcs
+{
+
+Curve
+totalLatencyCurve(const Curve &miss_curve, double accesses,
+                  const Mesh &mesh, double tile_capacity_lines,
+                  const LatencyModel &lat, bool latency_aware)
+{
+    // Average memory-network distance is placement-independent in the
+    // page-interleaved controller scheme (Sec. III): use the chip-wide
+    // mean.
+    double mem_net = 0.0;
+    for (TileId t = 0; t < mesh.numTiles(); t++)
+        mem_net += mesh.avgHopsToMemCtrl(t);
+    mem_net = lat.onChipRoundTrip(mem_net / mesh.numTiles());
+    const double miss_cost = lat.memAccessCycles + mem_net;
+
+    // Sample at the miss curve's points plus tile-capacity boundaries
+    // so the on-chip term is resolved even where misses are flat.
+    std::set<double> xs;
+    for (const auto &p : miss_curve.samples())
+        xs.insert(p.x);
+    if (latency_aware) {
+        const double max_x = miss_curve.maxX();
+        for (double x = tile_capacity_lines; x <= max_x;
+             x += tile_capacity_lines) {
+            xs.insert(x);
+        }
+    }
+
+    Curve out;
+    for (double x : xs) {
+        const double misses = miss_curve.at(x);
+        // Allocation-independent terms (bank access latency) are
+        // omitted: they shift every curve by a constant and cannot
+        // change the allocation.
+        double y = misses * miss_cost;
+        if (latency_aware) {
+            const double dist =
+                mesh.optimisticDistance(x / tile_capacity_lines);
+            y += accesses * lat.onChipRoundTrip(dist);
+        }
+        out.addPoint(x, y);
+    }
+    return out;
+}
+
+} // namespace cdcs

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Construction of the total-latency curves that drive latency-aware
+ * capacity allocation (Sec. IV-C): off-chip latency from the monitor
+ * miss curve plus an *optimistic* on-chip latency term obtained by
+ * compactly placing the allocation around the chip's center (Fig. 6).
+ */
+
+#ifndef CDCS_RUNTIME_CURVES_HH
+#define CDCS_RUNTIME_CURVES_HH
+
+#include "common/curve.hh"
+#include "mesh/mesh.hh"
+
+namespace cdcs
+{
+
+/** Latency constants used to turn misses/accesses into cycles. */
+struct LatencyModel
+{
+    double hopCycles = 4.0;         ///< Router + link, one direction.
+    double bankAccessCycles = 9.0;
+    double memAccessCycles = 120.0;
+
+    /** Round-trip network cycles for an access spanning `d` hops. */
+    double
+    onChipRoundTrip(double d) const
+    {
+        return 2.0 * hopCycles * d;
+    }
+};
+
+/**
+ * Total memory latency curve for one VC (Eq. 1 + Eq. 2 under the
+ * optimistic compact placement): for allocation s,
+ *
+ *   L(s) = misses(s) * (mem + avg-mem-net) +
+ *          accesses  * (bank + round-trip(optimisticDistance(s)))
+ *
+ * @param miss_curve Monitor miss curve (x lines, y misses/epoch).
+ * @param accesses VC accesses this epoch.
+ * @param mesh Topology (for optimistic distances).
+ * @param tile_capacity_lines LLC lines per tile.
+ * @param lat Latency constants.
+ * @param latency_aware When false, only the off-chip term is used
+ *        (Jigsaw-style, miss-curve-driven allocation).
+ */
+Curve totalLatencyCurve(const Curve &miss_curve, double accesses,
+                        const Mesh &mesh, double tile_capacity_lines,
+                        const LatencyModel &lat, bool latency_aware);
+
+} // namespace cdcs
+
+#endif // CDCS_RUNTIME_CURVES_HH

@@ -1,0 +1,3 @@
+// JigsawRuntime is header-only (a configuration of CdcsRuntime); this
+// translation unit anchors the library target.
+#include "runtime/jigsaw_runtime.hh"

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The Jigsaw runtime [Beckmann & Sanchez, PACT'13]: the baseline CDCS
+ * is built on. It sizes VCs from miss curves alone (latency-oblivious
+ * Peekahead), places data greedily around the current (fixed) thread
+ * positions, and never places threads. Expressed as a configuration of
+ * the CDCS machinery with every CDCS technique disabled.
+ */
+
+#ifndef CDCS_RUNTIME_JIGSAW_RUNTIME_HH
+#define CDCS_RUNTIME_JIGSAW_RUNTIME_HH
+
+#include "runtime/cdcs_runtime.hh"
+
+namespace cdcs
+{
+
+/** Jigsaw: miss-curve allocation + greedy placement, threads pinned. */
+class JigsawRuntime : public CdcsRuntime
+{
+  public:
+    JigsawRuntime() : CdcsRuntime(jigsawOptions()) {}
+
+  private:
+    static CdcsOptions
+    jigsawOptions()
+    {
+        CdcsOptions opts;
+        opts.latencyAwareAlloc = false;
+        opts.placeThreads = false;
+        opts.refineTrades = false;
+        return opts;
+    }
+};
+
+} // namespace cdcs
+
+#endif // CDCS_RUNTIME_JIGSAW_RUNTIME_HH

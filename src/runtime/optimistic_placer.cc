@@ -1,0 +1,111 @@
+#include "runtime/optimistic_placer.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/stats.hh"
+
+namespace cdcs
+{
+
+OptimisticPlacement
+optimisticPlace(const std::vector<double> &sizes, const Mesh &mesh,
+                double tile_capacity_lines,
+                const std::vector<double> &prefer_x,
+                const std::vector<double> &prefer_y)
+{
+    const std::size_t num_vcs = sizes.size();
+    const int num_tiles = mesh.numTiles();
+    OptimisticPlacement out;
+    out.comX.assign(num_vcs, (mesh.width() - 1) / 2.0);
+    out.comY.assign(num_vcs, (mesh.height() - 1) / 2.0);
+
+    // Largest VCs first: they cause the most contention (Sec. IV-D).
+    std::vector<std::size_t> order(num_vcs);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return logBucket(sizes[a]) >
+                             logBucket(sizes[b]);
+                     });
+
+    std::vector<double> claimed(num_tiles, 0.0);
+    for (std::size_t d : order) {
+        if (sizes[d] <= 0.0)
+            continue;
+        const double tiles_needed = sizes[d] / tile_capacity_lines;
+        const int whole = static_cast<int>(std::floor(tiles_needed));
+        const double frac = tiles_needed - whole;
+        const int footprint =
+            std::min(num_tiles, whole + (frac > 0.0 ? 1 : 0));
+
+        // Find the center tile with the least claimed capacity under
+        // the VC's compact footprint. Ties (e.g., an empty chip for
+        // the first VC) break toward the most compact footprint, so
+        // large VCs gravitate to the chip center (Sec. VI-C notes
+        // CDCS often clusters one app around the center).
+        TileId best_tile = 0;
+        double best_contention = std::numeric_limits<double>::max();
+        double best_affinity = std::numeric_limits<double>::max();
+        double best_spread = std::numeric_limits<double>::max();
+        double best_centrality = std::numeric_limits<double>::max();
+        const double chip_cx = (mesh.width() - 1) / 2.0;
+        const double chip_cy = (mesh.height() - 1) / 2.0;
+        const double px = d < prefer_x.size() ? prefer_x[d] : chip_cx;
+        const double py = d < prefer_y.size() ? prefer_y[d] : chip_cy;
+        // Contention is quantized to quarter-tiles so that noise-level
+        // differences defer to the anchor-affinity tie-break.
+        const double quantum = tile_capacity_lines / 4.0;
+        for (TileId center = 0; center < num_tiles; center++) {
+            const auto &near = mesh.tilesByDistance(center);
+            double contention = 0.0;
+            double spread = 0.0;
+            for (int i = 0; i < footprint; i++) {
+                contention += claimed[near[i]];
+                spread += mesh.hops(center, near[i]);
+            }
+            contention = std::floor(contention / quantum);
+            const double affinity = mesh.distanceToPoint(center, px, py);
+            const double centrality =
+                mesh.distanceToPoint(center, chip_cx, chip_cy);
+            const bool better = contention < best_contention ||
+                (contention == best_contention &&
+                 (affinity < best_affinity ||
+                  (affinity == best_affinity &&
+                   (spread < best_spread ||
+                    (spread == best_spread &&
+                     centrality < best_centrality)))));
+            if (better) {
+                best_contention = contention;
+                best_affinity = affinity;
+                best_spread = spread;
+                best_centrality = centrality;
+                best_tile = center;
+            }
+        }
+
+        // Claim the footprint (capacity constraints relaxed) and
+        // record the claimed-weighted center of mass.
+        const auto &near = mesh.tilesByDistance(best_tile);
+        double remaining = tiles_needed;
+        double cx = 0.0, cy = 0.0, weight = 0.0;
+        for (int i = 0; i < footprint && remaining > 0.0; i++) {
+            const double share = std::min(1.0, remaining);
+            claimed[near[i]] += share * tile_capacity_lines;
+            const MeshCoord c = mesh.coordOf(near[i]);
+            cx += share * c.x;
+            cy += share * c.y;
+            weight += share;
+            remaining -= share;
+        }
+        if (weight > 0.0) {
+            out.comX[d] = cx / weight;
+            out.comY[d] = cy / weight;
+        }
+    }
+    return out;
+}
+
+} // namespace cdcs

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Optimistic contention-aware VC placement (Sec. IV-D): a coarse
+ * chip-wide picture of where data should go, computed before thread
+ * placement. Large VCs are placed first; each picks the tile whose
+ * compact footprint overlaps the least already-claimed capacity
+ * (capacity constraints are relaxed: claims may exceed a tile).
+ */
+
+#ifndef CDCS_RUNTIME_OPTIMISTIC_PLACER_HH
+#define CDCS_RUNTIME_OPTIMISTIC_PLACER_HH
+
+#include <vector>
+
+#include "mesh/mesh.hh"
+
+namespace cdcs
+{
+
+/** Result: per-VC center of mass (fractional tile coordinates). */
+struct OptimisticPlacement
+{
+    std::vector<double> comX;
+    std::vector<double> comY;
+};
+
+/**
+ * Place VCs optimistically.
+ *
+ * Candidate centers are ranked by (quantized) claimed-capacity
+ * contention; ties break toward the VC's preferred anchor (its
+ * current accessors' position) so that placements stay put across
+ * epochs when nothing material changed, then toward compact and
+ * central footprints.
+ *
+ * @param sizes Per-VC allocation in lines.
+ * @param mesh Topology.
+ * @param tile_capacity_lines LLC lines per tile.
+ * @param prefer_x Per-VC preferred x anchor (empty: chip center).
+ * @param prefer_y Per-VC preferred y anchor (empty: chip center).
+ * @return Per-VC centers of mass.
+ */
+OptimisticPlacement optimisticPlace(const std::vector<double> &sizes,
+                                    const Mesh &mesh,
+                                    double tile_capacity_lines,
+                                    const std::vector<double> &prefer_x =
+                                        {},
+                                    const std::vector<double> &prefer_y =
+                                        {});
+
+} // namespace cdcs
+
+#endif // CDCS_RUNTIME_OPTIMISTIC_PLACER_HH

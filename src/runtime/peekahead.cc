@@ -1,0 +1,82 @@
+#include "runtime/peekahead.hh"
+
+#include <cmath>
+#include <queue>
+
+#include "common/log.hh"
+
+namespace cdcs
+{
+
+namespace
+{
+
+/** One pending hull segment of one VC's cost curve. */
+struct Segment
+{
+    double slope;       ///< Cost change per line (negative = good).
+    std::size_t vc;
+    std::size_t nextIdx;///< Hull point index this segment ends at.
+    double fromX;
+    double toX;
+
+    bool
+    operator>(const Segment &other) const
+    {
+        return slope > other.slope;
+    }
+};
+
+} // anonymous namespace
+
+std::vector<double>
+peekaheadAllocate(const std::vector<Curve> &curves, double total_capacity,
+                  bool allow_unused, double granule)
+{
+    const std::size_t num_vcs = curves.size();
+    std::vector<double> alloc(num_vcs, 0.0);
+    std::vector<Curve> hulls;
+    hulls.reserve(num_vcs);
+    for (const Curve &c : curves)
+        hulls.push_back(c.convexHull());
+
+    std::priority_queue<Segment, std::vector<Segment>,
+                        std::greater<Segment>> queue;
+    auto push_next = [&](std::size_t vc, std::size_t idx) {
+        const Curve &hull = hulls[vc];
+        if (idx + 1 >= hull.size())
+            return;
+        const CurvePoint &a = hull[idx];
+        const CurvePoint &b = hull[idx + 1];
+        queue.push({(b.y - a.y) / (b.x - a.x), vc, idx + 1, a.x, b.x});
+    };
+    for (std::size_t d = 0; d < num_vcs; d++) {
+        if (!hulls[d].empty())
+            push_next(d, 0);
+    }
+
+    double remaining = total_capacity;
+    while (remaining > 0.0 && !queue.empty()) {
+        const Segment seg = queue.top();
+        queue.pop();
+        if (seg.slope >= 0.0)
+            break;
+        const double want = seg.toX - seg.fromX;
+        const double take = std::min(want, remaining);
+        alloc[seg.vc] += take;
+        remaining -= take;
+        if (take >= want)
+            push_next(seg.vc, seg.nextIdx);
+    }
+
+    // Note: with allow_unused == false the caller distributes the
+    // zero-utility leftover itself (deterministically, after size
+    // hysteresis); handing it out here would wobble with curve noise.
+    if (granule > 1.0) {
+        for (double &a : alloc)
+            a = std::floor(a / granule) * granule;
+    }
+    return alloc;
+}
+
+} // namespace cdcs

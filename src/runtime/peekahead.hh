@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Peekahead capacity allocation [Jigsaw, PACT'13]: an efficient, exact
+ * implementation of UCP's Lookahead over the convex hulls of the
+ * per-VC curves. Because allocating along a curve's lower convex hull
+ * always takes the step with the best claimed marginal utility,
+ * greedily draining a priority queue of hull segments reproduces
+ * Lookahead's allocation in O(S log D) instead of O(S^2).
+ *
+ * With total-latency curves (Sec. IV-C) the hull can turn upward:
+ * segments with non-negative slope never reduce latency, so when
+ * `allow_unused` is set the allocator stops there and leaves the
+ * remaining capacity unallocated ("it is sometimes better to leave
+ * cache capacity unused").
+ */
+
+#ifndef CDCS_RUNTIME_PEEKAHEAD_HH
+#define CDCS_RUNTIME_PEEKAHEAD_HH
+
+#include <vector>
+
+#include "common/curve.hh"
+
+namespace cdcs
+{
+
+/**
+ * Allocate capacity among VCs to minimize the summed curve values.
+ *
+ * @param curves Per-VC cost curves (lower is better; x in lines).
+ * @param total_capacity Capacity budget in lines.
+ * @param allow_unused Stop at non-negative marginal cost (CDCS) or
+ *        keep allocating any capacity with non-positive marginal cost
+ *        until the budget is gone (Jigsaw never benefits from holding
+ *        capacity back because miss curves are monotone).
+ * @param granule Round allocations down to multiples of this many
+ *        lines (bank granularity for non-partitioned NUCA).
+ * @return Per-VC allocations in lines; sum <= total_capacity.
+ */
+std::vector<double> peekaheadAllocate(const std::vector<Curve> &curves,
+                                      double total_capacity,
+                                      bool allow_unused,
+                                      double granule = 1.0);
+
+} // namespace cdcs
+
+#endif // CDCS_RUNTIME_PEEKAHEAD_HH

@@ -1,0 +1,255 @@
+#include "runtime/refined_placer.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/stats.hh"
+
+#include "common/log.hh"
+
+namespace cdcs
+{
+
+VcAnchors
+computeVcAnchors(const std::vector<std::vector<double>> &access,
+                 const std::vector<TileId> &thread_core,
+                 const Mesh &mesh, std::size_t num_vcs)
+{
+    VcAnchors anchors;
+    anchors.x.assign(num_vcs, (mesh.width() - 1) / 2.0);
+    anchors.y.assign(num_vcs, (mesh.height() - 1) / 2.0);
+    anchors.totalAccess.assign(num_vcs, 0.0);
+    std::vector<double> wx(num_vcs, 0.0), wy(num_vcs, 0.0);
+    for (std::size_t t = 0; t < access.size(); t++) {
+        const MeshCoord c = mesh.coordOf(thread_core[t]);
+        for (std::size_t d = 0; d < num_vcs; d++) {
+            const double a = access[t][d];
+            if (a <= 0.0)
+                continue;
+            wx[d] += a * c.x;
+            wy[d] += a * c.y;
+            anchors.totalAccess[d] += a;
+        }
+    }
+    for (std::size_t d = 0; d < num_vcs; d++) {
+        if (anchors.totalAccess[d] > 0.0) {
+            // Quantize anchors to quarter-tiles: the visit order must
+            // not flip between equidistant tiles on monitor noise.
+            anchors.x[d] = std::round(4.0 * wx[d] /
+                                      anchors.totalAccess[d]) / 4.0;
+            anchors.y[d] = std::round(4.0 * wy[d] /
+                                      anchors.totalAccess[d]) / 4.0;
+        }
+    }
+    return anchors;
+}
+
+namespace
+{
+
+/** dist[d][tile]: access-weighted hops from VC d's accessors. */
+std::vector<std::vector<double>>
+computeVcDistances(const std::vector<std::vector<double>> &access,
+                   const std::vector<TileId> &thread_core,
+                   const Mesh &mesh, std::size_t num_vcs,
+                   const std::vector<double> &total_access)
+{
+    std::vector<std::vector<double>> dist(
+        num_vcs, std::vector<double>(mesh.numTiles(), 0.0));
+    for (std::size_t t = 0; t < access.size(); t++) {
+        for (std::size_t d = 0; d < num_vcs; d++) {
+            const double a = access[t][d];
+            if (a <= 0.0)
+                continue;
+            for (TileId b = 0; b < mesh.numTiles(); b++)
+                dist[d][b] += a * mesh.hops(thread_core[t], b);
+        }
+    }
+    for (std::size_t d = 0; d < num_vcs; d++) {
+        if (total_access[d] > 0.0) {
+            for (TileId b = 0; b < mesh.numTiles(); b++)
+                dist[d][b] /= total_access[d];
+        }
+    }
+    return dist;
+}
+
+} // anonymous namespace
+
+std::vector<std::vector<double>>
+refinePlace(const std::vector<double> &sizes,
+            const std::vector<std::vector<double>> &access,
+            const std::vector<TileId> &thread_core, const Mesh &mesh,
+            double tile_capacity_lines, const RefinedPlacerConfig &cfg)
+{
+    const std::size_t num_vcs = sizes.size();
+    const int num_tiles = mesh.numTiles();
+
+    const VcAnchors anchors =
+        computeVcAnchors(access, thread_core, mesh, num_vcs);
+    const std::vector<double> &total_access = anchors.totalAccess;
+    const auto dist =
+        computeVcDistances(access, thread_core, mesh, num_vcs,
+                           total_access);
+
+    // Per-VC tile visit order: ascending distance from the anchor.
+    std::vector<std::vector<TileId>> visit(num_vcs);
+    for (std::size_t d = 0; d < num_vcs; d++) {
+        if (sizes[d] <= 0.0)
+            continue;
+        visit[d].resize(num_tiles);
+        std::iota(visit[d].begin(), visit[d].end(), 0);
+        std::stable_sort(visit[d].begin(), visit[d].end(),
+                         [&](TileId a, TileId b) {
+                             return dist[d][a] < dist[d][b];
+                         });
+    }
+
+    // VC processing order: descending access intensity per line, so
+    // latency-critical VCs get the closest capacity first.
+    std::vector<std::size_t> order;
+    for (std::size_t d = 0; d < num_vcs; d++) {
+        if (sizes[d] > 0.0)
+            order.push_back(d);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return logBucket(total_access[a] / sizes[a]) >
+                             logBucket(total_access[b] / sizes[b]);
+                     });
+
+    // --- Greedy round-robin placement (Jigsaw, Sec. IV-F) ---
+    std::vector<std::vector<double>> alloc(
+        num_vcs, std::vector<double>(num_tiles, 0.0));
+    std::vector<double> free(num_tiles, tile_capacity_lines);
+    std::vector<double> remaining(sizes);
+    std::vector<int> cursor(num_vcs, 0);
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (std::size_t d : order) {
+            if (remaining[d] <= 0.0)
+                continue;
+            // Advance past exhausted tiles (free only decreases).
+            while (cursor[d] < num_tiles &&
+                   free[visit[d][cursor[d]]] <= 0.0) {
+                cursor[d]++;
+            }
+            if (cursor[d] >= num_tiles) {
+                // Chip full: the remainder is unplaceable; drop it
+                // (the allocator never over-commits, so this guards
+                // against rounding noise only).
+                remaining[d] = 0.0;
+                continue;
+            }
+            const TileId tile = visit[d][cursor[d]];
+            const double take =
+                std::min({cfg.granule, remaining[d], free[tile]});
+            alloc[d][tile] += take;
+            free[tile] -= take;
+            remaining[d] -= take;
+            progress = true;
+        }
+    }
+
+    if (!cfg.trades)
+        return alloc;
+
+    // --- Bounded trading pass (CDCS, Sec. IV-F, Fig. 8) ---
+    constexpr double eps = 1e-9;
+    for (std::size_t d : order) {
+        if (sizes[d] <= 0.0 || total_access[d] <= 0.0)
+            continue;
+        const double intensity_d = total_access[d] / sizes[d];
+        double seen = 0.0;
+        std::vector<TileId> desirable;
+        for (int i = 0; i < num_tiles && seen + eps < sizes[d]; i++) {
+            const TileId b1 = visit[d][i];
+            if (alloc[d][b1] < tile_capacity_lines - eps)
+                desirable.push_back(b1);
+            if (alloc[d][b1] <= 0.0)
+                continue;
+            seen += alloc[d][b1];
+
+            // Try to move data at b1 into closer desirable tiles.
+            for (const TileId b2 : desirable) {
+                if (alloc[d][b1] <= 0.0)
+                    break;
+                if (b2 == b1 || dist[d][b2] >= dist[d][b1])
+                    continue;
+
+                // Free space first: a move with no counterparty.
+                if (free[b2] > 0.0 &&
+                    dist[d][b1] - dist[d][b2] >
+                        cfg.tradeThresholdHops) {
+                    const double q = std::min(alloc[d][b1], free[b2]);
+                    alloc[d][b1] -= q;
+                    alloc[d][b2] += q;
+                    free[b2] -= q;
+                    free[b1] += q;
+                    if (alloc[d][b1] <= 0.0)
+                        break;
+                }
+
+                // Offer trades to VCs resident in b2. Trades must
+                // clear a minimum-gain threshold: marginal swaps are
+                // monitor noise and would churn placements.
+                for (std::size_t e = 0; e < num_vcs; e++) {
+                    if (e == d || alloc[e][b2] <= 0.0)
+                        continue;
+                    if (alloc[d][b1] <= 0.0)
+                        break;
+                    const double intensity_e = sizes[e] > 0.0
+                        ? total_access[e] / sizes[e] : 0.0;
+                    const double delta =
+                        intensity_d * (dist[d][b2] - dist[d][b1]) +
+                        intensity_e * (dist[e][b1] - dist[e][b2]);
+                    const double threshold = -cfg.tradeThresholdHops *
+                        (intensity_d + intensity_e);
+                    if (delta < threshold) {
+                        const double q =
+                            std::min(alloc[d][b1], alloc[e][b2]);
+                        alloc[d][b1] -= q;
+                        alloc[d][b2] += q;
+                        alloc[e][b2] -= q;
+                        alloc[e][b1] += q;
+                    }
+                }
+            }
+        }
+    }
+    return alloc;
+}
+
+double
+onChipCost(const std::vector<std::vector<double>> &alloc,
+           const std::vector<double> &sizes,
+           const std::vector<std::vector<double>> &access,
+           const std::vector<TileId> &thread_core, const Mesh &mesh)
+{
+    // Eq. 2: accesses from thread t to tile b are proportional to the
+    // share of VC capacity in b.
+    double cost = 0.0;
+    for (std::size_t d = 0; d < alloc.size(); d++) {
+        double placed = 0.0;
+        for (double a : alloc[d])
+            placed += a;
+        if (placed <= 0.0)
+            continue;
+        for (std::size_t t = 0; t < access.size(); t++) {
+            const double at = access[t][d];
+            if (at <= 0.0)
+                continue;
+            for (TileId b = 0; b < mesh.numTiles(); b++) {
+                if (alloc[d][b] <= 0.0)
+                    continue;
+                cost += at * (alloc[d][b] / placed) *
+                    mesh.hops(thread_core[t], b);
+            }
+        }
+    }
+    return cost;
+}
+
+} // namespace cdcs

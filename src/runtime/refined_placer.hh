@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Refined VC placement (Sec. IV-F): with thread locations known, first
+ * greedily round-robin VCs into the banks closest to their accessors
+ * (Jigsaw's placement), then run CDCS's bounded trading pass: each VC
+ * spirals outward from its center of mass, collecting desirable banks
+ * and offering capacity trades that reduce summed access latency
+ * (Fig. 8). A trade between VC1 at bank b1 and VC2 at bank b2 is
+ * accepted when
+ *
+ *   (A1/S1) (D(1,b2) - D(1,b1)) + (A2/S2) (D(2,b1) - D(2,b2)) < 0
+ *
+ * where D(i,b) is VC i's access-weighted distance to bank b.
+ */
+
+#ifndef CDCS_RUNTIME_REFINED_PLACER_HH
+#define CDCS_RUNTIME_REFINED_PLACER_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "mesh/mesh.hh"
+
+namespace cdcs
+{
+
+/** Tunables for the refined placer. */
+struct RefinedPlacerConfig
+{
+    /** Placement granule in lines. */
+    double granule = 256.0;
+
+    /** Run the trading pass (CDCS) or stop after greedy (Jigsaw). */
+    bool trades = true;
+
+    /**
+     * Minimum per-line gain (in hops, scaled by the participants'
+     * intensities) a trade must achieve. Marginal trades are noise:
+     * accepting them reshuffles placements between epochs, and every
+     * reshuffle costs moves/invalidations.
+     */
+    double tradeThresholdHops = 0.05;
+};
+
+/** Access-weighted per-VC accessor positions. */
+struct VcAnchors
+{
+    std::vector<double> x;
+    std::vector<double> y;
+    std::vector<double> totalAccess;
+};
+
+/**
+ * Compute each VC's anchor: the access-weighted center of its
+ * accessing cores, quantized to quarter-tiles for epoch-to-epoch
+ * stability. VCs without accesses anchor at the chip center.
+ */
+VcAnchors computeVcAnchors(const std::vector<std::vector<double>>
+                               &access,
+                           const std::vector<TileId> &thread_core,
+                           const Mesh &mesh, std::size_t num_vcs);
+
+/**
+ * Place VC capacity into tiles.
+ *
+ * @param sizes Per-VC allocation in lines.
+ * @param access access[t][d] accesses of thread t to VC d.
+ * @param thread_core Thread-to-core assignment.
+ * @param mesh Topology.
+ * @param tile_capacity_lines LLC lines per tile.
+ * @param cfg Tunables.
+ * @return alloc[d][tile] lines (callers split tiles into banks).
+ */
+std::vector<std::vector<double>>
+refinePlace(const std::vector<double> &sizes,
+            const std::vector<std::vector<double>> &access,
+            const std::vector<TileId> &thread_core, const Mesh &mesh,
+            double tile_capacity_lines,
+            const RefinedPlacerConfig &cfg = {});
+
+/**
+ * Estimated total on-chip latency (hop-weighted accesses, Eq. 2) of an
+ * allocation; the objective the trading pass reduces. Also used by the
+ * annealing/bisection comparators (Sec. VI-C).
+ */
+double onChipCost(const std::vector<std::vector<double>> &alloc,
+                  const std::vector<double> &sizes,
+                  const std::vector<std::vector<double>> &access,
+                  const std::vector<TileId> &thread_core,
+                  const Mesh &mesh);
+
+} // namespace cdcs
+
+#endif // CDCS_RUNTIME_REFINED_PLACER_HH

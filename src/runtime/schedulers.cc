@@ -1,0 +1,46 @@
+#include "runtime/schedulers.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/log.hh"
+
+namespace cdcs
+{
+
+std::vector<TileId>
+randomSchedule(int num_threads, int num_cores, Rng &rng)
+{
+    cdcs_assert(num_threads <= num_cores, "more threads than cores");
+    std::vector<TileId> cores(num_cores);
+    std::iota(cores.begin(), cores.end(), 0);
+    // Fisher-Yates partial shuffle.
+    for (int i = 0; i < num_threads; i++) {
+        const auto j =
+            i + static_cast<int>(rng.below(num_cores - i));
+        std::swap(cores[i], cores[j]);
+    }
+    cores.resize(num_threads);
+    return cores;
+}
+
+std::vector<TileId>
+clusteredSchedule(const std::vector<ProcId> &thread_proc, int num_cores)
+{
+    cdcs_assert(static_cast<int>(thread_proc.size()) <= num_cores,
+                "more threads than cores");
+    // Stable-sort threads by process, then assign consecutive cores.
+    std::vector<std::size_t> order(thread_proc.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return thread_proc[a] < thread_proc[b];
+                     });
+    std::vector<TileId> assignment(thread_proc.size());
+    TileId next = 0;
+    for (std::size_t t : order)
+        assignment[t] = next++;
+    return assignment;
+}
+
+} // namespace cdcs

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Initial thread schedulers: the fixed policies CDCS's dynamic thread
+ * placement is compared against (Sec. II-B, Sec. VI). Random spreads
+ * capacity contention blindly; clustered packs each process's threads
+ * onto contiguous tiles (good for shared-heavy multithreaded apps,
+ * pathological for capacity-hungry single-threaded mixes).
+ */
+
+#ifndef CDCS_RUNTIME_SCHEDULERS_HH
+#define CDCS_RUNTIME_SCHEDULERS_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace cdcs
+{
+
+/** Random placement: threads pinned to a random sample of cores. */
+std::vector<TileId> randomSchedule(int num_threads, int num_cores,
+                                   Rng &rng);
+
+/**
+ * Clustered placement: processes occupy consecutive cores in row-major
+ * order (the Jigsaw+C configuration).
+ *
+ * @param thread_proc thread_proc[t]: process of thread t.
+ * @param num_cores Cores available.
+ */
+std::vector<TileId> clusteredSchedule(const std::vector<ProcId>
+                                          &thread_proc,
+                                      int num_cores);
+
+} // namespace cdcs
+
+#endif // CDCS_RUNTIME_SCHEDULERS_HH

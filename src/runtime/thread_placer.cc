@@ -1,0 +1,97 @@
+#include "runtime/thread_placer.hh"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/stats.hh"
+
+#include "common/log.hh"
+
+namespace cdcs
+{
+
+std::vector<TileId>
+placeThreads(const OptimisticPlacement &placement,
+             const std::vector<std::vector<double>> &access,
+             const std::vector<double> &sizes, const Mesh &mesh,
+             const std::vector<TileId> &current)
+{
+    const std::size_t num_threads = access.size();
+    const std::size_t num_vcs = sizes.size();
+    cdcs_assert(num_threads <= static_cast<std::size_t>(mesh.numTiles()),
+                "more threads than cores");
+
+    // Order threads by descending intensity-capacity product.
+    std::vector<double> priority(num_threads, 0.0);
+    for (std::size_t t = 0; t < num_threads; t++) {
+        for (std::size_t d = 0; d < num_vcs; d++)
+            priority[t] += access[t][d] * sizes[d];
+    }
+    std::vector<std::size_t> order(num_threads);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return logBucket(priority[a]) >
+                             logBucket(priority[b]);
+                     });
+
+    std::vector<TileId> assignment(num_threads, invalidTile);
+    std::vector<bool> taken(mesh.numTiles(), false);
+    for (std::size_t t : order) {
+        TileId best_core = invalidTile;
+        double best_cost = std::numeric_limits<double>::max();
+        for (TileId core = 0; core < mesh.numTiles(); core++) {
+            if (taken[core])
+                continue;
+            double cost = 0.0;
+            for (std::size_t d = 0; d < num_vcs; d++) {
+                if (access[t][d] <= 0.0)
+                    continue;
+                cost += access[t][d] *
+                    mesh.distanceToPoint(core, placement.comX[d],
+                                         placement.comY[d]);
+            }
+            // Hysteresis: keep the thread's current core unless the
+            // move wins by a few percent; placements (and therefore
+            // VC descriptors) must not churn on monitor noise.
+            if (t < current.size() && current[t] == core)
+                cost *= 0.95;
+            if (cost < best_cost) {
+                best_cost = cost;
+                best_core = core;
+            }
+        }
+        cdcs_assert(best_core != invalidTile, "no free core found");
+        assignment[t] = best_core;
+        taken[best_core] = true;
+    }
+
+    // Migration guard: moving threads is never free (their data is
+    // placed around them and must follow). Keep the current placement
+    // unless the new one wins by a few percent of modeled on-chip
+    // cost.
+    if (current.size() == num_threads) {
+        auto total_cost = [&](const std::vector<TileId> &cores) {
+            double cost = 0.0;
+            for (std::size_t t = 0; t < num_threads; t++) {
+                for (std::size_t d = 0; d < num_vcs; d++) {
+                    if (access[t][d] <= 0.0)
+                        continue;
+                    cost += access[t][d] *
+                        mesh.distanceToPoint(cores[t],
+                                             placement.comX[d],
+                                             placement.comY[d]);
+                }
+            }
+            return cost;
+        };
+        const double new_cost = total_cost(assignment);
+        const double old_cost = total_cost(current);
+        if (new_cost > 0.97 * old_cost)
+            return current;
+    }
+    return assignment;
+}
+
+} // namespace cdcs

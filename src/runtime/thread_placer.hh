@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Thread placement (Sec. IV-E): place each thread as close as possible
+ * to the access-weighted center of mass of the VCs it touches, in
+ * descending intensity-capacity order (threads that access large VCs
+ * intensively are placed first: low on-chip latency matters most to
+ * them and their data is hardest to move).
+ */
+
+#ifndef CDCS_RUNTIME_THREAD_PLACER_HH
+#define CDCS_RUNTIME_THREAD_PLACER_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "mesh/mesh.hh"
+#include "runtime/optimistic_placer.hh"
+
+namespace cdcs
+{
+
+/**
+ * Place threads onto cores.
+ *
+ * @param placement Optimistic per-VC centers of mass (Sec. IV-D).
+ * @param access access[t][d]: accesses of thread t to VC d.
+ * @param sizes Per-VC allocation in lines.
+ * @param mesh Topology (one core per tile).
+ * @param current Current thread-to-core map (used as a mild
+ *        tie-breaking hysteresis to avoid pointless migrations).
+ * @return New thread-to-core assignment (a permutation into cores).
+ */
+std::vector<TileId> placeThreads(const OptimisticPlacement &placement,
+                                 const std::vector<std::vector<double>>
+                                     &access,
+                                 const std::vector<double> &sizes,
+                                 const Mesh &mesh,
+                                 const std::vector<TileId> &current);
+
+} // namespace cdcs
+
+#endif // CDCS_RUNTIME_THREAD_PLACER_HH

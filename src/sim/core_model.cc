@@ -1,0 +1,3 @@
+// CoreClock is header-only; this translation unit anchors the library
+// target.
+#include "sim/core_model.hh"

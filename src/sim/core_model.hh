@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Analytic core timing model for the lean 2-way OOO cores of Table 2.
+ * A thread's cycle count is
+ *
+ *   cycles = instructions * cpiExe + sum(access latency) / mlp
+ *
+ * where cpiExe is the CPI with a perfect LLC (including L1/L2 hit
+ * time) and mlp is the effective memory-level parallelism: the average
+ * number of outstanding LLC/memory accesses whose latencies overlap.
+ * This folds the OOO core's latency tolerance into one per-app
+ * parameter (see DESIGN.md for the substitution rationale).
+ */
+
+#ifndef CDCS_SIM_CORE_MODEL_HH
+#define CDCS_SIM_CORE_MODEL_HH
+
+#include "common/types.hh"
+
+namespace cdcs
+{
+
+/** Running performance state of one thread. */
+class CoreClock
+{
+  public:
+    /**
+     * @param cpi_exe Base CPI.
+     * @param mlp_factor Latency-overlap divisor.
+     */
+    CoreClock(double cpi_exe = 1.0, double mlp_factor = 3.0)
+        : cpiExe(cpi_exe), mlp(mlp_factor)
+    {
+    }
+
+    /**
+     * Account one LLC access and the instructions leading up to it.
+     *
+     * @param instr Instructions retired since the previous access.
+     * @param access_latency_cycles End-to-end latency of the access.
+     */
+    void
+    addAccess(double instr, double access_latency_cycles)
+    {
+        instrs += instr;
+        cycles += instr * cpiExe + access_latency_cycles / mlp;
+    }
+
+    /** Stall the core (e.g., bulk-invalidation pause). */
+    void addPause(double pause_cycles) { cycles += pause_cycles; }
+
+    double instructions() const { return instrs; }
+    double cycleCount() const { return cycles; }
+
+    double
+    ipc() const
+    {
+        return cycles > 0.0 ? instrs / cycles : 0.0;
+    }
+
+  private:
+    double cpiExe;
+    double mlp;
+    double instrs = 0.0;
+    double cycles = 0.0;
+};
+
+} // namespace cdcs
+
+#endif // CDCS_SIM_CORE_MODEL_HH

@@ -1,0 +1,3 @@
+// EnergyModel is header-only; this translation unit anchors the
+// library target.
+#include "sim/energy.hh"

@@ -1,0 +1,116 @@
+#include "sim/experiment.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "common/log.hh"
+#include "common/stats.hh"
+
+namespace cdcs
+{
+
+WorkloadMix
+buildMix(const MixSpec &spec)
+{
+    switch (spec.kind) {
+      case MixSpec::Kind::Cpu:
+        return WorkloadMix::randomCpuMix(spec.count, spec.seed);
+      case MixSpec::Kind::Omp:
+        return WorkloadMix::randomOmpMix(spec.count, spec.seed);
+      case MixSpec::Kind::Named:
+        return WorkloadMix::fromNames(spec.names, spec.seed);
+    }
+    panic("unknown mix kind");
+}
+
+RunResult
+runScheme(const SystemConfig &cfg, const SchemeSpec &scheme,
+          const MixSpec &mix)
+{
+    System system(cfg, scheme, buildMix(mix));
+    return system.run();
+}
+
+double
+weightedSpeedup(const RunResult &run, const RunResult &baseline)
+{
+    cdcs_assert(run.procThroughput.size() ==
+                    baseline.procThroughput.size(),
+                "weighted speedup needs matching mixes");
+    std::vector<double> ratios;
+    for (std::size_t p = 0; p < run.procThroughput.size(); p++) {
+        if (baseline.procThroughput[p] > 0.0) {
+            ratios.push_back(run.procThroughput[p] /
+                             baseline.procThroughput[p]);
+        }
+    }
+    cdcs_assert(!ratios.empty(), "no measurable processes");
+    return mean(ratios);
+}
+
+std::vector<RunResult>
+runSchemes(const SystemConfig &cfg,
+           const std::vector<SchemeSpec> &schemes, const MixSpec &mix)
+{
+    std::vector<RunResult> results(schemes.size());
+    for (std::size_t i = 0; i < schemes.size(); i++)
+        results[i] = runScheme(cfg, schemes[i], mix);
+    return results;
+}
+
+void
+parallelFor(int n, const std::function<void(int)> &fn)
+{
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    const unsigned workers =
+        std::min<unsigned>(hw, static_cast<unsigned>(n));
+    if (workers <= 1) {
+        for (int i = 0; i < n; i++)
+            fn(i);
+        return;
+    }
+    std::atomic<int> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; w++) {
+        pool.emplace_back([&]() {
+            while (true) {
+                const int i = next.fetch_add(1);
+                if (i >= n)
+                    return;
+                fn(i);
+            }
+        });
+    }
+    for (auto &worker : pool)
+        worker.join();
+}
+
+std::uint64_t
+envOr(const char *name, std::uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr || *value == '\0')
+        return fallback;
+    return std::strtoull(value, nullptr, 10);
+}
+
+SystemConfig
+benchConfig()
+{
+    SystemConfig cfg;
+    cfg.accessesPerThreadEpoch = envOr("CDCS_EPOCH_ACCESSES", 40000);
+    cfg.epochs = static_cast<int>(envOr("CDCS_EPOCHS", 8));
+    cfg.warmupEpochs = static_cast<int>(envOr("CDCS_WARMUP", 4));
+    return cfg;
+}
+
+int
+benchMixes(int fallback)
+{
+    return static_cast<int>(
+        envOr("CDCS_MIXES", static_cast<std::uint64_t>(fallback)));
+}
+
+} // namespace cdcs

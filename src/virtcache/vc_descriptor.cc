@@ -1,0 +1,59 @@
+#include "virtcache/vc_descriptor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace cdcs
+{
+
+VcDescriptor
+VcDescriptor::fromShares(const std::vector<double> &shares)
+{
+    VcDescriptor desc;
+    double total = 0.0;
+    for (double s : shares)
+        total += s;
+    if (total <= 0.0) {
+        for (std::uint32_t i = 0; i < vcBuckets; i++)
+            desc.setBucket(i, 0);
+        return desc;
+    }
+
+    // Weighted rendezvous (highest-random-weight) assignment: bucket
+    // i goes to the bank maximizing share_b / -ln(u(i, b)) with u a
+    // per-(bucket, bank) hash in (0, 1). Two properties matter here:
+    //
+    //  - proportionality: each bank receives buckets in proportion to
+    //    its share in expectation, so the ganged partitions behave
+    //    like one cache of their aggregate size (Sec. III);
+    //  - stability: when a reconfiguration changes shares, only the
+    //    buckets whose winning bank changed move. Contiguous range
+    //    assignment would shift most buckets on any change, and every
+    //    shifted bucket turns into demand moves and background
+    //    invalidations (Sec. IV-H).
+    for (std::uint32_t i = 0; i < vcBuckets; i++) {
+        TileId best_bank = 0;
+        double best_score = -1.0;
+        for (std::size_t b = 0; b < shares.size(); b++) {
+            if (shares[b] <= 0.0)
+                continue;
+            const std::uint64_t h =
+                mix64((static_cast<std::uint64_t>(i) << 32) ^
+                      (b * 0x9E3779B97F4A7C15ull) ^ 0xD15C);
+            // u in (0, 1]; -ln(u) is an Exp(1) draw.
+            const double u =
+                (static_cast<double>(h >> 11) + 1.0) * 0x1.0p-53;
+            const double score = shares[b] / -std::log(u);
+            if (score > best_score) {
+                best_score = score;
+                best_bank = static_cast<TileId>(b);
+            }
+        }
+        desc.setBucket(i, best_bank);
+    }
+    return desc;
+}
+
+} // namespace cdcs

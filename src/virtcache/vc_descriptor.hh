@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Virtual cache (VC) descriptors: the N-bucket bank arrays the VTB
+ * uses to spread a VC's accesses across its bank partitions in
+ * proportion to their capacities (Sec. III, Fig. 3).
+ */
+
+#ifndef CDCS_VIRTCACHE_VC_DESCRIPTOR_HH
+#define CDCS_VIRTCACHE_VC_DESCRIPTOR_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cdcs
+{
+
+/** Buckets per VC descriptor (N = 64 in the paper). */
+constexpr std::uint32_t vcBuckets = 64;
+
+/**
+ * A VC descriptor: an array of N bank ids. An address hashes to a
+ * bucket; the bucket names the bank (and, implicitly, the bank
+ * partition belonging to this VC) that caches the line. Assigning k of
+ * N buckets to a bank steers k/N of the VC's accesses there, which
+ * makes a set of bank partitions behave like a single cache of their
+ * aggregate size.
+ */
+class VcDescriptor
+{
+  public:
+    VcDescriptor() { banks.fill(invalidTile); }
+
+    /** Bank for a line address. @pre descriptor is non-empty. */
+    TileId
+    bankOf(LineAddr addr) const
+    {
+        return banks[bucketOf(addr)];
+    }
+
+    /** Bucket index for a line address. */
+    static std::uint32_t
+    bucketOf(LineAddr addr)
+    {
+        return static_cast<std::uint32_t>(
+            mix64(addr ^ 0xB0C4E75) & (vcBuckets - 1));
+    }
+
+    /** Bank stored in a bucket. */
+    TileId bucket(std::uint32_t i) const { return banks[i]; }
+
+    /** Set one bucket. */
+    void setBucket(std::uint32_t i, TileId bank) { banks[i] = bank; }
+
+    /** True if any bucket maps to a bank. */
+    bool
+    valid() const
+    {
+        for (TileId b : banks) {
+            if (b != invalidTile)
+                return true;
+        }
+        return false;
+    }
+
+    bool
+    operator==(const VcDescriptor &other) const
+    {
+        return banks == other.banks;
+    }
+
+    /**
+     * Build a descriptor from per-bank capacity shares using
+     * largest-remainder apportionment, so bucket counts are
+     * proportional to shares and all N buckets are assigned.
+     *
+     * Banks with tiny shares may receive zero buckets: the hardware
+     * has finite (N-bucket) steering resolution, and the runtime's
+     * placement granularity respects that.
+     *
+     * @param shares shares[b] = lines of this VC placed in bank b.
+     * @return Descriptor; if all shares are zero every bucket maps to
+     *         the first bank (a VC must always map somewhere).
+     */
+    static VcDescriptor fromShares(const std::vector<double> &shares);
+
+  private:
+    std::array<TileId, vcBuckets> banks;
+};
+
+} // namespace cdcs
+
+#endif // CDCS_VIRTCACHE_VC_DESCRIPTOR_HH

@@ -1,0 +1,77 @@
+#include "virtcache/vtb.hh"
+
+#include "common/log.hh"
+
+namespace cdcs
+{
+
+std::uint32_t
+Vtb::indexOf(VcId vc) const
+{
+    for (std::uint32_t i = 0; i < numEntries; i++) {
+        if (vcIds[i] == vc)
+            return i;
+    }
+    panic("VTB miss for VC %u: thread accessed an unmapped VC", vc);
+}
+
+void
+Vtb::install(VcId vc, const VcDescriptor &desc)
+{
+    // Replace an existing entry for this VC, else take a free slot.
+    for (std::uint32_t i = 0; i < numEntries; i++) {
+        if (vcIds[i] == vc) {
+            current[i] = desc;
+            shadowValid[i] = false;
+            return;
+        }
+    }
+    for (std::uint32_t i = 0; i < numEntries; i++) {
+        if (vcIds[i] == invalidVc) {
+            vcIds[i] = vc;
+            current[i] = desc;
+            shadowValid[i] = false;
+            return;
+        }
+    }
+    panic("VTB full: threads may access at most %u VCs", numEntries);
+}
+
+void
+Vtb::beginReconfig(VcId vc, const VcDescriptor &next)
+{
+    const std::uint32_t i = indexOf(vc);
+    shadow[i] = current[i];
+    shadowValid[i] = true;
+    current[i] = next;
+    shadowsActive = true;
+}
+
+void
+Vtb::finishReconfig()
+{
+    shadowValid.fill(false);
+    shadowsActive = false;
+}
+
+VtbLookup
+Vtb::lookup(VcId vc, LineAddr addr) const
+{
+    const std::uint32_t i = indexOf(vc);
+    VtbLookup res;
+    res.bank = current[i].bankOf(addr);
+    if (shadowValid[i]) {
+        const TileId old_bank = shadow[i].bankOf(addr);
+        if (old_bank != res.bank)
+            res.oldBank = old_bank;
+    }
+    return res;
+}
+
+const VcDescriptor &
+Vtb::descriptor(VcId vc) const
+{
+    return current[indexOf(vc)];
+}
+
+} // namespace cdcs

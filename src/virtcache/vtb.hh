@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Virtual-cache translation buffer (VTB): the per-core, 3-entry
+ * associative table that maps (VC id, line address) to the LLC bank on
+ * every L2 miss (Fig. 3). Each entry holds a current descriptor and a
+ * shadow descriptor; while a reconfiguration is in flight the shadow
+ * gives the line's previous location so misses can chase it with a
+ * demand move (Sec. IV-H).
+ */
+
+#ifndef CDCS_VIRTCACHE_VTB_HH
+#define CDCS_VIRTCACHE_VTB_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "virtcache/vc_descriptor.hh"
+
+namespace cdcs
+{
+
+/** Result of a VTB lookup. */
+struct VtbLookup
+{
+    TileId bank = invalidTile;      ///< Current home bank.
+    TileId oldBank = invalidTile;   ///< Previous home (shadow), or
+                                    ///< invalidTile when identical /
+                                    ///< no reconfiguration in flight.
+};
+
+/**
+ * Per-core VTB. Threads access exactly three VCs (thread-private,
+ * per-process, global), so the table has three entries; a lookup for
+ * any other VC is a protection violation (panic, standing in for the
+ * exception the hardware would raise).
+ */
+class Vtb
+{
+  public:
+    static constexpr std::uint32_t numEntries = 3;
+
+    Vtb() { vcIds.fill(invalidVc); }
+
+    /**
+     * Install or replace the entry for a VC.
+     *
+     * @param vc VC id (tag).
+     * @param desc Current descriptor (copied).
+     */
+    void install(VcId vc, const VcDescriptor &desc);
+
+    /**
+     * Start a reconfiguration for one VC: the current descriptor is
+     * copied to the shadow slot and replaced by `next`. Lookups then
+     * report both locations until finishReconfig().
+     */
+    void beginReconfig(VcId vc, const VcDescriptor &next);
+
+    /** Drop all shadow descriptors (background walk finished). */
+    void finishReconfig();
+
+    /** True while any entry still has an active shadow. */
+    bool reconfigActive() const { return shadowsActive; }
+
+    /**
+     * Translate an access.
+     * @param vc VC id; must be one of the three installed VCs.
+     * @param addr Line address.
+     */
+    VtbLookup lookup(VcId vc, LineAddr addr) const;
+
+    /** Descriptor currently installed for a VC (must be present). */
+    const VcDescriptor &descriptor(VcId vc) const;
+
+  private:
+    std::uint32_t indexOf(VcId vc) const;
+
+    std::array<VcId, numEntries> vcIds;
+    std::array<VcDescriptor, numEntries> current;
+    std::array<VcDescriptor, numEntries> shadow;
+    std::array<bool, numEntries> shadowValid = {false, false, false};
+    bool shadowsActive = false;
+};
+
+} // namespace cdcs
+
+#endif // CDCS_VIRTCACHE_VTB_HH

@@ -1,0 +1,199 @@
+#include "workload/app_profile.hh"
+
+#include "common/log.hh"
+
+namespace cdcs
+{
+
+namespace
+{
+
+/** Footprint helper: kilobytes to cache lines. */
+constexpr std::uint64_t
+kb(std::uint64_t kilobytes)
+{
+    return kilobytes * 1024 / lineBytes;
+}
+
+/** Footprint helper: megabytes to cache lines. */
+constexpr std::uint64_t
+mb(std::uint64_t megabytes)
+{
+    return kb(megabytes * 1024);
+}
+
+/**
+ * The SPEC CPU2006 profile table. Intensities (apki: LLC accesses ==
+ * L2 misses per kilo-instruction) and miss-curve shapes follow Fig. 2
+ * and the published UCP/Jigsaw characterizations; see DESIGN.md.
+ *
+ * Taxonomy used below:
+ *  - cliff apps (omnetpp, xalancbmk): scan-dominated, all-miss until
+ *    the footprint fits, then near-all-hit;
+ *  - streaming (milc, libquantum, lbm, leslie3d, GemsFDTD, bwaves):
+ *    footprints far beyond the LLC, insensitive to allocation;
+ *  - fitting (bzip2, cactusADM, calculix): small footprints that fit
+ *    in about a bank;
+ *  - friendly (gcc, mcf, zeusmp, astar, sphinx3): concave Zipf-style
+ *    miss curves with diminishing returns.
+ */
+std::vector<AppProfile>
+makeSpecCpu2006()
+{
+    std::vector<AppProfile> apps;
+
+    apps.push_back({"bzip2", 9.0, 0.9, 2.5,
+                    {{0.3, PatternKind::Uniform, kb(128)},
+                     {0.7, PatternKind::Zipf, mb(1), 0.4}}});
+    apps.push_back({"gcc", 7.0, 1.0, 2.0,
+                    {{0.4, PatternKind::Zipf, kb(256), 0.8},
+                     {0.6, PatternKind::Zipf, mb(2), 0.3}}});
+    apps.push_back({"bwaves", 16.0, 0.8, 5.0,
+                    {{0.9, PatternKind::Scan, mb(16)},
+                     {0.1, PatternKind::Uniform, kb(256)}}});
+    apps.push_back({"mcf", 55.0, 1.1, 2.2,
+                    {{0.25, PatternKind::Zipf, kb(512), 0.7},
+                     {0.75, PatternKind::Zipf, mb(12), 0.3}}});
+    apps.push_back({"milc", 20.0, 0.9, 5.0,
+                    {{0.97, PatternKind::Scan, mb(48)},
+                     {0.03, PatternKind::Uniform, kb(64)}}});
+    apps.push_back({"zeusmp", 9.0, 0.9, 3.0,
+                    {{0.5, PatternKind::Uniform, mb(4)},
+                     {0.5, PatternKind::Zipf, kb(512), 0.6}}});
+    apps.push_back({"cactusADM", 7.0, 1.0, 3.0,
+                    {{0.8, PatternKind::Uniform, kb(1536)},
+                     {0.2, PatternKind::Uniform, kb(128)}}});
+    apps.push_back({"leslie3d", 14.0, 0.85, 4.5,
+                    {{0.92, PatternKind::Scan, mb(24)},
+                     {0.08, PatternKind::Uniform, kb(256)}}});
+    apps.push_back({"calculix", 6.0, 0.8, 2.5,
+                    {{0.7, PatternKind::Zipf, kb(384), 0.6},
+                     {0.3, PatternKind::Uniform, kb(64)}}});
+    apps.push_back({"GemsFDTD", 17.0, 0.9, 4.5,
+                    {{0.9, PatternKind::Scan, mb(20)},
+                     {0.1, PatternKind::Uniform, kb(512)}}});
+    apps.push_back({"libquantum", 24.0, 0.75, 6.0,
+                    {{1.0, PatternKind::Scan, mb(32)}}});
+    apps.push_back({"lbm", 19.0, 0.8, 5.5,
+                    {{0.95, PatternKind::Scan, mb(28)},
+                     {0.05, PatternKind::Uniform, kb(128)}}});
+    apps.push_back({"astar", 10.0, 1.05, 1.8,
+                    {{0.45, PatternKind::Zipf, kb(256), 0.8},
+                     {0.55, PatternKind::Zipf, mb(2), 0.35}}});
+    apps.push_back({"omnetpp", 95.0, 0.8, 4.0,
+                    {{0.88, PatternKind::Scan, kb(2560)},
+                     {0.12, PatternKind::Uniform, kb(96)}}});
+    apps.push_back({"sphinx3", 13.0, 0.95, 2.8,
+                    {{0.35, PatternKind::Zipf, kb(512), 0.7},
+                     {0.65, PatternKind::Zipf, mb(8), 0.45}}});
+    apps.push_back({"xalancbmk", 23.0, 1.0, 2.2,
+                    {{0.8, PatternKind::Scan, mb(4)},
+                     {0.2, PatternKind::Zipf, kb(256), 0.7}}});
+    return apps;
+}
+
+/**
+ * SPEC OMP2012-like 8-thread profiles. sharedFraction steers accesses
+ * to the per-process VC: shared-heavy apps (ilbdc, md, nab, fma3d)
+ * want their threads clustered around the shared data, private-heavy
+ * ones (mgrid, swim) want them spread (Sec. VI-B, Fig. 16b).
+ */
+std::vector<AppProfile>
+makeSpecOmp2012()
+{
+    std::vector<AppProfile> apps;
+
+    AppProfile ilbdc{"ilbdc", 16.0, 0.9, 2.5,
+                     {{1.0, PatternKind::Uniform, kb(64)}}};
+    ilbdc.threads = 8;
+    ilbdc.sharedFraction = 0.85;
+    ilbdc.sharedStream = {{1.0, PatternKind::Uniform, kb(512)}};
+    apps.push_back(ilbdc);
+
+    AppProfile md{"md", 5.0, 0.9, 2.0,
+                  {{1.0, PatternKind::Uniform, kb(32)}}};
+    md.threads = 8;
+    md.sharedFraction = 0.9;
+    md.sharedStream = {{0.6, PatternKind::Zipf, mb(1), 0.6},
+                       {0.4, PatternKind::Uniform, kb(128)}};
+    apps.push_back(md);
+
+    AppProfile nab{"nab", 8.0, 1.0, 2.5,
+                   {{1.0, PatternKind::Uniform, kb(64)}}};
+    nab.threads = 8;
+    nab.sharedFraction = 0.8;
+    nab.sharedStream = {{1.0, PatternKind::Zipf, mb(2), 0.5}};
+    apps.push_back(nab);
+
+    AppProfile mgrid{"mgrid", 22.0, 0.85, 3.5,
+                     {{0.85, PatternKind::Scan, kb(1536)},
+                      {0.15, PatternKind::Uniform, kb(128)}}};
+    mgrid.threads = 8;
+    mgrid.sharedFraction = 0.08;
+    mgrid.sharedStream = {{1.0, PatternKind::Uniform, kb(256)}};
+    apps.push_back(mgrid);
+
+    AppProfile applu{"applu331", 12.0, 0.9, 3.0,
+                     {{0.7, PatternKind::Uniform, mb(1)},
+                      {0.3, PatternKind::Zipf, kb(128), 0.8}}};
+    applu.threads = 8;
+    applu.sharedFraction = 0.3;
+    applu.sharedStream = {{1.0, PatternKind::Uniform, mb(1)}};
+    apps.push_back(applu);
+
+    AppProfile swim{"swim", 24.0, 0.8, 5.0,
+                    {{1.0, PatternKind::Scan, mb(6)}}};
+    swim.threads = 8;
+    swim.sharedFraction = 0.15;
+    swim.sharedStream = {{1.0, PatternKind::Uniform, kb(512)}};
+    apps.push_back(swim);
+
+    AppProfile fma3d{"fma3d", 10.0, 1.0, 2.5,
+                     {{1.0, PatternKind::Uniform, kb(256)}}};
+    fma3d.threads = 8;
+    fma3d.sharedFraction = 0.6;
+    fma3d.sharedStream = {{1.0, PatternKind::Zipf, mb(4), 0.4}};
+    apps.push_back(fma3d);
+
+    AppProfile bt{"bt331", 14.0, 0.9, 3.0,
+                  {{0.8, PatternKind::Zipf, mb(2), 0.35},
+                   {0.2, PatternKind::Uniform, kb(128)}}};
+    bt.threads = 8;
+    bt.sharedFraction = 0.35;
+    bt.sharedStream = {{1.0, PatternKind::Uniform, mb(1)}};
+    apps.push_back(bt);
+
+    return apps;
+}
+
+} // anonymous namespace
+
+const std::vector<AppProfile> &
+specCpu2006()
+{
+    static const std::vector<AppProfile> apps = makeSpecCpu2006();
+    return apps;
+}
+
+const std::vector<AppProfile> &
+specOmp2012()
+{
+    static const std::vector<AppProfile> apps = makeSpecOmp2012();
+    return apps;
+}
+
+const AppProfile &
+profileByName(const std::string &name)
+{
+    for (const auto &app : specCpu2006()) {
+        if (app.name == name)
+            return app;
+    }
+    for (const auto &app : specOmp2012()) {
+        if (app.name == name)
+            return app;
+    }
+    fatal("unknown application profile '%s'", name.c_str());
+}
+
+} // namespace cdcs

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Application profiles: synthetic stand-ins for the SPEC CPU2006 and
+ * SPEC OMP2012 applications the paper evaluates (see DESIGN.md for the
+ * substitution rationale). A profile fixes the LLC access intensity,
+ * the core-timing parameters, and the address-stream mixture whose
+ * simulated miss curve matches the published shape for that app.
+ */
+
+#ifndef CDCS_WORKLOAD_APP_PROFILE_HH
+#define CDCS_WORKLOAD_APP_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/generator.hh"
+
+namespace cdcs
+{
+
+/** Static description of one application. */
+struct AppProfile
+{
+    std::string name;
+
+    /** LLC accesses (== L2 misses) per kilo-instruction. */
+    double apki = 10.0;
+
+    /** Core CPI with a perfect LLC (includes L1/L2 hit time). */
+    double cpiExe = 1.0;
+
+    /**
+     * Effective memory-level parallelism: the average number of
+     * outstanding LLC/memory accesses whose latency overlaps. Stall
+     * cycles are charged as access latency divided by this factor.
+     */
+    double mlp = 3.0;
+
+    /** Per-thread private-data stream. */
+    StreamSpec privateStream;
+
+    /** Threads per process (1 for SPEC CPU). */
+    int threads = 1;
+
+    /** Fraction of accesses that go to the per-process shared VC. */
+    double sharedFraction = 0.0;
+
+    /** Shared-data stream (multithreaded profiles only). */
+    StreamSpec sharedStream;
+};
+
+/** The 16 memory-intensive SPEC CPU2006-like profiles (Sec. V). */
+const std::vector<AppProfile> &specCpu2006();
+
+/** The SPEC OMP2012-like 8-thread profiles (Sec. V). */
+const std::vector<AppProfile> &specOmp2012();
+
+/** Look up a profile by name in both libraries. Fatal if unknown. */
+const AppProfile &profileByName(const std::string &name);
+
+} // namespace cdcs
+
+#endif // CDCS_WORKLOAD_APP_PROFILE_HH

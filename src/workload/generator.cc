@@ -1,0 +1,74 @@
+#include "workload/generator.hh"
+
+#include "common/log.hh"
+
+namespace cdcs
+{
+
+std::uint64_t
+streamFootprint(const StreamSpec &spec)
+{
+    std::uint64_t total = 0;
+    for (const auto &c : spec)
+        total += c.footprintLines;
+    return total;
+}
+
+StreamGen::StreamGen(const StreamSpec &spec, std::uint64_t seed)
+    : rng(seed), totalFootprint(0)
+{
+    cdcs_assert(!spec.empty(), "stream spec must have components");
+    double weight_sum = 0.0;
+    for (const auto &c : spec) {
+        cdcs_assert(c.weight > 0.0 && c.footprintLines > 0,
+                    "stream components need positive weight/footprint");
+        weight_sum += c.weight;
+    }
+    double cum = 0.0;
+    for (const auto &c : spec) {
+        cum += c.weight / weight_sum;
+        Component comp;
+        comp.cumWeight = cum;
+        comp.kind = c.kind;
+        comp.base = totalFootprint;
+        comp.lines = c.footprintLines;
+        comp.cursor = 0;
+        if (c.kind == PatternKind::Zipf)
+            comp.zipf = std::make_unique<ZipfSampler>(c.footprintLines,
+                                                      c.alpha);
+        components.push_back(std::move(comp));
+        totalFootprint += c.footprintLines;
+    }
+    components.back().cumWeight = 1.0; // Guard against rounding.
+}
+
+std::uint64_t
+StreamGen::next()
+{
+    const double r = rng.uniform();
+    for (auto &comp : components) {
+        if (r <= comp.cumWeight) {
+            std::uint64_t offset;
+            switch (comp.kind) {
+              case PatternKind::Scan:
+                offset = comp.cursor;
+                comp.cursor = (comp.cursor + 1) % comp.lines;
+                break;
+              case PatternKind::Uniform:
+                offset = rng.below(comp.lines);
+                break;
+              case PatternKind::Zipf:
+                // Scatter the Zipf ranks across the range so that hot
+                // lines are not physically clustered in one page.
+                offset = mix64(comp.zipf->sample(rng)) % comp.lines;
+                break;
+              default:
+                panic("unknown pattern kind");
+            }
+            return comp.base + offset;
+        }
+    }
+    panic("mixture weights did not cover [0, 1]");
+}
+
+} // namespace cdcs

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Synthetic address-stream generators. Each application's post-L2
+ * (LLC) access stream is a weighted mixture of simple patterns whose
+ * LRU miss curves are well understood:
+ *
+ *  - Scan: cyclic sequential sweep. Under LRU it misses on every
+ *    access until the allocation covers the footprint, then hits on
+ *    every access: a capacity cliff (omnet, xalancbmk, streaming apps
+ *    with footprints beyond the LLC).
+ *  - Uniform: uniform random over the footprint; hit ratio grows
+ *    linearly with allocated capacity.
+ *  - Zipf: skewed reuse; concave, diminishing-returns miss curves
+ *    (most cache-friendly SPEC apps).
+ *
+ * Mixtures of these reproduce the miss-curve shapes in Fig. 2 and the
+ * UCP/Jigsaw workload taxonomies (thrashing / fitting / friendly /
+ * streaming) through the real simulated cache, which is what the
+ * monitors observe and the runtimes optimize.
+ */
+
+#ifndef CDCS_WORKLOAD_GENERATOR_HH
+#define CDCS_WORKLOAD_GENERATOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace cdcs
+{
+
+/** Base address pattern of one stream component. */
+enum class PatternKind : std::uint8_t
+{
+    Scan,       ///< Cyclic sequential sweep of the footprint.
+    Uniform,    ///< Uniform random within the footprint.
+    Zipf        ///< Zipf(alpha)-distributed reuse over the footprint.
+};
+
+/** One component of a stream mixture. */
+struct StreamComponent
+{
+    double weight;                  ///< Relative access share.
+    PatternKind kind;
+    std::uint64_t footprintLines;   ///< Component footprint, in lines.
+    double alpha = 0.0;             ///< Zipf skew (Zipf only).
+};
+
+/** A stream specification: a mixture of components. */
+using StreamSpec = std::vector<StreamComponent>;
+
+/** Total footprint of a spec, in lines. */
+std::uint64_t streamFootprint(const StreamSpec &spec);
+
+/**
+ * Stateful generator for a StreamSpec. Components occupy disjoint
+ * sub-ranges of [0, footprint); next() returns a line offset within
+ * that range. The caller maps offsets into a VC's address region.
+ */
+class StreamGen
+{
+  public:
+    /**
+     * @param spec Mixture specification (weights need not sum to 1).
+     * @param seed Seed for this stream's private RNG.
+     */
+    StreamGen(const StreamSpec &spec, std::uint64_t seed);
+
+    /** Next line offset in [0, footprint()). */
+    std::uint64_t next();
+
+    /** Footprint in lines across all components. */
+    std::uint64_t footprint() const { return totalFootprint; }
+
+  private:
+    struct Component
+    {
+        double cumWeight;       ///< Cumulative, normalized weight.
+        PatternKind kind;
+        std::uint64_t base;     ///< First line of the sub-range.
+        std::uint64_t lines;    ///< Sub-range length.
+        std::uint64_t cursor;   ///< Scan position.
+        std::unique_ptr<ZipfSampler> zipf;
+    };
+
+    Rng rng;
+    std::vector<Component> components;
+    std::uint64_t totalFootprint;
+};
+
+} // namespace cdcs
+
+#endif // CDCS_WORKLOAD_GENERATOR_HH

@@ -1,0 +1,110 @@
+#include "workload/mix.hh"
+
+#include "common/log.hh"
+
+namespace cdcs
+{
+
+WorkloadMix::WorkloadMix(const std::vector<const AppProfile *> &apps,
+                         std::uint64_t seed)
+    : rng(mix64(seed ^ 0x311C5))
+{
+    cdcs_assert(!apps.empty(), "mix needs at least one app");
+
+    int total_threads = 0;
+    for (const AppProfile *app : apps)
+        total_threads += app->threads;
+
+    const VcId first_proc_vc = static_cast<VcId>(total_threads);
+    const VcId global_vc =
+        static_cast<VcId>(total_threads + apps.size());
+
+    ThreadId next_thread = 0;
+    std::uint64_t salt = seed;
+    for (std::size_t p = 0; p < apps.size(); p++) {
+        const AppProfile *app = apps[p];
+        ProcessCtx proc;
+        proc.id = static_cast<ProcId>(p);
+        proc.profile = app;
+        proc.processVc = static_cast<VcId>(first_proc_vc + p);
+        if (!app->sharedStream.empty()) {
+            proc.sharedGen = std::make_unique<StreamGen>(
+                app->sharedStream, mix64(salt ^ (0xABCD + p)));
+        }
+        for (int i = 0; i < app->threads; i++) {
+            ThreadCtx thr;
+            thr.id = next_thread;
+            thr.proc = proc.id;
+            thr.privateVc = next_thread;
+            thr.processVc = proc.processVc;
+            thr.globalVc = global_vc;
+            cdcs_assert(app->apki > 0.0, "profile needs positive apki");
+            thr.instrPerAccess = 1000.0 / app->apki;
+            thr.cpiExe = app->cpiExe;
+            thr.mlp = app->mlp;
+            thr.sharedFraction =
+                app->sharedStream.empty() ? 0.0 : app->sharedFraction;
+            thr.privateGen = std::make_unique<StreamGen>(
+                app->privateStream,
+                mix64(salt ^ (0x7EAD + next_thread * 0x9E37)));
+            proc.threads.push_back(next_thread);
+            threads.push_back(std::move(thr));
+            next_thread++;
+        }
+        procs.push_back(std::move(proc));
+    }
+
+    globalGen = std::make_unique<StreamGen>(
+        StreamSpec{{1.0, PatternKind::Uniform, globalLines}},
+        mix64(seed ^ 0x610BA1));
+}
+
+WorkloadMix
+WorkloadMix::randomCpuMix(int count, std::uint64_t seed)
+{
+    Rng pick(mix64(seed ^ 0xC9A));
+    const auto &lib = specCpu2006();
+    std::vector<const AppProfile *> apps;
+    for (int i = 0; i < count; i++)
+        apps.push_back(&lib[pick.below(lib.size())]);
+    return WorkloadMix(apps, seed);
+}
+
+WorkloadMix
+WorkloadMix::randomOmpMix(int count, std::uint64_t seed)
+{
+    Rng pick(mix64(seed ^ 0x0E2));
+    const auto &lib = specOmp2012();
+    std::vector<const AppProfile *> apps;
+    for (int i = 0; i < count; i++)
+        apps.push_back(&lib[pick.below(lib.size())]);
+    return WorkloadMix(apps, seed);
+}
+
+WorkloadMix
+WorkloadMix::fromNames(const std::vector<std::string> &names,
+                       std::uint64_t seed)
+{
+    std::vector<const AppProfile *> apps;
+    for (const auto &name : names)
+        apps.push_back(&profileByName(name));
+    return WorkloadMix(apps, seed);
+}
+
+AccessSample
+WorkloadMix::nextAccess(ThreadId t)
+{
+    ThreadCtx &thr = threads[t];
+    const double r = rng.uniform();
+    if (r < globalFraction) {
+        return {thr.globalVc, lineIn(thr.globalVc, globalGen->next())};
+    }
+    if (r < globalFraction + thr.sharedFraction) {
+        ProcessCtx &proc = procs[thr.proc];
+        return {thr.processVc,
+                lineIn(thr.processVc, proc.sharedGen->next())};
+    }
+    return {thr.privateVc, lineIn(thr.privateVc, thr.privateGen->next())};
+}
+
+} // namespace cdcs

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Workload mixes: collections of single- and multi-threaded processes
+ * wired to virtual caches the way CDCS's OS runtime defines them
+ * (Sec. III): one thread-private VC per thread, one per-process VC,
+ * and one global VC shared by everything.
+ */
+
+#ifndef CDCS_WORKLOAD_MIX_HH
+#define CDCS_WORKLOAD_MIX_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "workload/app_profile.hh"
+
+namespace cdcs
+{
+
+/** The outcome of drawing one access from a thread's stream. */
+struct AccessSample
+{
+    VcId vc;
+    LineAddr line;
+};
+
+/** Per-thread runtime state. */
+struct ThreadCtx
+{
+    ThreadId id;
+    ProcId proc;
+    VcId privateVc;
+    VcId processVc;
+    VcId globalVc;
+    double instrPerAccess;          ///< 1000 / apki.
+    double cpiExe;
+    double mlp;
+    double sharedFraction;
+    std::unique_ptr<StreamGen> privateGen;
+};
+
+/** Per-process runtime state. */
+struct ProcessCtx
+{
+    ProcId id;
+    const AppProfile *profile;
+    VcId processVc;
+    std::vector<ThreadId> threads;
+    /// Shared stream; one instance per process, drawn from by all of
+    /// its threads (this is what creates actual line sharing).
+    std::unique_ptr<StreamGen> sharedGen;
+};
+
+/**
+ * A workload mix: processes, threads, and the VC address-space layout.
+ *
+ * VC ids: [0, T) thread-private, [T, T+P) per-process, T+P global.
+ * Line addresses embed the VC id in the high bits, so distinct VCs
+ * occupy disjoint address regions.
+ */
+class WorkloadMix
+{
+  public:
+    /** Build a mix from profiles (one process per profile entry). */
+    WorkloadMix(const std::vector<const AppProfile *> &apps,
+                std::uint64_t seed);
+
+    /**
+     * Random mix of `count` single-threaded SPEC CPU2006-like apps
+     * (sampled with replacement, as in the paper's 1-64 app mixes).
+     */
+    static WorkloadMix randomCpuMix(int count, std::uint64_t seed);
+
+    /** Random mix of `count` 8-thread SPEC OMP2012-like apps. */
+    static WorkloadMix randomOmpMix(int count, std::uint64_t seed);
+
+    /** Mix from a list of profile names (repeats allowed). */
+    static WorkloadMix fromNames(const std::vector<std::string> &names,
+                                 std::uint64_t seed);
+
+    int numThreads() const { return static_cast<int>(threads.size()); }
+    int numProcesses() const { return static_cast<int>(procs.size()); }
+    int numVcs() const { return numThreads() + numProcesses() + 1; }
+    VcId globalVc() const { return static_cast<VcId>(numVcs() - 1); }
+
+    ThreadCtx &thread(ThreadId t) { return threads[t]; }
+    const ThreadCtx &thread(ThreadId t) const { return threads[t]; }
+    ProcessCtx &process(ProcId p) { return procs[p]; }
+    const ProcessCtx &process(ProcId p) const { return procs[p]; }
+
+    /** Draw the next access of thread t. */
+    AccessSample nextAccess(ThreadId t);
+
+    /** Map a VC-relative line offset into the global address space. */
+    static LineAddr
+    lineIn(VcId vc, std::uint64_t offset)
+    {
+        return (static_cast<LineAddr>(vc) << 40) | offset;
+    }
+
+    /** Extract the VC id from a global line address. */
+    static VcId
+    vcOfLine(LineAddr line)
+    {
+        return static_cast<VcId>(line >> 40);
+    }
+
+  private:
+    std::vector<ProcessCtx> procs;
+    std::vector<ThreadCtx> threads;
+    Rng rng;
+    /// Small region all processes occasionally touch (global VC).
+    static constexpr std::uint64_t globalLines = 4096;
+    static constexpr double globalFraction = 0.003;
+    std::unique_ptr<StreamGen> globalGen;
+};
+
+} // namespace cdcs
+
+#endif // CDCS_WORKLOAD_MIX_HH

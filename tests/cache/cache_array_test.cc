@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the set-associative tag array.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_array.hh"
+
+namespace cdcs
+{
+namespace
+{
+
+TEST(CacheArrayTest, ProbeMissOnEmpty)
+{
+    CacheArray array(64, 8);
+    EXPECT_EQ(array.probe(0x123), nullptr);
+    EXPECT_EQ(array.numValid(), 0u);
+}
+
+TEST(CacheArrayTest, InstallThenHit)
+{
+    CacheArray array(64, 8);
+    const LineAddr addr = 0xBEEF;
+    const std::uint32_t set = array.setOf(addr);
+    array.install(addr, 3, 0);
+    CacheLine *line = array.probe(addr);
+    ASSERT_NE(line, nullptr);
+    EXPECT_EQ(line->vc, 3);
+    EXPECT_TRUE(line->valid);
+    EXPECT_EQ(array.setOf(line->addr), set);
+    EXPECT_EQ(array.numValid(), 1u);
+}
+
+TEST(CacheArrayTest, InvalidateRemovesLine)
+{
+    CacheArray array(64, 8);
+    array.install(0x42, 0, 0);
+    EXPECT_TRUE(array.invalidate(0x42));
+    EXPECT_EQ(array.probe(0x42), nullptr);
+    EXPECT_FALSE(array.invalidate(0x42));
+}
+
+TEST(CacheArrayTest, LruStampAdvancesOnHit)
+{
+    CacheArray array(64, 8);
+    array.install(0x1, 0, 0);
+    const std::uint64_t stamp0 = array.peek(0x1)->lruStamp;
+    array.probe(0x1);
+    EXPECT_GT(array.peek(0x1)->lruStamp, stamp0);
+}
+
+TEST(CacheArrayTest, PeekDoesNotTouchLru)
+{
+    CacheArray array(64, 8);
+    array.install(0x1, 0, 0);
+    const std::uint64_t stamp0 = array.peek(0x1)->lruStamp;
+    array.peek(0x1);
+    EXPECT_EQ(array.peek(0x1)->lruStamp, stamp0);
+}
+
+TEST(CacheArrayTest, SetIndexIsStable)
+{
+    CacheArray array(128, 4);
+    for (LineAddr a = 0; a < 1000; a++)
+        EXPECT_EQ(array.setOf(a), array.setOf(a));
+}
+
+TEST(CacheArrayTest, SetHashSpreadsAddresses)
+{
+    CacheArray array(128, 4);
+    std::vector<int> counts(128, 0);
+    for (LineAddr a = 0; a < 128 * 64; a++)
+        counts[array.setOf(a)]++;
+    for (int c : counts) {
+        EXPECT_GT(c, 16);
+        EXPECT_LT(c, 192);
+    }
+}
+
+TEST(CacheArrayTest, InvalidateAll)
+{
+    CacheArray array(64, 4);
+    for (LineAddr a = 0; a < 100; a++)
+        array.install(a, 0, a % 4);
+    array.invalidateAll();
+    EXPECT_EQ(array.numValid(), 0u);
+}
+
+} // anonymous namespace
+} // namespace cdcs

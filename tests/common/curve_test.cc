@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the piecewise-linear Curve type: interpolation,
+ * convex hulls, pointwise arithmetic, and monotonicity checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/curve.hh"
+
+namespace cdcs
+{
+namespace
+{
+
+TEST(CurveTest, InterpolatesLinearly)
+{
+    Curve c;
+    c.addPoint(0.0, 100.0);
+    c.addPoint(10.0, 0.0);
+    EXPECT_DOUBLE_EQ(c.at(0.0), 100.0);
+    EXPECT_DOUBLE_EQ(c.at(5.0), 50.0);
+    EXPECT_DOUBLE_EQ(c.at(10.0), 0.0);
+}
+
+TEST(CurveTest, ClampsOutsideDomain)
+{
+    Curve c;
+    c.addPoint(1.0, 10.0);
+    c.addPoint(2.0, 4.0);
+    EXPECT_DOUBLE_EQ(c.at(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(c.at(100.0), 4.0);
+}
+
+TEST(CurveTest, EqualXReplacesLastPoint)
+{
+    Curve c;
+    c.addPoint(0.0, 5.0);
+    c.addPoint(1.0, 3.0);
+    c.addPoint(1.0, 2.0);
+    EXPECT_EQ(c.size(), 2u);
+    EXPECT_DOUBLE_EQ(c.at(1.0), 2.0);
+}
+
+TEST(CurveTest, ConvexHullOfConvexCurveIsIdentity)
+{
+    Curve c;
+    c.addPoint(0.0, 100.0);
+    c.addPoint(1.0, 50.0);
+    c.addPoint(2.0, 25.0);
+    c.addPoint(3.0, 15.0);
+    const Curve hull = c.convexHull();
+    EXPECT_EQ(hull.size(), c.size());
+    for (std::size_t i = 0; i < c.size(); i++)
+        EXPECT_DOUBLE_EQ(hull[i].y, c[i].y);
+}
+
+TEST(CurveTest, ConvexHullRemovesCliffShoulder)
+{
+    // A cliff-shaped miss curve: flat until the working set fits,
+    // then a cliff. The hull bridges the flat region.
+    Curve c;
+    c.addPoint(0.0, 100.0);
+    c.addPoint(1.0, 99.0);
+    c.addPoint(2.0, 98.0);
+    c.addPoint(3.0, 5.0);
+    const Curve hull = c.convexHull();
+    // Interior points above the chord from (0,100) to (3,5) must go.
+    EXPECT_EQ(hull.size(), 2u);
+    EXPECT_DOUBLE_EQ(hull[0].y, 100.0);
+    EXPECT_DOUBLE_EQ(hull[1].y, 5.0);
+}
+
+TEST(CurveTest, ConvexHullIsBelowOriginal)
+{
+    Curve c;
+    c.addPoint(0.0, 50.0);
+    c.addPoint(1.0, 48.0);
+    c.addPoint(2.0, 10.0);
+    c.addPoint(3.0, 9.0);
+    c.addPoint(4.0, 0.0);
+    const Curve hull = c.convexHull();
+    for (double x = 0.0; x <= 4.0; x += 0.25)
+        EXPECT_LE(hull.at(x), c.at(x) + 1e-9);
+}
+
+TEST(CurveTest, PlusSamplesUnionOfXs)
+{
+    Curve a;
+    a.addPoint(0.0, 10.0);
+    a.addPoint(4.0, 2.0);
+    Curve b;
+    b.addPoint(0.0, 1.0);
+    b.addPoint(2.0, 1.0);
+    const Curve sum = a.plus(b);
+    EXPECT_DOUBLE_EQ(sum.at(0.0), 11.0);
+    EXPECT_DOUBLE_EQ(sum.at(2.0), 7.0);
+    EXPECT_DOUBLE_EQ(sum.at(4.0), 3.0);
+}
+
+TEST(CurveTest, ScaledMultipliesY)
+{
+    Curve a;
+    a.addPoint(0.0, 3.0);
+    a.addPoint(1.0, 1.0);
+    const Curve s = a.scaled(2.0);
+    EXPECT_DOUBLE_EQ(s.at(0.0), 6.0);
+    EXPECT_DOUBLE_EQ(s.at(1.0), 2.0);
+}
+
+TEST(CurveTest, NonIncreasingDetection)
+{
+    Curve down;
+    down.addPoint(0.0, 5.0);
+    down.addPoint(1.0, 5.0);
+    down.addPoint(2.0, 1.0);
+    EXPECT_TRUE(down.isNonIncreasing());
+
+    Curve up;
+    up.addPoint(0.0, 1.0);
+    up.addPoint(1.0, 2.0);
+    EXPECT_FALSE(up.isNonIncreasing());
+}
+
+} // anonymous namespace
+} // namespace cdcs

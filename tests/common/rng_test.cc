@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the deterministic RNG and the Zipf sampler.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace cdcs
+{
+namespace
+{
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; i++)
+        same += (a.next() == b.next()) ? 1 : 0;
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; i++)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(RngTest, UniformCoversUnitInterval)
+{
+    Rng rng(9);
+    double lo = 1.0, hi = 0.0;
+    for (int i = 0; i < 10000; i++) {
+        const double u = rng.uniform();
+        lo = std::min(lo, u);
+        hi = std::max(hi, u);
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+    EXPECT_LT(lo, 0.01);
+    EXPECT_GT(hi, 0.99);
+}
+
+TEST(RngTest, BelowIsRoughlyUniform)
+{
+    Rng rng(11);
+    constexpr int buckets = 8;
+    std::vector<int> counts(buckets, 0);
+    constexpr int draws = 80000;
+    for (int i = 0; i < draws; i++)
+        counts[rng.below(buckets)]++;
+    for (int c : counts) {
+        EXPECT_GT(c, draws / buckets * 0.9);
+        EXPECT_LT(c, draws / buckets * 1.1);
+    }
+}
+
+TEST(ZipfSamplerTest, AlphaZeroIsUniform)
+{
+    Rng rng(3);
+    ZipfSampler zipf(1000, 0.0);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 50000; i++)
+        counts[zipf.sample(rng) / 100]++;
+    for (int c : counts) {
+        EXPECT_GT(c, 4000);
+        EXPECT_LT(c, 6000);
+    }
+}
+
+TEST(ZipfSamplerTest, SkewFavorsLowRanks)
+{
+    Rng rng(5);
+    ZipfSampler zipf(100000, 0.9);
+    std::uint64_t head = 0, total = 20000;
+    for (std::uint64_t i = 0; i < total; i++) {
+        if (zipf.sample(rng) < 1000)
+            head++;
+    }
+    // With alpha=0.9, the first 1% of ranks draws far more than 1%.
+    EXPECT_GT(head, total / 10);
+}
+
+TEST(ZipfSamplerTest, StaysInRange)
+{
+    Rng rng(13);
+    ZipfSampler zipf(50, 1.2);
+    for (int i = 0; i < 10000; i++)
+        EXPECT_LT(zipf.sample(rng), 50u);
+}
+
+} // anonymous namespace
+} // namespace cdcs

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Tests for the statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace cdcs
+{
+namespace
+{
+
+TEST(StatsTest, Mean)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(StatsTest, GmeanOfEqualValues)
+{
+    EXPECT_NEAR(gmean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(StatsTest, GmeanBelowMean)
+{
+    const std::vector<double> xs{1.0, 4.0};
+    EXPECT_NEAR(gmean(xs), 2.0, 1e-12);
+    EXPECT_LT(gmean(xs), mean(xs));
+}
+
+TEST(StatsTest, MinMax)
+{
+    const std::vector<double> xs{3.0, 1.0, 2.0};
+    EXPECT_DOUBLE_EQ(minOf(xs), 1.0);
+    EXPECT_DOUBLE_EQ(maxOf(xs), 3.0);
+}
+
+TEST(StatsTest, InverseCdfSortsDescending)
+{
+    const auto sorted = inverseCdf({1.0, 3.0, 2.0});
+    ASSERT_EQ(sorted.size(), 3u);
+    EXPECT_DOUBLE_EQ(sorted[0], 3.0);
+    EXPECT_DOUBLE_EQ(sorted[1], 2.0);
+    EXPECT_DOUBLE_EQ(sorted[2], 1.0);
+}
+
+} // anonymous namespace
+} // namespace cdcs

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the mesh NoC model: distances, memory-controller hops,
+ * latency, traffic accounting and the optimistic-placement distances.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mesh/mesh.hh"
+
+namespace cdcs
+{
+namespace
+{
+
+TEST(MeshTest, CoordRoundTrip)
+{
+    Mesh mesh(8, 8);
+    for (TileId t = 0; t < mesh.numTiles(); t++) {
+        const MeshCoord c = mesh.coordOf(t);
+        EXPECT_EQ(mesh.tileAt(c.x, c.y), t);
+    }
+}
+
+TEST(MeshTest, HopsAreManhattan)
+{
+    Mesh mesh(8, 8);
+    EXPECT_EQ(mesh.hops(mesh.tileAt(0, 0), mesh.tileAt(7, 7)), 14);
+    EXPECT_EQ(mesh.hops(mesh.tileAt(3, 4), mesh.tileAt(3, 4)), 0);
+    EXPECT_EQ(mesh.hops(mesh.tileAt(2, 1), mesh.tileAt(5, 1)), 3);
+}
+
+TEST(MeshTest, HopsAreSymmetric)
+{
+    Mesh mesh(6, 6);
+    for (TileId a = 0; a < mesh.numTiles(); a += 5) {
+        for (TileId b = 0; b < mesh.numTiles(); b += 3)
+            EXPECT_EQ(mesh.hops(a, b), mesh.hops(b, a));
+    }
+}
+
+TEST(MeshTest, EightMemCtrlsOnEdges)
+{
+    Mesh mesh(8, 8);
+    EXPECT_EQ(mesh.numMemCtrls(), 8);
+}
+
+TEST(MeshTest, MemCtrlHopsIncludeAttachLink)
+{
+    Mesh mesh(8, 8);
+    // Any tile is at least 1 hop from a controller (the attach link).
+    for (TileId t = 0; t < mesh.numTiles(); t++)
+        EXPECT_GE(mesh.hopsToMemCtrl(t, 0x12345), 1);
+}
+
+TEST(MeshTest, MemCtrlInterleavingIsPageGranular)
+{
+    Mesh mesh(8, 8);
+    // All lines of one page go to the same controller.
+    const LineAddr base = 0xABC00;
+    const int h0 = mesh.hopsToMemCtrl(0, base & ~std::uint64_t{63});
+    for (std::uint32_t i = 0; i < linesPerPage; i++) {
+        EXPECT_EQ(mesh.hopsToMemCtrl(0, (base & ~std::uint64_t{63}) + i),
+                  h0);
+    }
+}
+
+TEST(MeshTest, ZeroLoadLatency)
+{
+    Mesh mesh(8, 8);
+    // 3-cycle routers + 1-cycle links: h hops cost 4h, plus
+    // serialization of payload flits.
+    EXPECT_EQ(mesh.latency(5, 1), 20u);
+    EXPECT_EQ(mesh.latency(5, 5), 24u);
+    EXPECT_EQ(mesh.latency(0, 5), 4u);
+}
+
+TEST(MeshTest, DataMessageIsFiveFlits)
+{
+    NocConfig noc;
+    // 64-byte line + header over 128-bit flits.
+    EXPECT_EQ(noc.dataFlits(), 5u);
+    EXPECT_EQ(noc.ctrlFlits(), 1u);
+}
+
+TEST(MeshTest, TrafficAccounting)
+{
+    Mesh mesh(4, 4);
+    mesh.addTraffic(TrafficClass::L2ToLLC, 3, 5);
+    mesh.addTraffic(TrafficClass::LLCToMem, 2, 1);
+    EXPECT_EQ(mesh.trafficFlitHops(TrafficClass::L2ToLLC), 15u);
+    EXPECT_EQ(mesh.trafficFlitHops(TrafficClass::LLCToMem), 2u);
+    EXPECT_EQ(mesh.totalFlitHops(), 17u);
+    mesh.clearTraffic();
+    EXPECT_EQ(mesh.totalFlitHops(), 0u);
+}
+
+TEST(MeshTest, TilesByDistanceSorted)
+{
+    Mesh mesh(6, 6);
+    for (TileId from = 0; from < mesh.numTiles(); from += 7) {
+        const auto &order = mesh.tilesByDistance(from);
+        ASSERT_EQ(order.size(), static_cast<std::size_t>(36));
+        EXPECT_EQ(order[0], from);
+        for (std::size_t i = 1; i < order.size(); i++) {
+            EXPECT_LE(mesh.hops(from, order[i - 1]),
+                      mesh.hops(from, order[i]));
+        }
+    }
+}
+
+TEST(MeshTest, OptimisticDistanceGrowsWithFootprint)
+{
+    Mesh mesh(8, 8);
+    double prev = mesh.optimisticDistance(1.0);
+    EXPECT_GE(prev, 0.0);
+    for (double banks = 2.0; banks <= 64.0; banks += 1.0) {
+        const double d = mesh.optimisticDistance(banks);
+        EXPECT_GE(d + 1e-12, prev);
+        prev = d;
+    }
+}
+
+TEST(MeshTest, OptimisticDistanceMatchesPaperExample)
+{
+    // Fig. 6: an 8.2-bank VC compactly placed on a 6x6 mesh has an
+    // average distance of about 1.27 hops.
+    Mesh mesh(6, 6);
+    EXPECT_NEAR(mesh.optimisticDistance(8.2), 1.27, 0.35);
+}
+
+TEST(MeshTest, DistanceToPointFractional)
+{
+    Mesh mesh(4, 4);
+    EXPECT_DOUBLE_EQ(mesh.distanceToPoint(mesh.tileAt(0, 0), 1.5, 1.5),
+                     3.0);
+}
+
+} // anonymous namespace
+} // namespace cdcs

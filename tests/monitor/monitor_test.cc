@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for UMON and GMON: miss-curve extraction, coverage, geometric
+ * scaling, and accuracy against analytically known workloads. These
+ * also validate the Sec. VI-C claim that a 64-way GMON matches much
+ * larger UMONs over the small-size region both cover.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "monitor/gmon.hh"
+#include "monitor/umon.hh"
+
+namespace cdcs
+{
+namespace
+{
+
+constexpr std::uint64_t llc32MbLines = 512 * 1024; // 32 MB in lines.
+
+TEST(GmonTest, CoverageReachesTarget)
+{
+    Gmon gmon(64, llc32MbLines);
+    EXPECT_GE(gmon.coverage(), static_cast<double>(llc32MbLines) * 0.99);
+}
+
+TEST(GmonTest, PaperGeometryYieldsGammaNear095)
+{
+    // 1024 tags, 64 ways, 1/64 sampling covering 32 MB: the paper
+    // reports gamma ~= 0.95.
+    const double gamma = SampledMonitor::gammaForCoverage(
+        16, 64, 6, llc32MbLines);
+    EXPECT_NEAR(gamma, 0.95, 0.015);
+}
+
+TEST(GmonTest, FirstWayModels64KB)
+{
+    Gmon gmon(64, llc32MbLines);
+    // Way 0 models sets * 2^shift = 16 * 64 = 1024 lines = 64 KB.
+    EXPECT_NEAR(gmon.modeledCapacity(0), 1024.0, 1e-9);
+}
+
+TEST(GmonTest, ModeledCapacityGrowsGeometrically)
+{
+    Gmon gmon(64, llc32MbLines);
+    // Per-way capacity grows by ~26x from way 0 to way 63 (Sec. IV-G).
+    const double way0 = gmon.modeledCapacity(0);
+    const double way63 =
+        gmon.modeledCapacity(63) - gmon.modeledCapacity(62);
+    EXPECT_GT(way63 / way0, 15.0);
+    EXPECT_LT(way63 / way0, 40.0);
+}
+
+TEST(UmonTest, UniformWaysCoverTarget)
+{
+    Umon umon(64, llc32MbLines);
+    EXPECT_GE(umon.coverage(), static_cast<double>(llc32MbLines));
+    // Uniform resolution: each way models the same capacity.
+    const double way0 = umon.modeledCapacity(0);
+    const double way1 = umon.modeledCapacity(1) - umon.modeledCapacity(0);
+    EXPECT_DOUBLE_EQ(way0, way1);
+}
+
+TEST(MonitorTest, MissCurveStartsAtTotalAccesses)
+{
+    Gmon gmon(64, llc32MbLines);
+    Rng rng(1);
+    for (int i = 0; i < 100000; i++)
+        gmon.access(rng.below(1u << 22));
+    const Curve curve = gmon.missCurve();
+    EXPECT_DOUBLE_EQ(curve.at(0.0), 100000.0);
+    EXPECT_TRUE(curve.isNonIncreasing());
+}
+
+TEST(MonitorTest, StreamingWorkloadShowsNoReuse)
+{
+    // A pure scan over a footprint far beyond coverage: no hits at any
+    // modeled capacity (cold misses only).
+    Gmon gmon(64, llc32MbLines);
+    for (LineAddr a = 0; a < 4 * llc32MbLines; a++)
+        gmon.access(a);
+    const Curve curve = gmon.missCurve();
+    const double total = curve.at(0.0);
+    // Even at full coverage the miss count stays near the total: the
+    // scan's reuse distance exceeds the modeled capacity.
+    EXPECT_GT(curve.at(gmon.coverage() * 0.5), 0.55 * total);
+}
+
+TEST(MonitorTest, SmallWorkingSetHitsAtSmallCapacity)
+{
+    // Uniform reuse over 512 lines: almost all accesses hit within
+    // the first monitored capacities. A denser sampling rate (1/4) is
+    // used because a 1/64-sampled monitor only tracks a handful of
+    // distinct lines of such a tiny footprint (high variance).
+    Gmon gmon(64, llc32MbLines, 16, /*sample_shift=*/2);
+    Rng rng(3);
+    for (int i = 0; i < 200000; i++)
+        gmon.access(rng.below(512));
+    const Curve curve = gmon.missCurve();
+    const double total = curve.at(0.0);
+    // At 8K lines of modeled capacity the working set fits easily.
+    EXPECT_LT(curve.at(8192.0), 0.15 * total);
+}
+
+TEST(MonitorTest, UniformWorkingSetCurveIsRoughlyLinear)
+{
+    // Uniform random over F lines under LRU gives a miss ratio of
+    // about (1 - s/F) at allocation s.
+    const std::uint64_t footprint = 16384;
+    Umon umon(256, 4 * footprint, 64);
+    Rng rng(5);
+    const int accesses = 2000000;
+    for (int i = 0; i < accesses; i++)
+        umon.access(rng.below(footprint));
+    const Curve curve = umon.missCurve();
+    const double total = curve.at(0.0);
+    const double at_half =
+        curve.at(static_cast<double>(footprint) / 2.0) / total;
+    EXPECT_NEAR(at_half, 0.5, 0.15);
+}
+
+TEST(MonitorTest, GmonMatchesUmonOnSharedRange)
+{
+    // Sec. VI-C: 64-way GMONs track much larger UMONs. Compare the
+    // two on a Zipf workload over the capacities both model.
+    const std::uint64_t modeled = 256 * 1024;
+    Gmon gmon(64, modeled, 16, 4, 0x11);
+    Umon umon(512, modeled, 16, 0x22);
+    Rng rng(7);
+    ZipfSampler zipf(200000, 0.7);
+    for (int i = 0; i < 3000000; i++) {
+        const LineAddr a = mix64(zipf.sample(rng)) % 200000;
+        gmon.access(a);
+        umon.access(a);
+    }
+    const Curve gc = gmon.missCurve();
+    const Curve uc = umon.missCurve();
+    const double total = gc.at(0.0);
+    for (double frac : {0.05, 0.1, 0.25, 0.5, 0.9}) {
+        const double x = frac * modeled;
+        EXPECT_NEAR(gc.at(x) / total, uc.at(x) / total, 0.08)
+            << "capacity fraction " << frac;
+    }
+}
+
+TEST(MonitorTest, ClearCountersKeepsTags)
+{
+    Gmon gmon(64, llc32MbLines, 16, /*sample_shift=*/2);
+    Rng rng(9);
+    for (int i = 0; i < 50000; i++)
+        gmon.access(rng.below(256));
+    gmon.clearCounters();
+    EXPECT_EQ(gmon.totalAccesses(), 0u);
+    // Warm tags: immediately hits again after clearing.
+    for (int i = 0; i < 50000; i++)
+        gmon.access(rng.below(256));
+    const Curve curve = gmon.missCurve();
+    EXPECT_LT(curve.at(4096.0), 0.2 * curve.at(0.0));
+}
+
+/** Property sweep: curves are valid for many workload shapes. */
+class MonitorProperty : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(MonitorProperty, CurvesAreMonotoneAndBounded)
+{
+    const double alpha = GetParam();
+    Gmon gmon(64, llc32MbLines);
+    Rng rng(17);
+    ZipfSampler zipf(100000, alpha);
+    for (int i = 0; i < 500000; i++)
+        gmon.access(mix64(zipf.sample(rng)) % 100000);
+    const Curve curve = gmon.missCurve();
+    EXPECT_TRUE(curve.isNonIncreasing());
+    for (const auto &p : curve.samples()) {
+        EXPECT_GE(p.y, 0.0);
+        EXPECT_LE(p.y, curve.at(0.0) + 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ZipfAlphas, MonitorProperty,
+                         ::testing::Values(0.0, 0.3, 0.6, 0.9, 1.2));
+
+} // anonymous namespace
+} // namespace cdcs

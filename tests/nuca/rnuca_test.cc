@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for R-NUCA: first-touch private classification, reclassifi-
+ * cation to shared with page flush directives, interleaving, and
+ * rotational instruction placement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nuca/rnuca.hh"
+
+namespace cdcs
+{
+namespace
+{
+
+TEST(RNucaTest, FirstTouchMapsToLocalBank)
+{
+    Mesh mesh(4, 4);
+    RNucaPolicy policy(&mesh, 1);
+    const MapResult res = policy.map(0, 5, 0, 0x1000);
+    EXPECT_EQ(res.bank, 5);
+    EXPECT_EQ(policy.classOf(0x1000), PageClass::Private);
+}
+
+TEST(RNucaTest, PrivatePageStaysWithOwner)
+{
+    Mesh mesh(4, 4);
+    RNucaPolicy policy(&mesh, 1);
+    for (int i = 0; i < 10; i++)
+        EXPECT_EQ(policy.map(0, 7, 0, 0x2000 + i).bank, 7);
+}
+
+TEST(RNucaTest, SecondCoreTriggersReclassification)
+{
+    Mesh mesh(4, 4);
+    RNucaPolicy policy(&mesh, 1);
+    policy.map(0, 3, 0, 0x4000);
+    const MapResult res = policy.map(1, 9, 0, 0x4000);
+    EXPECT_TRUE(res.invalidatePage);
+    EXPECT_EQ(res.invalidateBank, 3);
+    EXPECT_EQ(res.invalidatePageBase & (linesPerPage - 1), 0u);
+    EXPECT_EQ(policy.classOf(0x4000), PageClass::Shared);
+}
+
+TEST(RNucaTest, SharedPagesInterleaveAcrossBanks)
+{
+    Mesh mesh(8, 8);
+    RNucaPolicy policy(&mesh, 1);
+    std::vector<int> counts(64, 0);
+    // Touch pages from two cores to force shared classification,
+    // then count homes over many lines.
+    for (LineAddr line = 0; line < 64000; line++) {
+        policy.map(0, 0, 0, line);
+        const MapResult res = policy.map(1, 1, 0, line);
+        counts[res.bank]++;
+    }
+    int nonzero = 0;
+    for (int c : counts)
+        nonzero += (c > 0) ? 1 : 0;
+    EXPECT_EQ(nonzero, 64);
+}
+
+TEST(RNucaTest, ReclassificationHappensOncePerPage)
+{
+    Mesh mesh(4, 4);
+    RNucaPolicy policy(&mesh, 1);
+    policy.map(0, 2, 0, 0x8000);
+    const MapResult first = policy.map(1, 8, 0, 0x8000);
+    EXPECT_TRUE(first.invalidatePage);
+    const MapResult second = policy.map(0, 2, 0, 0x8000);
+    EXPECT_FALSE(second.invalidatePage);
+    const MapResult third = policy.map(2, 11, 0, 0x8000);
+    EXPECT_FALSE(third.invalidatePage);
+}
+
+TEST(RNucaTest, RotationalBankStaysInNeighborhood)
+{
+    Mesh mesh(8, 8);
+    RNucaPolicy policy(&mesh, 1);
+    const TileId core = mesh.tileAt(3, 3);
+    for (LineAddr line = 0; line < 256; line++) {
+        const TileId bank = policy.rotationalBank(core, line);
+        const int dist = mesh.hops(core, bank);
+        EXPECT_LE(dist, 2);
+    }
+}
+
+TEST(RNucaTest, RotationalBankUsesMultipleBanks)
+{
+    Mesh mesh(8, 8);
+    RNucaPolicy policy(&mesh, 1);
+    std::set<TileId> banks;
+    for (LineAddr line = 0; line < 256; line++)
+        banks.insert(policy.rotationalBank(mesh.tileAt(2, 2), line));
+    EXPECT_GE(banks.size(), 3u);
+}
+
+TEST(RNucaTest, MultipleBanksPerTile)
+{
+    Mesh mesh(4, 4);
+    RNucaPolicy policy(&mesh, 4);
+    // Private pages map to one of the owner tile's four banks.
+    for (int i = 0; i < 64; i++) {
+        const MapResult res =
+            policy.map(0, 5, 0, 0x100000 + i * linesPerPage);
+        EXPECT_GE(res.bank, 5 * 4);
+        EXPECT_LT(res.bank, 6 * 4);
+    }
+}
+
+} // anonymous namespace
+} // namespace cdcs

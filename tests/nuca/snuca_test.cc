@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Tests for S-NUCA mapping.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nuca/snuca.hh"
+
+namespace cdcs
+{
+namespace
+{
+
+TEST(SNucaTest, MappingIsStable)
+{
+    SNucaPolicy policy(64);
+    for (LineAddr a = 0; a < 1000; a++) {
+        EXPECT_EQ(policy.map(0, 0, 0, a).bank,
+                  policy.map(5, 9, 2, a).bank);
+    }
+}
+
+TEST(SNucaTest, SpreadsLinesAcrossBanks)
+{
+    SNucaPolicy policy(64);
+    std::vector<int> counts(64, 0);
+    const int n = 64000;
+    for (LineAddr a = 0; a < n; a++)
+        counts[policy.map(0, 0, 0, a).bank]++;
+    for (int c : counts) {
+        EXPECT_GT(c, n / 64 / 2);
+        EXPECT_LT(c, n / 64 * 2);
+    }
+}
+
+TEST(SNucaTest, NoMoveChasing)
+{
+    SNucaPolicy policy(16);
+    EXPECT_EQ(policy.map(0, 0, 0, 0x123).oldBank, invalidTile);
+    EXPECT_FALSE(policy.demandMovesActive());
+    EXPECT_FALSE(policy.wantsMonitors());
+}
+
+TEST(SNucaTest, PartitionTagIsZero)
+{
+    SNucaPolicy policy(16);
+    EXPECT_EQ(policy.partitionTag(7), 0);
+}
+
+} // anonymous namespace
+} // namespace cdcs

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for total-latency curve construction (Sec. IV-C / Fig. 5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/curves.hh"
+
+namespace cdcs
+{
+namespace
+{
+
+Curve
+cliffMissCurve(double total, double cliff_x)
+{
+    Curve c;
+    c.addPoint(0.0, total);
+    c.addPoint(cliff_x, total * 0.95);
+    c.addPoint(cliff_x * 1.05, total * 0.02);
+    c.addPoint(cliff_x * 30.0, total * 0.02);
+    return c;
+}
+
+TEST(LatencyCurveTest, MissOnlyModeIsScaledMissCurve)
+{
+    Mesh mesh(8, 8);
+    LatencyModel lat;
+    Curve miss = cliffMissCurve(1000.0, 8192.0);
+    const Curve total =
+        totalLatencyCurve(miss, 5000.0, mesh, 8192.0, lat, false);
+    // Monotone non-increasing: no on-chip term.
+    EXPECT_TRUE(total.isNonIncreasing(1e-6));
+    // Off-chip cost dominates: ratio between endpoints tracks misses.
+    EXPECT_GT(total.at(0.0), total.at(32768.0) * 10.0);
+}
+
+TEST(LatencyCurveTest, LatencyAwareCurveHasSweetSpot)
+{
+    // Fig. 5: off-chip falls, on-chip grows; the total is U-shaped
+    // for a VC whose misses stop improving. Accesses must be in the
+    // same ballpark as misses (a cliff app misses most accesses below
+    // the fit).
+    Mesh mesh(8, 8);
+    LatencyModel lat;
+    Curve miss = cliffMissCurve(1000.0, 8192.0);
+    const Curve total =
+        totalLatencyCurve(miss, 1100.0, mesh, 8192.0, lat, true);
+    const double at_fit = total.at(9000.0);
+    const double at_huge = total.at(8192.0 * 40);
+    EXPECT_LT(at_fit, total.at(0.0));
+    EXPECT_LT(at_fit, at_huge); // Going far beyond the fit hurts.
+}
+
+TEST(LatencyCurveTest, StreamingAppGainsNothing)
+{
+    // Flat miss curve (milc): any allocation only adds on-chip
+    // latency, so the curve is minimized at (near) zero.
+    Mesh mesh(8, 8);
+    LatencyModel lat;
+    Curve miss;
+    miss.addPoint(0.0, 500.0);
+    miss.addPoint(8192.0 * 64, 500.0);
+    const Curve total =
+        totalLatencyCurve(miss, 20000.0, mesh, 8192.0, lat, true);
+    double best_x = 0.0;
+    double best_y = total.at(0.0);
+    for (const auto &p : total.samples()) {
+        if (p.y < best_y) {
+            best_y = p.y;
+            best_x = p.x;
+        }
+    }
+    EXPECT_LT(best_x, 8192.0);
+}
+
+TEST(LatencyCurveTest, HigherIntensityShiftsSweetSpotSmaller)
+{
+    Mesh mesh(8, 8);
+    LatencyModel lat;
+    // Gradually-improving misses.
+    Curve miss;
+    for (double x = 0.0; x <= 8192.0 * 32; x += 8192.0)
+        miss.addPoint(x, 2000.0 / (1.0 + x / 8192.0));
+
+    auto sweet_spot = [&](double accesses) {
+        const Curve total = totalLatencyCurve(miss, accesses, mesh,
+                                              8192.0, lat, true);
+        double bx = 0.0, by = total.at(0.0);
+        for (const auto &p : total.samples()) {
+            if (p.y < by) {
+                by = p.y;
+                bx = p.x;
+            }
+        }
+        return bx;
+    };
+    // More accesses -> on-chip latency matters more -> smaller
+    // latency-optimal allocation.
+    EXPECT_LE(sweet_spot(3.0e6), sweet_spot(1.0e4));
+}
+
+} // anonymous namespace
+} // namespace cdcs

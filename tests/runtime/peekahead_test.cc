@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for Peekahead allocation: optimality on convex inputs (checked
+ * against exhaustive search), cliff handling via hulls, the
+ * leave-capacity-unused behaviour, and granularity rounding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "runtime/peekahead.hh"
+
+namespace cdcs
+{
+namespace
+{
+
+/** Brute-force optimal allocation over a grid (small inputs only). */
+double
+bestCost(const std::vector<Curve> &curves, double capacity, double step)
+{
+    // Recursive exhaustive search.
+    std::function<double(std::size_t, double)> rec =
+        [&](std::size_t i, double left) -> double {
+        if (i == curves.size())
+            return 0.0;
+        double best = std::numeric_limits<double>::max();
+        for (double a = 0.0; a <= left + 1e-9; a += step) {
+            best = std::min(best,
+                            curves[i].at(a) + rec(i + 1, left - a));
+        }
+        return best;
+    };
+    return rec(0, capacity);
+}
+
+double
+costOf(const std::vector<Curve> &curves, const std::vector<double> &alloc)
+{
+    double total = 0.0;
+    for (std::size_t i = 0; i < curves.size(); i++)
+        total += curves[i].at(alloc[i]);
+    return total;
+}
+
+Curve
+convexCurve(double start, double rate, double max_x)
+{
+    // Exponential-decay-ish convex curve sampled at integer points.
+    Curve c;
+    for (double x = 0.0; x <= max_x; x += 1.0)
+        c.addPoint(x, start / (1.0 + rate * x));
+    return c;
+}
+
+TEST(PeekaheadTest, SingleVcTakesWhatHelps)
+{
+    Curve c;
+    c.addPoint(0.0, 100.0);
+    c.addPoint(10.0, 0.0);
+    const auto alloc = peekaheadAllocate({c}, 20.0, true);
+    EXPECT_DOUBLE_EQ(alloc[0], 10.0); // Beyond 10, slope is 0.
+}
+
+TEST(PeekaheadTest, PrefersSteeperCurve)
+{
+    Curve steep, shallow;
+    steep.addPoint(0.0, 100.0);
+    steep.addPoint(10.0, 0.0);
+    shallow.addPoint(0.0, 100.0);
+    shallow.addPoint(10.0, 90.0);
+    const auto alloc = peekaheadAllocate({steep, shallow}, 10.0, true);
+    EXPECT_DOUBLE_EQ(alloc[0], 10.0);
+    EXPECT_DOUBLE_EQ(alloc[1], 0.0);
+}
+
+TEST(PeekaheadTest, CliffCurvesAllocateAllOrNothing)
+{
+    // Two omnet-like cliffs: with capacity for only one, Lookahead
+    // gives the whole cliff to one VC instead of splitting.
+    Curve cliff1, cliff2;
+    cliff1.addPoint(0.0, 100.0);
+    cliff1.addPoint(9.0, 99.0);
+    cliff1.addPoint(10.0, 1.0);
+    cliff2.addPoint(0.0, 100.0);
+    cliff2.addPoint(9.0, 99.0);
+    cliff2.addPoint(10.0, 1.0);
+    const auto alloc = peekaheadAllocate({cliff1, cliff2}, 10.0, true);
+    const double big = std::max(alloc[0], alloc[1]);
+    const double small = std::min(alloc[0], alloc[1]);
+    EXPECT_DOUBLE_EQ(big, 10.0);
+    EXPECT_DOUBLE_EQ(small, 0.0);
+}
+
+TEST(PeekaheadTest, LeavesCapacityUnusedOnUpturn)
+{
+    // Total-latency curve that turns upward (on-chip latency beats
+    // miss reduction): allocation must stop at the sweet spot.
+    Curve u;
+    u.addPoint(0.0, 100.0);
+    u.addPoint(5.0, 20.0);
+    u.addPoint(10.0, 60.0);
+    const auto alloc = peekaheadAllocate({u}, 10.0, true);
+    EXPECT_DOUBLE_EQ(alloc[0], 5.0);
+}
+
+TEST(PeekaheadTest, JigsawModeConsumesFlatCurves)
+{
+    // With allow_unused=false, capacity keeps flowing into flat
+    // (zero-slope) regions rather than stopping.
+    Curve flat;
+    flat.addPoint(0.0, 50.0);
+    flat.addPoint(4.0, 10.0);
+    flat.addPoint(20.0, 10.0);
+    const auto alloc = peekaheadAllocate({flat}, 12.0, false);
+    EXPECT_GE(alloc[0], 4.0);
+}
+
+TEST(PeekaheadTest, CapacityConserved)
+{
+    std::vector<Curve> curves;
+    for (int i = 0; i < 8; i++)
+        curves.push_back(convexCurve(100.0 * (i + 1), 0.5, 50.0));
+    const auto alloc = peekaheadAllocate(curves, 100.0, true);
+    double sum = 0.0;
+    for (double a : alloc) {
+        EXPECT_GE(a, 0.0);
+        sum += a;
+    }
+    EXPECT_LE(sum, 100.0 + 1e-9);
+}
+
+TEST(PeekaheadTest, MatchesExhaustiveOnConvexInputs)
+{
+    std::vector<Curve> curves{convexCurve(100.0, 0.8, 12.0),
+                              convexCurve(60.0, 0.3, 12.0),
+                              convexCurve(200.0, 1.5, 12.0)};
+    const auto alloc = peekaheadAllocate(curves, 12.0, false);
+    const double greedy_cost = costOf(curves, alloc);
+    const double optimal = bestCost(curves, 12.0, 1.0);
+    EXPECT_NEAR(greedy_cost, optimal, optimal * 0.02 + 1e-9);
+}
+
+TEST(PeekaheadTest, GranuleRoundsDown)
+{
+    Curve c;
+    c.addPoint(0.0, 100.0);
+    c.addPoint(10.0, 0.0);
+    const auto alloc = peekaheadAllocate({c}, 10.0, true, 4.0);
+    EXPECT_DOUBLE_EQ(alloc[0], 8.0);
+}
+
+/** Property sweep over random convex instances vs. exhaustive. */
+class PeekaheadProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PeekaheadProperty, NearOptimalOnRandomConvexInstances)
+{
+    Rng rng(GetParam());
+    std::vector<Curve> curves;
+    const int num_vcs = 3;
+    for (int i = 0; i < num_vcs; i++) {
+        curves.push_back(convexCurve(rng.uniform(50.0, 300.0),
+                                     rng.uniform(0.2, 2.0), 10.0));
+    }
+    const double capacity = 10.0;
+    const auto alloc =
+        peekaheadAllocate(curves, capacity, false);
+    const double greedy_cost = costOf(curves, alloc);
+    const double optimal = bestCost(curves, capacity, 1.0);
+    // Greedy over hulls is optimal up to grid resolution.
+    EXPECT_LE(greedy_cost, optimal + optimal * 0.02 + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PeekaheadProperty,
+                         ::testing::Range(1, 9));
+
+} // anonymous namespace
+} // namespace cdcs

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tests for the static thread schedulers.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "runtime/schedulers.hh"
+
+namespace cdcs
+{
+namespace
+{
+
+TEST(SchedulersTest, RandomAssignsDistinctCores)
+{
+    Rng rng(1);
+    const auto cores = randomSchedule(16, 64, rng);
+    ASSERT_EQ(cores.size(), 16u);
+    std::set<TileId> unique(cores.begin(), cores.end());
+    EXPECT_EQ(unique.size(), 16u);
+    for (TileId c : cores)
+        EXPECT_LT(c, 64);
+}
+
+TEST(SchedulersTest, RandomIsSeedDeterministic)
+{
+    Rng a(7), b(7);
+    EXPECT_EQ(randomSchedule(8, 16, a), randomSchedule(8, 16, b));
+}
+
+TEST(SchedulersTest, RandomActuallySpreads)
+{
+    // Over many seeds, every core must be used sometimes.
+    std::set<TileId> seen;
+    for (int seed = 0; seed < 100; seed++) {
+        Rng rng(seed);
+        for (TileId c : randomSchedule(4, 16, rng))
+            seen.insert(c);
+    }
+    EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(SchedulersTest, ClusteredKeepsProcessesContiguous)
+{
+    // Two processes with 4 threads each.
+    std::vector<ProcId> procs{0, 0, 0, 0, 1, 1, 1, 1};
+    const auto cores = clusteredSchedule(procs, 16);
+    ASSERT_EQ(cores.size(), 8u);
+    // Threads of process 0 occupy cores 0..3, process 1 cores 4..7.
+    for (int t = 0; t < 4; t++)
+        EXPECT_LT(cores[t], 4);
+    for (int t = 4; t < 8; t++) {
+        EXPECT_GE(cores[t], 4);
+        EXPECT_LT(cores[t], 8);
+    }
+}
+
+TEST(SchedulersTest, ClusteredHandlesInterleavedThreadIds)
+{
+    std::vector<ProcId> procs{1, 0, 1, 0};
+    const auto cores = clusteredSchedule(procs, 8);
+    // Process 0's threads (ids 1, 3) come first.
+    EXPECT_LT(cores[1], 2);
+    EXPECT_LT(cores[3], 2);
+    EXPECT_GE(cores[0], 2);
+    EXPECT_GE(cores[2], 2);
+}
+
+} // anonymous namespace
+} // namespace cdcs

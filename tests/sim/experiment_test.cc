@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the experiment harness helpers: mix construction,
+ * weighted speedup, environment knobs and the parallel sweep driver.
+ */
+
+#include <atomic>
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+namespace cdcs
+{
+namespace
+{
+
+TEST(ExperimentTest, BuildMixKinds)
+{
+    const WorkloadMix cpu = buildMix(MixSpec::cpu(5, 1));
+    EXPECT_EQ(cpu.numThreads(), 5);
+    const WorkloadMix omp = buildMix(MixSpec::omp(2, 1));
+    EXPECT_EQ(omp.numThreads(), 16);
+    const WorkloadMix named =
+        buildMix(MixSpec::named({"milc", "gcc"}, 1));
+    EXPECT_EQ(named.numProcesses(), 2);
+}
+
+TEST(ExperimentTest, EnvOrReadsEnvironment)
+{
+    unsetenv("CDCS_TEST_KNOB");
+    EXPECT_EQ(envOr("CDCS_TEST_KNOB", 17), 17u);
+    setenv("CDCS_TEST_KNOB", "42", 1);
+    EXPECT_EQ(envOr("CDCS_TEST_KNOB", 17), 42u);
+    setenv("CDCS_TEST_KNOB", "", 1);
+    EXPECT_EQ(envOr("CDCS_TEST_KNOB", 17), 17u);
+    unsetenv("CDCS_TEST_KNOB");
+}
+
+TEST(ExperimentTest, BenchConfigHonorsOverrides)
+{
+    setenv("CDCS_EPOCH_ACCESSES", "1234", 1);
+    setenv("CDCS_EPOCHS", "3", 1);
+    setenv("CDCS_WARMUP", "1", 1);
+    const SystemConfig cfg = benchConfig();
+    EXPECT_EQ(cfg.accessesPerThreadEpoch, 1234u);
+    EXPECT_EQ(cfg.epochs, 3);
+    EXPECT_EQ(cfg.warmupEpochs, 1);
+    unsetenv("CDCS_EPOCH_ACCESSES");
+    unsetenv("CDCS_EPOCHS");
+    unsetenv("CDCS_WARMUP");
+}
+
+TEST(ExperimentTest, ParallelForCoversRange)
+{
+    std::vector<std::atomic<int>> hits(64);
+    for (auto &h : hits)
+        h = 0;
+    parallelFor(64, [&](int i) { hits[i]++; });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ExperimentTest, ParallelForHandlesSmallCounts)
+{
+    std::atomic<int> count{0};
+    parallelFor(1, [&](int) { count++; });
+    EXPECT_EQ(count.load(), 1);
+    parallelFor(0, [&](int) { count++; });
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ExperimentTest, WeightedSpeedupIsMeanOfRatios)
+{
+    RunResult base, run;
+    base.procThroughput = {1.0, 2.0};
+    run.procThroughput = {2.0, 2.0};
+    // (2/1 + 2/2) / 2 = 1.5.
+    EXPECT_DOUBLE_EQ(weightedSpeedup(run, base), 1.5);
+}
+
+TEST(ExperimentTest, RunSchemesPreservesOrder)
+{
+    SystemConfig cfg;
+    cfg.meshWidth = 4;
+    cfg.meshHeight = 4;
+    cfg.accessesPerThreadEpoch = 2000;
+    cfg.epochs = 2;
+    cfg.warmupEpochs = 1;
+    const auto results = runSchemes(
+        cfg, {SchemeSpec::snuca(), SchemeSpec::rnuca()},
+        MixSpec::cpu(2, 3));
+    ASSERT_EQ(results.size(), 2u);
+    // R-NUCA's local-bank mapping has much lower on-chip latency.
+    EXPECT_GT(results[0].avgOnChipLatency(),
+              results[1].avgOnChipLatency());
+}
+
+} // anonymous namespace
+} // namespace cdcs

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the analytic models: core timing (CoreClock) and
+ * energy accounting (EnergyModel).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/core_model.hh"
+#include "sim/energy.hh"
+
+namespace cdcs
+{
+namespace
+{
+
+TEST(CoreClockTest, PerfectCacheIpcIsInverseCpi)
+{
+    CoreClock clock(/*cpi_exe=*/0.8, /*mlp=*/4.0);
+    for (int i = 0; i < 100; i++)
+        clock.addAccess(10.0, 0.0);
+    EXPECT_NEAR(clock.ipc(), 1.0 / 0.8, 1e-9);
+}
+
+TEST(CoreClockTest, LatencyIsDividedByMlp)
+{
+    CoreClock low_mlp(1.0, 1.0);
+    CoreClock high_mlp(1.0, 4.0);
+    low_mlp.addAccess(10.0, 100.0);
+    high_mlp.addAccess(10.0, 100.0);
+    // Same instrs; stall cycles differ by the MLP factor.
+    EXPECT_DOUBLE_EQ(low_mlp.cycleCount() - 10.0, 100.0);
+    EXPECT_DOUBLE_EQ(high_mlp.cycleCount() - 10.0, 25.0);
+    EXPECT_GT(high_mlp.ipc(), low_mlp.ipc());
+}
+
+TEST(CoreClockTest, PauseAddsCyclesWithoutInstructions)
+{
+    CoreClock clock(1.0, 2.0);
+    clock.addAccess(100.0, 50.0);
+    const double ipc_before = clock.ipc();
+    clock.addPause(100000.0);
+    EXPECT_LT(clock.ipc(), ipc_before);
+    EXPECT_DOUBLE_EQ(clock.instructions(), 100.0);
+}
+
+TEST(CoreClockTest, MoreMemoryLatencyLowersIpc)
+{
+    CoreClock fast(1.0, 3.0), slow(1.0, 3.0);
+    for (int i = 0; i < 1000; i++) {
+        fast.addAccess(10.0, 20.0);
+        slow.addAccess(10.0, 200.0);
+    }
+    EXPECT_GT(fast.ipc(), slow.ipc());
+}
+
+TEST(EnergyModelTest, ComponentsScaleWithEvents)
+{
+    EnergyModel model;
+    const EnergyBreakdown one =
+        model.evaluate(1e6, 1e4, 1e5, 1e3, 1e6);
+    const EnergyBreakdown two =
+        model.evaluate(2e6, 2e4, 2e5, 2e3, 2e6);
+    EXPECT_NEAR(two.core, 2.0 * one.core, 1e-15);
+    EXPECT_NEAR(two.llc, 2.0 * one.llc, 1e-15);
+    EXPECT_NEAR(two.net, 2.0 * one.net, 1e-15);
+    EXPECT_NEAR(two.mem, 2.0 * one.mem, 1e-15);
+    EXPECT_NEAR(two.staticE, 2.0 * one.staticE, 1e-12);
+}
+
+TEST(EnergyModelTest, DramAccessDominatesSingleEvents)
+{
+    // One DRAM access costs far more than one LLC access or one
+    // flit-hop (the Fig. 11e proportions depend on this).
+    EnergyModel model;
+    EXPECT_GT(model.memPerAccess, 10.0 * model.llcPerAccess);
+    EXPECT_GT(model.llcPerAccess, model.nocPerFlitHop);
+}
+
+TEST(EnergyModelTest, TotalIsSumOfParts)
+{
+    EnergyModel model;
+    const EnergyBreakdown e =
+        model.evaluate(5e6, 3e4, 4e5, 7e3, 9e6);
+    EXPECT_NEAR(e.total(),
+                e.staticE + e.core + e.net + e.llc + e.mem, 1e-18);
+}
+
+} // anonymous namespace
+} // namespace cdcs

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fuzz/stress tests: a hostile runtime that emits random allocations
+ * and thread placements every epoch must never break the system's
+ * conservation invariants, under every move scheme.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "sim/experiment.hh"
+
+namespace cdcs
+{
+namespace
+{
+
+struct StressCase
+{
+    MoveScheme moves;
+    std::uint64_t seed;
+};
+
+class ReconfigStress
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(ReconfigStress, InvariantsSurviveFrequentReconfigs)
+{
+    const int scheme_idx = std::get<0>(GetParam());
+    const int seed = std::get<1>(GetParam());
+    const MoveScheme schemes[4] = {
+        MoveScheme::Instant, MoveScheme::BulkInvalidate,
+        MoveScheme::DemandBackground, MoveScheme::BackgroundMoves};
+
+    SystemConfig cfg;
+    cfg.meshWidth = 4;
+    cfg.meshHeight = 4;
+    cfg.bankLines = 1024;
+    // Tiny epochs: reconfigurations fire long before walks finish,
+    // exercising the walk-preemption path in endEpoch.
+    cfg.accessesPerThreadEpoch = 1500;
+    cfg.epochs = 8;
+    cfg.warmupEpochs = 2;
+    cfg.seed = static_cast<std::uint64_t>(seed);
+    // Aggressive reconfiguration: no smoothing, no hysteresis.
+    cfg.monitorSmoothing = 1.0;
+    cfg.moveCfg.allocHysteresis = 0.0;
+    cfg.moveCfg.walkDelay = 500;
+
+    SchemeSpec spec = SchemeSpec::cdcs();
+    spec.moves = schemes[scheme_idx];
+    spec.cdcsOpts.sizeHysteresis = 0.0;
+
+    const MixSpec mix = MixSpec::cpu(6, 400 + seed);
+    const RunResult res = runScheme(cfg, spec, mix);
+
+    // Conservation: every access is a hit, a demand move, or a
+    // memory fill.
+    EXPECT_EQ(res.llcAccesses,
+              res.llcHits + res.demandMoves + res.memAccesses);
+    EXPECT_GT(res.totalInstrs, 0.0);
+    for (double ipc : res.threadIpc) {
+        EXPECT_GT(ipc, 0.0);
+        EXPECT_LT(ipc, 2.1);
+    }
+    // Bulk is the only scheme that pauses.
+    if (spec.moves == MoveScheme::BulkInvalidate)
+        EXPECT_GT(res.pausedCycles, 0u);
+    else
+        EXPECT_EQ(res.pausedCycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndSeeds, ReconfigStress,
+    ::testing::Combine(::testing::Range(0, 4),
+                       ::testing::Values(1, 2, 3)));
+
+} // anonymous namespace
+} // namespace cdcs

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for VC descriptors: bucket apportionment proportional to bank
+ * shares (the property that makes ganged partitions behave like one
+ * cache of their aggregate size).
+ */
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "virtcache/vc_descriptor.hh"
+
+namespace cdcs
+{
+namespace
+{
+
+std::map<TileId, int>
+bucketCounts(const VcDescriptor &desc)
+{
+    std::map<TileId, int> counts;
+    for (std::uint32_t i = 0; i < vcBuckets; i++)
+        counts[desc.bucket(i)]++;
+    return counts;
+}
+
+TEST(VcDescriptorTest, PaperExampleOneQuarterThreeQuarters)
+{
+    // Sec. III: bank A with 1 MB and bank B with 3 MB should get
+    // roughly 16 and 48 of the 64 buckets (the rendezvous assignment
+    // is proportional in expectation; see fromShares).
+    std::vector<double> shares{16384.0, 49152.0};
+    const VcDescriptor desc = VcDescriptor::fromShares(shares);
+    const auto counts = bucketCounts(desc);
+    EXPECT_NEAR(counts.at(0), 16, 9);
+    EXPECT_NEAR(counts.at(1), 48, 9);
+    EXPECT_EQ(counts.at(0) + counts.at(1), 64);
+}
+
+TEST(VcDescriptorTest, AllBucketsAssigned)
+{
+    std::vector<double> shares{1.0, 2.0, 3.0, 5.0};
+    const VcDescriptor desc = VcDescriptor::fromShares(shares);
+    for (std::uint32_t i = 0; i < vcBuckets; i++)
+        EXPECT_NE(desc.bucket(i), invalidTile);
+}
+
+TEST(VcDescriptorTest, ZeroSharesFallBackToBankZero)
+{
+    std::vector<double> shares(8, 0.0);
+    const VcDescriptor desc = VcDescriptor::fromShares(shares);
+    for (std::uint32_t i = 0; i < vcBuckets; i++)
+        EXPECT_EQ(desc.bucket(i), 0);
+}
+
+TEST(VcDescriptorTest, SingleBankTakesAllBuckets)
+{
+    std::vector<double> shares{0.0, 0.0, 123.0};
+    const VcDescriptor desc = VcDescriptor::fromShares(shares);
+    const auto counts = bucketCounts(desc);
+    EXPECT_EQ(counts.at(2), static_cast<int>(vcBuckets));
+}
+
+TEST(VcDescriptorTest, ApportionmentIsRoughlyProportional)
+{
+    std::vector<double> shares{100.0, 200.0, 300.0, 400.0};
+    const VcDescriptor desc = VcDescriptor::fromShares(shares);
+    const auto counts = bucketCounts(desc);
+    const double total = 1000.0;
+    for (const auto &[bank, count] : counts) {
+        const double ideal = shares[bank] / total * vcBuckets;
+        EXPECT_NEAR(count, ideal, 8.0) << "bank " << bank;
+    }
+}
+
+TEST(VcDescriptorTest, HashSpreadsAccessesProportionally)
+{
+    // Feed many addresses: access share per bank must track the
+    // bucket share.
+    std::vector<double> shares{1024.0, 3072.0};
+    const VcDescriptor desc = VcDescriptor::fromShares(shares);
+    int to_b = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; i++) {
+        if (desc.bankOf(static_cast<LineAddr>(i) * 97 + 13) == 1)
+            to_b++;
+    }
+    EXPECT_NEAR(static_cast<double>(to_b) / n, 0.75, 0.08);
+}
+
+TEST(VcDescriptorTest, MoreBanksThanBucketsDegradesGracefully)
+{
+    // 128 equal shares with 64 buckets: only 64 banks can receive a
+    // bucket, but the descriptor must remain valid and near-balanced.
+    std::vector<double> shares(128, 10.0);
+    const VcDescriptor desc = VcDescriptor::fromShares(shares);
+    const auto counts = bucketCounts(desc);
+    EXPECT_LE(counts.size(), static_cast<std::size_t>(vcBuckets));
+    for (const auto &[bank, count] : counts) {
+        EXPECT_GE(count, 1);
+        EXPECT_LE(count, 4);
+    }
+}
+
+TEST(VcDescriptorTest, SmallShareChangesMoveFewBuckets)
+{
+    // The property the rendezvous assignment buys: growing one bank's
+    // share slightly must relocate only a few buckets. Every moved
+    // bucket costs demand moves / background invalidations at the
+    // next reconfiguration.
+    std::vector<double> before(16, 1000.0);
+    std::vector<double> after = before;
+    after[5] = 1200.0;
+    const VcDescriptor a = VcDescriptor::fromShares(before);
+    const VcDescriptor b = VcDescriptor::fromShares(after);
+    int movedBuckets = 0;
+    for (std::uint32_t i = 0; i < vcBuckets; i++) {
+        if (a.bucket(i) != b.bucket(i))
+            movedBuckets++;
+    }
+    EXPECT_LE(movedBuckets, 6);
+}
+
+TEST(VcDescriptorTest, GrowthOnlyStealsProportionally)
+{
+    // Doubling the total share by adding new banks must leave about
+    // half of the original buckets untouched.
+    std::vector<double> before{1000.0, 1000.0, 0.0, 0.0};
+    std::vector<double> after{1000.0, 1000.0, 1000.0, 1000.0};
+    const VcDescriptor a = VcDescriptor::fromShares(before);
+    const VcDescriptor b = VcDescriptor::fromShares(after);
+    int kept = 0;
+    for (std::uint32_t i = 0; i < vcBuckets; i++) {
+        if (a.bucket(i) == b.bucket(i))
+            kept++;
+    }
+    EXPECT_GE(kept, 20); // ~32 expected.
+}
+
+TEST(VcDescriptorTest, EqualityComparesBuckets)
+{
+    std::vector<double> shares{1.0, 1.0};
+    EXPECT_TRUE(VcDescriptor::fromShares(shares) ==
+                VcDescriptor::fromShares(shares));
+    std::vector<double> other{1.0, 3.0};
+    EXPECT_FALSE(VcDescriptor::fromShares(shares) ==
+                 VcDescriptor::fromShares(other));
+}
+
+} // anonymous namespace
+} // namespace cdcs

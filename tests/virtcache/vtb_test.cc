@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the VTB: 3-entry associativity, shadow descriptors during
+ * reconfigurations, and old/new bank reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "virtcache/vtb.hh"
+
+namespace cdcs
+{
+namespace
+{
+
+VcDescriptor
+singleBank(TileId bank, int num_banks)
+{
+    std::vector<double> shares(num_banks, 0.0);
+    shares[bank] = 1.0;
+    return VcDescriptor::fromShares(shares);
+}
+
+TEST(VtbTest, InstallAndLookup)
+{
+    Vtb vtb;
+    vtb.install(5, singleBank(3, 8));
+    const VtbLookup res = vtb.lookup(5, 0x1234);
+    EXPECT_EQ(res.bank, 3);
+    EXPECT_EQ(res.oldBank, invalidTile);
+}
+
+TEST(VtbTest, HoldsThreeVcs)
+{
+    Vtb vtb;
+    vtb.install(1, singleBank(0, 4));
+    vtb.install(2, singleBank(1, 4));
+    vtb.install(3, singleBank(2, 4));
+    EXPECT_EQ(vtb.lookup(1, 0x1).bank, 0);
+    EXPECT_EQ(vtb.lookup(2, 0x1).bank, 1);
+    EXPECT_EQ(vtb.lookup(3, 0x1).bank, 2);
+}
+
+TEST(VtbTest, LookupUnknownVcPanics)
+{
+    Vtb vtb;
+    vtb.install(1, singleBank(0, 4));
+    EXPECT_DEATH(vtb.lookup(9, 0x1), "VTB miss");
+}
+
+TEST(VtbTest, FourthVcPanics)
+{
+    Vtb vtb;
+    vtb.install(1, singleBank(0, 4));
+    vtb.install(2, singleBank(0, 4));
+    vtb.install(3, singleBank(0, 4));
+    EXPECT_DEATH(vtb.install(4, singleBank(0, 4)), "VTB full");
+}
+
+TEST(VtbTest, ReinstallReplacesDescriptor)
+{
+    Vtb vtb;
+    vtb.install(1, singleBank(0, 4));
+    vtb.install(1, singleBank(2, 4));
+    EXPECT_EQ(vtb.lookup(1, 0x7).bank, 2);
+}
+
+TEST(VtbTest, ShadowReportsOldBankOnlyWhenDifferent)
+{
+    Vtb vtb;
+    vtb.install(1, singleBank(0, 4));
+    vtb.beginReconfig(1, singleBank(3, 4));
+    EXPECT_TRUE(vtb.reconfigActive());
+    const VtbLookup res = vtb.lookup(1, 0xABC);
+    EXPECT_EQ(res.bank, 3);
+    EXPECT_EQ(res.oldBank, 0);
+}
+
+TEST(VtbTest, ShadowSilentWhenHomeUnchanged)
+{
+    Vtb vtb;
+    vtb.install(1, singleBank(2, 4));
+    vtb.beginReconfig(1, singleBank(2, 4));
+    const VtbLookup res = vtb.lookup(1, 0xABC);
+    EXPECT_EQ(res.bank, 2);
+    EXPECT_EQ(res.oldBank, invalidTile);
+}
+
+TEST(VtbTest, FinishReconfigDropsShadows)
+{
+    Vtb vtb;
+    vtb.install(1, singleBank(0, 4));
+    vtb.beginReconfig(1, singleBank(3, 4));
+    vtb.finishReconfig();
+    EXPECT_FALSE(vtb.reconfigActive());
+    const VtbLookup res = vtb.lookup(1, 0xABC);
+    EXPECT_EQ(res.bank, 3);
+    EXPECT_EQ(res.oldBank, invalidTile);
+}
+
+TEST(VtbTest, PerBucketOldBankTracking)
+{
+    // A reconfiguration that only moves part of a VC: addresses whose
+    // bucket keeps its bank must not report an old bank.
+    std::vector<double> before(4, 0.0);
+    before[0] = 1.0;
+    before[1] = 1.0;
+    std::vector<double> after(4, 0.0);
+    after[0] = 1.0;
+    after[2] = 1.0;
+    const VcDescriptor desc_before = VcDescriptor::fromShares(before);
+    const VcDescriptor desc_after = VcDescriptor::fromShares(after);
+    Vtb vtb;
+    vtb.install(1, desc_before);
+    vtb.beginReconfig(1, desc_after);
+    int moved = 0, stayed = 0;
+    for (LineAddr a = 0; a < 4096; a++) {
+        const VtbLookup res = vtb.lookup(1, a);
+        EXPECT_EQ(res.bank, desc_after.bankOf(a));
+        if (res.oldBank != invalidTile) {
+            moved++;
+            EXPECT_EQ(res.oldBank, desc_before.bankOf(a));
+            EXPECT_NE(res.oldBank, res.bank);
+        } else {
+            stayed++;
+            EXPECT_EQ(desc_before.bankOf(a), desc_after.bankOf(a));
+        }
+    }
+    EXPECT_GT(moved, 1000);
+    EXPECT_GT(stayed, 1000);
+}
+
+} // anonymous namespace
+} // namespace cdcs

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the synthetic stream generators: footprints, component
+ * layout, and the LRU miss-curve shapes each pattern is designed to
+ * produce (validated through a real simulated cache).
+ */
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "cache/partitioned_bank.hh"
+#include "workload/generator.hh"
+
+namespace cdcs
+{
+namespace
+{
+
+/** Miss ratio of a stream through an LRU cache of `lines` capacity. */
+double
+missRatio(StreamGen &gen, std::uint64_t lines, int accesses)
+{
+    PartitionedBank cache(lines, 16);
+    cache.setTarget(0, lines);
+    int misses = 0;
+    for (int i = 0; i < accesses; i++) {
+        if (!cache.access(gen.next(), 0, 0).hit)
+            misses++;
+    }
+    return static_cast<double>(misses) / accesses;
+}
+
+TEST(StreamGenTest, FootprintIsComponentSum)
+{
+    StreamSpec spec{{0.5, PatternKind::Scan, 1000},
+                    {0.5, PatternKind::Uniform, 500}};
+    StreamGen gen(spec, 1);
+    EXPECT_EQ(gen.footprint(), 1500u);
+    EXPECT_EQ(streamFootprint(spec), 1500u);
+}
+
+TEST(StreamGenTest, OffsetsStayInFootprint)
+{
+    StreamSpec spec{{1.0, PatternKind::Zipf, 2048, 0.8}};
+    StreamGen gen(spec, 2);
+    for (int i = 0; i < 20000; i++)
+        EXPECT_LT(gen.next(), 2048u);
+}
+
+TEST(StreamGenTest, ScanVisitsEveryLine)
+{
+    StreamSpec spec{{1.0, PatternKind::Scan, 333}};
+    StreamGen gen(spec, 3);
+    std::unordered_set<std::uint64_t> seen;
+    for (int i = 0; i < 333; i++)
+        seen.insert(gen.next());
+    EXPECT_EQ(seen.size(), 333u);
+}
+
+TEST(StreamGenTest, DeterministicForSeed)
+{
+    StreamSpec spec{{0.7, PatternKind::Uniform, 4096},
+                    {0.3, PatternKind::Zipf, 1024, 0.6}};
+    StreamGen a(spec, 42), b(spec, 42);
+    for (int i = 0; i < 1000; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(StreamGenTest, ScanProducesCapacityCliff)
+{
+    // LRU + cyclic scan: ~100% misses below the footprint, ~100% hits
+    // above it. This is the omnetpp/xalancbmk cliff of Fig. 2.
+    const std::uint64_t footprint = 4096;
+    StreamSpec spec{{1.0, PatternKind::Scan, footprint}};
+
+    StreamGen small(spec, 7);
+    EXPECT_GT(missRatio(small, footprint / 2, 40000), 0.95);
+
+    StreamGen large(spec, 7);
+    EXPECT_LT(missRatio(large, footprint * 2, 40000), 0.2);
+}
+
+TEST(StreamGenTest, UniformMissRatioScalesLinearly)
+{
+    const std::uint64_t footprint = 8192;
+    StreamSpec spec{{1.0, PatternKind::Uniform, footprint}};
+    StreamGen gen(spec, 11);
+    const double ratio = missRatio(gen, footprint / 2, 200000);
+    EXPECT_NEAR(ratio, 0.5, 0.12);
+}
+
+TEST(StreamGenTest, ZipfHasDiminishingReturns)
+{
+    const std::uint64_t footprint = 32768;
+    StreamSpec spec{{1.0, PatternKind::Zipf, footprint, 0.9}};
+    StreamGen g1(spec, 13);
+    const double small_cache = missRatio(g1, footprint / 16, 200000);
+    StreamGen g2(spec, 13);
+    const double big_cache = missRatio(g2, footprint / 2, 200000);
+    // A small cache already captures the hot head.
+    EXPECT_LT(small_cache, 0.75);
+    EXPECT_LT(big_cache, small_cache);
+}
+
+TEST(StreamGenTest, MixtureRespectsWeights)
+{
+    // 80% to the first (scan) component, 20% to the second.
+    StreamSpec spec{{0.8, PatternKind::Scan, 1000},
+                    {0.2, PatternKind::Uniform, 1000}};
+    StreamGen gen(spec, 17);
+    int first = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; i++) {
+        if (gen.next() < 1000)
+            first++;
+    }
+    EXPECT_NEAR(static_cast<double>(first) / n, 0.8, 0.02);
+}
+
+} // anonymous namespace
+} // namespace cdcs

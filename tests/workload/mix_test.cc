@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for workload mixes: VC layout, per-thread wiring, shared
+ * streams, and the profile library.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/mix.hh"
+
+namespace cdcs
+{
+namespace
+{
+
+TEST(AppProfileTest, LibraryHasSixteenCpuApps)
+{
+    EXPECT_EQ(specCpu2006().size(), 16u);
+}
+
+TEST(AppProfileTest, OmpAppsHaveEightThreads)
+{
+    for (const auto &app : specOmp2012()) {
+        EXPECT_EQ(app.threads, 8) << app.name;
+        EXPECT_FALSE(app.sharedStream.empty()) << app.name;
+    }
+}
+
+TEST(AppProfileTest, LookupByName)
+{
+    EXPECT_EQ(profileByName("omnetpp").name, "omnetpp");
+    EXPECT_EQ(profileByName("ilbdc").threads, 8);
+}
+
+TEST(AppProfileTest, OmnetppIsCliffAppAt2p5Mb)
+{
+    const AppProfile &omnet = profileByName("omnetpp");
+    // Dominant scan component with a ~2.5 MB footprint (Fig. 2).
+    std::uint64_t scan_lines = 0;
+    for (const auto &c : omnet.privateStream) {
+        if (c.kind == PatternKind::Scan)
+            scan_lines += c.footprintLines;
+    }
+    EXPECT_NEAR(static_cast<double>(linesToBytes(scan_lines)),
+                2.5 * 1024 * 1024, 0.2 * 1024 * 1024);
+}
+
+TEST(WorkloadMixTest, VcLayout)
+{
+    // 2 single-threaded + 1 eight-threaded process: 10 threads,
+    // 13 processes+global VCs total.
+    WorkloadMix mix = WorkloadMix::fromNames(
+        {"milc", "omnetpp", "ilbdc"}, 99);
+    EXPECT_EQ(mix.numThreads(), 10);
+    EXPECT_EQ(mix.numProcesses(), 3);
+    EXPECT_EQ(mix.numVcs(), 14);
+    EXPECT_EQ(mix.globalVc(), 13);
+    EXPECT_EQ(mix.thread(0).privateVc, 0);
+    EXPECT_EQ(mix.thread(9).privateVc, 9);
+    EXPECT_EQ(mix.thread(0).processVc, 10);
+    EXPECT_EQ(mix.thread(9).processVc, 12);
+}
+
+TEST(WorkloadMixTest, LineAddressesEmbedVcDisjointly)
+{
+    const LineAddr a = WorkloadMix::lineIn(3, 0x123);
+    const LineAddr b = WorkloadMix::lineIn(4, 0x123);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(WorkloadMix::vcOfLine(a), 3);
+    EXPECT_EQ(WorkloadMix::vcOfLine(b), 4);
+}
+
+TEST(WorkloadMixTest, SingleThreadedAccessesPrivateVc)
+{
+    WorkloadMix mix = WorkloadMix::fromNames({"milc"}, 5);
+    int global = 0;
+    for (int i = 0; i < 10000; i++) {
+        const AccessSample s = mix.nextAccess(0);
+        if (s.vc == mix.globalVc())
+            global++;
+        else
+            EXPECT_EQ(s.vc, mix.thread(0).privateVc);
+    }
+    EXPECT_LT(global, 200); // ~0.3% global traffic.
+}
+
+TEST(WorkloadMixTest, SharedFractionRoughlyHonored)
+{
+    WorkloadMix mix = WorkloadMix::fromNames({"ilbdc"}, 5);
+    const double expected = profileByName("ilbdc").sharedFraction;
+    int shared = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; i++) {
+        if (mix.nextAccess(0).vc == mix.thread(0).processVc)
+            shared++;
+    }
+    EXPECT_NEAR(static_cast<double>(shared) / n, expected, 0.03);
+}
+
+TEST(WorkloadMixTest, ThreadsShareProcessLines)
+{
+    // Two threads of one OMP process must draw from the same shared
+    // region (same VC id and overlapping offsets).
+    WorkloadMix mix = WorkloadMix::fromNames({"ilbdc"}, 6);
+    std::uint64_t seen0 = 0, seen1 = 0;
+    for (int i = 0; i < 20000; i++) {
+        const AccessSample s0 = mix.nextAccess(0);
+        const AccessSample s1 = mix.nextAccess(1);
+        if (s0.vc == mix.thread(0).processVc)
+            seen0++;
+        if (s1.vc == mix.thread(1).processVc)
+            seen1++;
+        if (s0.vc == s1.vc && s0.vc == mix.thread(0).processVc) {
+            EXPECT_EQ(WorkloadMix::vcOfLine(s0.line),
+                      WorkloadMix::vcOfLine(s1.line));
+        }
+    }
+    EXPECT_GT(seen0, 10000u);
+    EXPECT_GT(seen1, 10000u);
+}
+
+TEST(WorkloadMixTest, RandomMixesAreReproducible)
+{
+    WorkloadMix a = WorkloadMix::randomCpuMix(8, 123);
+    WorkloadMix b = WorkloadMix::randomCpuMix(8, 123);
+    ASSERT_EQ(a.numThreads(), b.numThreads());
+    for (int i = 0; i < 1000; i++) {
+        const AccessSample sa = a.nextAccess(0);
+        const AccessSample sb = b.nextAccess(0);
+        EXPECT_EQ(sa.vc, sb.vc);
+        EXPECT_EQ(sa.line, sb.line);
+    }
+}
+
+TEST(WorkloadMixTest, RandomOmpMixHasEightThreadsPerApp)
+{
+    WorkloadMix mix = WorkloadMix::randomOmpMix(4, 7);
+    EXPECT_EQ(mix.numThreads(), 32);
+    EXPECT_EQ(mix.numProcesses(), 4);
+}
+
+} // anonymous namespace
+} // namespace cdcs

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Parameterized sweep over every application profile in the library:
+ * each must construct, generate in-range offsets, honor its shared
+ * fraction, and carry sane timing parameters. Catches profile-table
+ * regressions (all 24 profiles, one test instance each).
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/mix.hh"
+
+namespace cdcs
+{
+namespace
+{
+
+std::vector<std::string>
+allProfileNames()
+{
+    std::vector<std::string> names;
+    for (const auto &app : specCpu2006())
+        names.push_back(app.name);
+    for (const auto &app : specOmp2012())
+        names.push_back(app.name);
+    return names;
+}
+
+class ProfileSweep : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ProfileSweep, ParametersAreSane)
+{
+    const AppProfile &app = profileByName(GetParam());
+    EXPECT_GT(app.apki, 0.0);
+    EXPECT_LT(app.apki, 200.0);
+    EXPECT_GT(app.cpiExe, 0.2);
+    EXPECT_LT(app.cpiExe, 3.0);
+    EXPECT_GE(app.mlp, 1.0);
+    EXPECT_LE(app.mlp, 8.0);
+    EXPECT_GE(app.threads, 1);
+    EXPECT_FALSE(app.privateStream.empty());
+    if (app.threads > 1) {
+        EXPECT_FALSE(app.sharedStream.empty());
+        EXPECT_GE(app.sharedFraction, 0.0);
+        EXPECT_LE(app.sharedFraction, 1.0);
+    }
+}
+
+TEST_P(ProfileSweep, GeneratorStaysInFootprint)
+{
+    const AppProfile &app = profileByName(GetParam());
+    StreamGen gen(app.privateStream, 11);
+    for (int i = 0; i < 5000; i++)
+        EXPECT_LT(gen.next(), gen.footprint());
+}
+
+TEST_P(ProfileSweep, SingleProcessMixRuns)
+{
+    WorkloadMix mix = WorkloadMix::fromNames({GetParam()}, 5);
+    EXPECT_EQ(mix.numProcesses(), 1);
+    const AppProfile &app = profileByName(GetParam());
+    EXPECT_EQ(mix.numThreads(), app.threads);
+    for (int i = 0; i < 2000; i++) {
+        const AccessSample s =
+            mix.nextAccess(static_cast<ThreadId>(i % app.threads));
+        EXPECT_LT(s.vc, mix.numVcs());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProfiles, ProfileSweep,
+    ::testing::ValuesIn(allProfileNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+} // anonymous namespace
+} // namespace cdcs
