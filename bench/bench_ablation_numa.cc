@@ -9,24 +9,6 @@
 
 #include "bench/bench_util.hh"
 
-namespace
-{
-
-using namespace cdcs;
-
-void
-runOne(const char *tag, const SystemConfig &cfg,
-       const SchemeSpec &spec, const MixSpec &mix)
-{
-    const RunResult r = runScheme(cfg, spec, mix);
-    std::printf("%-24s %14.3f %16.3f %12.2f\n", tag,
-                r.flitHopsPerInstr(TrafficClass::LLCToMem),
-                r.offChipLatPerInstr(),
-                1e9 * r.energy.total() / r.totalInstrs);
-}
-
-} // anonymous namespace
-
 int
 main()
 {
@@ -39,11 +21,27 @@ main()
                 "Sec. III future work / Fig. 11d remark", base, 1);
 
     const MixSpec mix = MixSpec::cpu(48, 9950);
+    const std::vector<const char *> tags = {
+        "R-NUCA interleaved", "R-NUCA numa-aware",
+        "CDCS interleaved", "CDCS numa-aware"};
+    const std::vector<ExperimentRunner::Job> jobs = {
+        {base, SchemeSpec::rnuca(), mix},
+        {numa, SchemeSpec::rnuca(), mix},
+        {base, SchemeSpec::cdcs(), mix},
+        {numa, SchemeSpec::cdcs(), mix},
+    };
+    const auto results = benchRunner().runAll(jobs);
+
     std::printf("%-24s %14s %16s %12s\n", "config",
                 "LLCMem fh/instr", "offchip/instr", "nJ/instr");
-    runOne("R-NUCA interleaved", base, SchemeSpec::rnuca(), mix);
-    runOne("R-NUCA numa-aware", numa, SchemeSpec::rnuca(), mix);
-    runOne("CDCS interleaved", base, SchemeSpec::cdcs(), mix);
-    runOne("CDCS numa-aware", numa, SchemeSpec::cdcs(), mix);
+    for (std::size_t i = 0; i < jobs.size(); i++) {
+        const RunResult &r = results[i];
+        std::printf("%-24s %14.3f %16.3f %12.2f\n", tags[i],
+                    r.flitHopsPerInstr(TrafficClass::LLCToMem),
+                    r.offChipLatPerInstr(),
+                    r.totalInstrs > 0.0
+                        ? 1e9 * r.energy.total() / r.totalInstrs
+                        : 0.0);
+    }
     return 0;
 }

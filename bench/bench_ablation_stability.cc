@@ -34,12 +34,15 @@ main()
     raw.cdcsOpts.sizeHysteresis = 0.0;
     raw.name = "CDCS-raw";
 
-    const SweepResult with_stab = sweepMixes(
+    const SweepResult with_stab = benchRunner().sweep(
         cfg, {SchemeSpec::snuca(), stable}, mixes,
         [&](int m) { return MixSpec::cpu(48, 9900 + m); });
-    const SweepResult without = sweepMixes(
+    const SweepResult without = benchRunner().sweep(
         raw_cfg, {SchemeSpec::snuca(), raw}, mixes,
         [&](int m) { return MixSpec::cpu(48, 9900 + m); });
+
+    maybeExportJson(with_stab, "ablation_stability_stable");
+    maybeExportJson(without, "ablation_stability_raw");
 
     std::printf("%-14s %10s %14s %14s\n", "variant", "gmeanWS",
                 "bg-invalidated", "demand-moves");

@@ -27,9 +27,10 @@ main()
                 cfg, mixes);
 
     const SweepResult sweep =
-        sweepMixes(cfg, standardSchemes(), mixes, [&](int m) {
+        benchRunner().sweep(cfg, standardSchemes(), mixes, [&](int m) {
             return MixSpec::cpu(64, 1000 + m);
         });
+    maybeExportJson(sweep, "fig11_64app");
 
     std::printf("-- Fig. 11a: weighted speedup inverse CDF --\n");
     printInverseCdf(sweep);

@@ -29,9 +29,11 @@ runFactor(const SystemConfig &cfg, int apps, int mixes)
         SchemeSpec::factor(true, true, true),    // +LTD
     };
     const SweepResult sweep =
-        sweepMixes(cfg, schemes, mixes, [&](int m) {
+        benchRunner().sweep(cfg, schemes, mixes, [&](int m) {
             return MixSpec::cpu(apps, 2000 + m);
         });
+    maybeExportJson(sweep, (std::string("fig12_factor_") +
+                            std::to_string(apps) + "app").c_str());
     std::printf("-- %d-app mixes --\n", apps);
     printWsSummary(sweep);
     std::printf("\n");

@@ -30,9 +30,11 @@ main()
 
     for (int apps : {1, 2, 4, 8, 16, 32, 64}) {
         const SweepResult sweep =
-            sweepMixes(cfg, schemes, mixes, [&](int m) {
+            benchRunner().sweep(cfg, schemes, mixes, [&](int m) {
                 return MixSpec::cpu(apps, 3000 + 100 * apps + m);
             });
+        maybeExportJson(sweep, (std::string("fig13_undercommit_") +
+                                std::to_string(apps) + "app").c_str());
         std::printf("%-8d", apps);
         for (std::size_t s = 0; s < schemes.size(); s++)
             std::printf(" %10.3f", gmean(sweep.ws[s]));

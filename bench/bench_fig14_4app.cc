@@ -20,9 +20,10 @@ main()
     printHeader("Fig. 14", "4-app mixes on 64 cores", cfg, mixes);
 
     const SweepResult sweep =
-        sweepMixes(cfg, standardSchemes(), mixes, [&](int m) {
+        benchRunner().sweep(cfg, standardSchemes(), mixes, [&](int m) {
             return MixSpec::cpu(4, 4000 + m);
         });
+    maybeExportJson(sweep, "fig14_4app");
 
     std::printf("-- weighted speedup inverse CDF --\n");
     printInverseCdf(sweep);

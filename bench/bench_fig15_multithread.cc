@@ -22,9 +22,10 @@ main()
     printHeader("Fig. 15", "8 x 8-thread OMP mixes", cfg, mixes);
 
     const SweepResult sweep =
-        sweepMixes(cfg, standardSchemes(), mixes, [&](int m) {
+        benchRunner().sweep(cfg, standardSchemes(), mixes, [&](int m) {
             return MixSpec::omp(8, 5000 + m);
         });
+    maybeExportJson(sweep, "fig15_multithread");
 
     std::printf("-- Fig. 15a: weighted speedup inverse CDF --\n");
     printInverseCdf(sweep);

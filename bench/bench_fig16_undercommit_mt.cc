@@ -19,9 +19,10 @@ main()
                 cfg, mixes);
 
     const SweepResult sweep =
-        sweepMixes(cfg, standardSchemes(), mixes, [&](int m) {
+        benchRunner().sweep(cfg, standardSchemes(), mixes, [&](int m) {
             return MixSpec::omp(4, 6000 + m);
         });
+    maybeExportJson(sweep, "fig16_undercommit_mt");
 
     std::printf("-- Fig. 16a: weighted speedup inverse CDF --\n");
     printInverseCdf(sweep);

@@ -31,14 +31,16 @@ main()
         {"background-inv", MoveScheme::DemandBackground},
         {"bulk-inv", MoveScheme::BulkInvalidate},
     };
-    std::vector<std::vector<double>> traces;
+    std::vector<ExperimentRunner::Job> jobs;
     for (const auto &[name, moves] : modes) {
         SchemeSpec spec = SchemeSpec::cdcs();
         spec.moves = moves;
         spec.name = name;
-        System system(cfg, spec, buildMix(mix));
-        traces.push_back(system.run().ipcTrace);
+        jobs.push_back({cfg, spec, mix});
     }
+    std::vector<std::vector<double>> traces;
+    for (const RunResult &r : benchRunner().runAll(jobs))
+        traces.push_back(r.ipcTrace);
 
     std::size_t bins = 0;
     for (const auto &t : traces)

@@ -46,9 +46,13 @@ main()
             schemes.push_back(spec);
         }
         const SweepResult sweep =
-            sweepMixes(cfg, schemes, mixes, [&](int m) {
+            benchRunner().sweep(cfg, schemes, mixes, [&](int m) {
                 return MixSpec::cpu(64, 8000 + m);
             });
+        maybeExportJson(
+            sweep, (std::string("fig18_period_") +
+                    std::to_string(cfg.accessesPerThreadEpoch))
+                .c_str());
         std::printf("%-22llu %12.3f %16.3f %12.3f\n",
                     static_cast<unsigned long long>(
                         cfg.accessesPerThreadEpoch),

@@ -8,11 +8,12 @@
  * (streaming); ilbdc small footprint that fits in ~0.5 MB.
  */
 
+#include <array>
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_util.hh"
 #include "cache/partitioned_bank.hh"
-#include "sim/experiment.hh"
 #include "workload/app_profile.hh"
 
 namespace
@@ -69,14 +70,25 @@ main()
     AppProfile ilbdc = profileByName("ilbdc");
     ilbdc.privateStream = ilbdc.sharedStream;
 
-    for (double mb : {0.0, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 2.25, 2.5,
-                      2.75, 3.0, 3.5, 4.0}) {
-        const auto lines =
-            static_cast<std::uint64_t>(mb * 1024 * 1024 / lineBytes);
-        std::printf("%8.2f %10.1f %10.1f %10.1f\n", mb,
-                    mpkiAt(omnet, lines, accesses),
-                    mpkiAt(milc, lines, accesses),
-                    mpkiAt(ilbdc, lines, accesses));
+    // Each (capacity, app) measurement is independent: shard the
+    // whole grid across the pool and print in order afterwards.
+    const std::vector<double> mbs = {0.0, 0.25, 0.5, 0.75, 1.0, 1.5,
+                                     2.0, 2.25, 2.5, 2.75, 3.0, 3.5,
+                                     4.0};
+    const std::vector<const AppProfile *> apps = {&omnet, &milc,
+                                                  &ilbdc};
+    std::vector<std::array<double, 3>> mpki(mbs.size());
+    benchRunner().forEach(
+        static_cast<int>(mbs.size() * apps.size()), [&](int i) {
+            const auto p = static_cast<std::size_t>(i) % apps.size();
+            const auto c = static_cast<std::size_t>(i) / apps.size();
+            const auto lines = static_cast<std::uint64_t>(
+                mbs[c] * 1024 * 1024 / lineBytes);
+            mpki[c][p] = mpkiAt(*apps[p], lines, accesses);
+        });
+    for (std::size_t c = 0; c < mbs.size(); c++) {
+        std::printf("%8.2f %10.1f %10.1f %10.1f\n", mbs[c],
+                    mpki[c][0], mpki[c][1], mpki[c][2]);
     }
     return 0;
 }

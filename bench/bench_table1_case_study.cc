@@ -63,7 +63,7 @@ main()
 
     const MixSpec mix = caseStudyMix();
     const std::vector<SchemeSpec> schemes = standardSchemes();
-    const auto results = runSchemes(cfg, schemes, mix);
+    const auto results = benchRunner().runSchemes(cfg, schemes, mix);
     const RunResult &base = results[0];
 
     std::printf("%-12s %8s %8s %8s %8s\n", "scheme", "omnet",

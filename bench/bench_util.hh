@@ -1,105 +1,70 @@
 /**
  * @file
- * Shared helpers for the bench harnesses: parallel mix sweeps,
- * weighted-speedup aggregation, inverse-CDF and breakdown printing,
- * and an ASCII chip-map renderer for the Fig. 1 / Fig. 16b style
- * placement plots.
+ * Shared helpers for the bench harnesses: the process-wide
+ * ExperimentRunner every harness shards its runs through,
+ * weighted-speedup printing (inverse CDFs, summaries, breakdowns),
+ * optional JSON export of sweep results, and an ASCII chip-map
+ * renderer for the Fig. 1 / Fig. 16b style placement plots.
  *
  * Every harness honors the CDCS_MIXES / CDCS_EPOCH_ACCESSES /
- * CDCS_EPOCHS / CDCS_WARMUP environment knobs (see EXPERIMENTS.md)
- * and prints its seed so results are reproducible.
+ * CDCS_EPOCHS / CDCS_WARMUP / CDCS_WORKERS / CDCS_JSON_DIR
+ * environment knobs (see EXPERIMENTS.md) and prints its seed so
+ * results are reproducible.
  */
 
 #ifndef CDCS_BENCH_BENCH_UTIL_HH
 #define CDCS_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "common/stats.hh"
-#include "sim/experiment.hh"
+#include "sim/experiment_runner.hh"
 
 namespace cdcs
 {
 
-/** Per-scheme results of a mix sweep. */
-struct SweepResult
+/**
+ * The bench harnesses' shared runner: one work-stealing pool and one
+ * baseline memo for the whole process, so consecutive sweeps reuse
+ * identical S-NUCA baseline runs instead of recomputing them.
+ */
+inline ExperimentRunner &
+benchRunner()
 {
-    std::vector<SchemeSpec> schemes;
-    /// ws[s][m]: weighted speedup of scheme s on mix m vs. S-NUCA.
-    std::vector<std::vector<double>> ws;
-    /// Per-scheme aggregates over mixes.
-    std::vector<RunResult> firstRun;    ///< Scheme results on mix 0.
-    std::vector<double> onChipLat;      ///< Mean avg on-chip latency.
-    std::vector<double> offChipLat;     ///< Mean off-chip lat/instr.
-    std::vector<std::array<double, 3>> trafficPerInstr;
-    std::vector<double> energyPerInstr;
-    std::vector<std::array<double, 5>> energyParts;
-};
+    static ExperimentRunner runner;
+    return runner;
+}
 
 /**
- * Run `schemes` (scheme 0 must be the S-NUCA baseline) over `mixes`
- * mixes built by `mix_of`, in parallel over mixes.
+ * Write `sweep` as JSON to $CDCS_JSON_DIR/<name>.json when
+ * CDCS_JSON_DIR is set (see EXPERIMENTS.md).
  */
-inline SweepResult
-sweepMixes(const SystemConfig &cfg,
-           const std::vector<SchemeSpec> &schemes, int mixes,
-           const std::function<MixSpec(int)> &mix_of)
+inline void
+maybeExportJson(const SweepResult &sweep, const char *name)
 {
-    SweepResult out;
-    out.schemes = schemes;
-    out.ws.assign(schemes.size(), std::vector<double>(mixes, 0.0));
-    out.onChipLat.assign(schemes.size(), 0.0);
-    out.offChipLat.assign(schemes.size(), 0.0);
-    out.trafficPerInstr.assign(schemes.size(), {0.0, 0.0, 0.0});
-    out.energyPerInstr.assign(schemes.size(), 0.0);
-    out.energyParts.assign(schemes.size(), {0, 0, 0, 0, 0});
-    out.firstRun.resize(schemes.size());
-
-    std::vector<std::vector<RunResult>> all(mixes);
-    parallelFor(mixes, [&](int m) {
-        all[m] = runSchemes(cfg, schemes, mix_of(m));
-    });
-
-    for (int m = 0; m < mixes; m++) {
-        const RunResult &base = all[m][0];
-        for (std::size_t s = 0; s < schemes.size(); s++) {
-            const RunResult &r = all[m][s];
-            out.ws[s][m] = weightedSpeedup(r, base);
-            out.onChipLat[s] += r.avgOnChipLatency() / mixes;
-            out.offChipLat[s] += r.offChipLatPerInstr() / mixes;
-            for (int c = 0; c < 3; c++) {
-                out.trafficPerInstr[s][c] +=
-                    r.flitHopsPerInstr(static_cast<TrafficClass>(c)) /
-                    mixes;
-            }
-            out.energyPerInstr[s] +=
-                r.energy.total() / r.totalInstrs / mixes;
-            out.energyParts[s][0] +=
-                r.energy.staticE / r.totalInstrs / mixes;
-            out.energyParts[s][1] +=
-                r.energy.core / r.totalInstrs / mixes;
-            out.energyParts[s][2] +=
-                r.energy.net / r.totalInstrs / mixes;
-            out.energyParts[s][3] +=
-                r.energy.llc / r.totalInstrs / mixes;
-            out.energyParts[s][4] +=
-                r.energy.mem / r.totalInstrs / mixes;
-        }
-    }
-    out.firstRun = all[0];
-    return out;
+    const char *dir = std::getenv("CDCS_JSON_DIR");
+    if (dir == nullptr || *dir == '\0')
+        return;
+    const std::string path = std::string(dir) + "/" + name + ".json";
+    if (sweep.writeJson(path))
+        std::printf("[json: %s]\n", path.c_str());
+    else
+        std::fprintf(stderr, "failed to write %s\n", path.c_str());
 }
 
 /** Print the per-mix weighted speedups as inverse CDF rows. */
 inline void
 printInverseCdf(const SweepResult &sweep)
 {
+    if (sweep.schemes.empty() || sweep.mixes() == 0)
+        return;
     std::printf("%-12s", "mix-rank");
-    for (std::size_t m = 0; m < sweep.ws[0].size(); m++)
-        std::printf("  %6zu", m);
+    for (int m = 0; m < sweep.mixes(); m++)
+        std::printf("  %6d", m);
     std::printf("\n");
     for (std::size_t s = 0; s < sweep.schemes.size(); s++) {
         const auto sorted = inverseCdf(sweep.ws[s]);
@@ -114,6 +79,10 @@ printInverseCdf(const SweepResult &sweep)
 inline void
 printWsSummary(const SweepResult &sweep)
 {
+    if (sweep.mixes() == 0) {
+        std::printf("(no mixes swept)\n");
+        return;
+    }
     std::printf("%-12s  %8s  %8s\n", "scheme", "gmeanWS", "maxWS");
     for (std::size_t s = 0; s < sweep.schemes.size(); s++) {
         std::printf("%-12s  %8.3f  %8.3f\n",
@@ -127,6 +96,8 @@ printWsSummary(const SweepResult &sweep)
 inline void
 printBreakdowns(const SweepResult &sweep)
 {
+    if (sweep.schemes.empty())
+        return;
     const std::size_t ref = sweep.schemes.size() - 1;
     std::printf("\n%-12s %10s %10s %28s %10s\n", "scheme",
                 "onchip/ref", "offchip/ref",
@@ -245,6 +216,8 @@ printHeader(const char *name, const char *paper_ref,
             const SystemConfig &cfg, int mixes)
 {
     std::printf("== %s (%s) ==\n", name, paper_ref);
+    // Worker count deliberately not printed: output is identical for
+    // any CDCS_WORKERS, and byte-identical logs should diff clean.
     std::printf("mesh %dx%d, %d banks/tile, %llu-line banks, "
                 "%llu accesses/thread/epoch, %d epochs (%d warmup), "
                 "%d mixes, seed base 1000\n\n",

@@ -35,12 +35,15 @@ main()
     bank_spec.name = "CDCS-bank";
 
     const int apps = static_cast<int>(envOr("CDCS_APPS", 48));
-    const SweepResult fine = sweepMixes(
+    const SweepResult fine = benchRunner().sweep(
         fine_cfg, {SchemeSpec::snuca(), SchemeSpec::cdcs()}, mixes,
         [&](int m) { return MixSpec::cpu(apps, 9800 + m); });
-    const SweepResult bank = sweepMixes(
+    const SweepResult bank = benchRunner().sweep(
         bank_cfg, {SchemeSpec::snuca(), bank_spec}, mixes,
         [&](int m) { return MixSpec::cpu(apps, 9800 + m); });
+
+    maybeExportJson(fine, "vic_bankgrain_fine");
+    maybeExportJson(bank, "vic_bankgrain_bank");
 
     std::printf("%-12s %10s\n", "scheme", "gmeanWS");
     std::printf("%-12s %10.3f\n", "CDCS-fine", gmean(fine.ws[1]));

@@ -97,9 +97,10 @@ main()
         schemes.push_back(s);
     }
     const SweepResult sweep =
-        sweepMixes(cfg, schemes, mixes, [&](int m) {
+        benchRunner().sweep(cfg, schemes, mixes, [&](int m) {
             return MixSpec::cpu(64, 9000 + m);
         });
+    maybeExportJson(sweep, "vic_monitors");
     printWsSummary(sweep);
     return 0;
 }

@@ -42,9 +42,10 @@ main()
     }
 
     const SweepResult sweep =
-        sweepMixes(cfg, schemes, mixes, [&](int m) {
+        benchRunner().sweep(cfg, schemes, mixes, [&](int m) {
             return MixSpec::cpu(32, 9500 + m);
         });
+    maybeExportJson(sweep, "vic_placers");
     printWsSummary(sweep);
 
     std::printf("\nreconfiguration runtime (avg us per invocation, "

@@ -13,7 +13,7 @@
 
 #include <cstdio>
 
-#include "sim/experiment.hh"
+#include "sim/experiment_runner.hh"
 
 int
 main()
@@ -35,8 +35,13 @@ main()
                 "CDCS...\n\n",
                 mix.count, cfg.meshWidth, cfg.meshHeight);
 
-    const RunResult snuca = runScheme(cfg, SchemeSpec::snuca(), mix);
-    const RunResult cdcs_r = runScheme(cfg, SchemeSpec::cdcs(), mix);
+    // Both schemes run concurrently on the experiment engine's
+    // work-stealing pool (CDCS_WORKERS=1 forces serial).
+    ExperimentRunner runner;
+    const auto results = runner.runSchemes(
+        cfg, {SchemeSpec::snuca(), SchemeSpec::cdcs()}, mix);
+    const RunResult &snuca = results[0];
+    const RunResult &cdcs_r = results[1];
 
     std::printf("%-22s %12s %12s\n", "", "S-NUCA", "CDCS");
     std::printf("%-22s %12.3f %12.3f\n", "LLC hit ratio",

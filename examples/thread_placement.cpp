@@ -10,7 +10,7 @@
 
 #include <cstdio>
 
-#include "sim/experiment.hh"
+#include "sim/experiment_runner.hh"
 
 namespace
 {
@@ -65,13 +65,18 @@ main()
     const MixSpec mix = MixSpec::named(
         {"omnetpp", "omnetpp", "omnetpp", "omnetpp", "ilbdc"}, 77);
 
-    const RunResult snuca = runScheme(cfg, SchemeSpec::snuca(), mix);
-    const RunResult jc =
-        runScheme(cfg, SchemeSpec::jigsaw(InitialSched::Clustered),
-                  mix);
-    const RunResult jr =
-        runScheme(cfg, SchemeSpec::jigsaw(InitialSched::Random), mix);
-    const RunResult cd = runScheme(cfg, SchemeSpec::cdcs(), mix);
+    // All four schemes run concurrently through the experiment
+    // engine; identical mix seeds keep the streams comparable.
+    ExperimentRunner runner;
+    const auto results = runner.runSchemes(
+        cfg,
+        {SchemeSpec::snuca(), SchemeSpec::jigsaw(InitialSched::Clustered),
+         SchemeSpec::jigsaw(InitialSched::Random), SchemeSpec::cdcs()},
+        mix);
+    const RunResult &snuca = results[0];
+    const RunResult &jc = results[1];
+    const RunResult &jr = results[2];
+    const RunResult &cd = results[3];
 
     report("Jigsaw+Clustered", jc, snuca);
     report("Jigsaw+Random", jr, snuca);

@@ -1,0 +1,155 @@
+#include "common/task_pool.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace cdcs
+{
+
+namespace
+{
+
+/// Set while a pool worker (or an inline run()) is executing tasks;
+/// nested run() calls then execute inline instead of blocking on the
+/// pool they are running inside of.
+thread_local bool inside_pool = false;
+
+} // anonymous namespace
+
+unsigned
+WorkStealingPool::defaultWorkers()
+{
+    const char *env = std::getenv("CDCS_WORKERS");
+    if (env != nullptr && *env != '\0') {
+        const unsigned n =
+            static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+        if (n > 0)
+            return n;
+    }
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+WorkStealingPool::WorkStealingPool(unsigned workers)
+    : numWorkers(workers > 0 ? workers : defaultWorkers())
+{
+    if (numWorkers <= 1)
+        return;
+    queues.reserve(numWorkers);
+    for (unsigned w = 0; w < numWorkers; w++)
+        queues.push_back(std::make_unique<WorkerQueue>());
+    threads.reserve(numWorkers);
+    for (unsigned w = 0; w < numWorkers; w++)
+        threads.emplace_back([this, w]() { workerLoop(w); });
+}
+
+WorkStealingPool::~WorkStealingPool()
+{
+    if (threads.empty())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(sleepMu);
+        stopping.store(true);
+    }
+    workCv.notify_all();
+    for (std::thread &t : threads)
+        t.join();
+}
+
+bool
+WorkStealingPool::runOneTask(unsigned self)
+{
+    std::function<void()> task;
+
+    // Own deque first, newest task (LIFO keeps caches warm)...
+    {
+        WorkerQueue &own = *queues[self];
+        std::lock_guard<std::mutex> lock(own.mu);
+        if (!own.tasks.empty()) {
+            task = std::move(own.tasks.back());
+            own.tasks.pop_back();
+            queued.fetch_sub(1);
+        }
+    }
+    // ...then steal the oldest task from a victim (FIFO spreads the
+    // big, early-submitted work items across thieves).
+    if (!task) {
+        for (unsigned i = 1; i < numWorkers && !task; i++) {
+            WorkerQueue &victim = *queues[(self + i) % numWorkers];
+            std::lock_guard<std::mutex> lock(victim.mu);
+            if (!victim.tasks.empty()) {
+                task = std::move(victim.tasks.front());
+                victim.tasks.pop_front();
+                queued.fetch_sub(1);
+            }
+        }
+    }
+    if (!task)
+        return false;
+
+    task();
+    if (pending.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(sleepMu);
+        doneCv.notify_all();
+    }
+    return true;
+}
+
+void
+WorkStealingPool::workerLoop(unsigned self)
+{
+    inside_pool = true;
+    while (true) {
+        if (runOneTask(self))
+            continue;
+        std::unique_lock<std::mutex> lock(sleepMu);
+        workCv.wait(lock, [this]() {
+            return stopping.load() || queued.load() > 0;
+        });
+        if (stopping.load())
+            return;
+    }
+}
+
+void
+WorkStealingPool::run(std::vector<std::function<void()>> tasks)
+{
+    if (tasks.empty())
+        return;
+
+    // Serial pool, or a nested call from inside a worker: execute
+    // inline. Inline nested execution keeps the outer task's worker
+    // busy and cannot deadlock.
+    if (threads.empty() || inside_pool) {
+        const bool was_inside = inside_pool;
+        inside_pool = true;
+        for (auto &task : tasks)
+            task();
+        inside_pool = was_inside;
+        return;
+    }
+
+    pending.fetch_add(tasks.size());
+    // Round-robin across worker deques so stealing starts from a
+    // balanced distribution. `queued` is bumped under the same queue
+    // lock as the push, so a concurrent pop always sees a matching
+    // increment.
+    for (auto &task : tasks) {
+        const unsigned w = nextQueue.fetch_add(1) % numWorkers;
+        WorkerQueue &queue = *queues[w];
+        std::lock_guard<std::mutex> lock(queue.mu);
+        queue.tasks.push_back(std::move(task));
+        queued.fetch_add(1);
+    }
+    {
+        // Empty critical section: a worker between its predicate
+        // check and its sleep holds sleepMu, so this acquisition
+        // orders the notify after it is actually waiting.
+        std::lock_guard<std::mutex> lock(sleepMu);
+    }
+    workCv.notify_all();
+
+    std::unique_lock<std::mutex> lock(sleepMu);
+    doneCv.wait(lock, [this]() { return pending.load() == 0; });
+}
+
+} // namespace cdcs

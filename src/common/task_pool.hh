@@ -1,0 +1,80 @@
+/**
+ * @file
+ * A small work-stealing thread pool. Each worker owns a deque: it
+ * pops its own work LIFO (cache-warm) and steals FIFO from victims
+ * when empty, so a batch of unevenly-sized tasks (e.g. S-NUCA vs.
+ * CDCS runs) keeps every core busy until the batch drains.
+ *
+ * Tasks must not throw. Nested run() calls from inside a worker
+ * execute inline (serially) instead of deadlocking the pool.
+ */
+
+#ifndef CDCS_COMMON_TASK_POOL_HH
+#define CDCS_COMMON_TASK_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cdcs
+{
+
+/** Work-stealing pool with persistent workers. */
+class WorkStealingPool
+{
+  public:
+    /**
+     * @param workers Worker-thread count; 0 picks defaultWorkers().
+     *        A 1-worker pool runs everything inline on the caller
+     *        (deterministic serial mode).
+     */
+    explicit WorkStealingPool(unsigned workers = 0);
+    ~WorkStealingPool();
+
+    WorkStealingPool(const WorkStealingPool &) = delete;
+    WorkStealingPool &operator=(const WorkStealingPool &) = delete;
+
+    /** Run a batch of tasks; blocks until every task completed. */
+    void run(std::vector<std::function<void()>> tasks);
+
+    unsigned workerCount() const { return numWorkers; }
+
+    /**
+     * CDCS_WORKERS environment override, else the hardware thread
+     * count (CDCS_WORKERS=1 forces serial execution everywhere).
+     */
+    static unsigned defaultWorkers();
+
+  private:
+    struct WorkerQueue
+    {
+        std::mutex mu;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    void workerLoop(unsigned self);
+    /** Pop own work or steal; returns false when nothing runnable. */
+    bool runOneTask(unsigned self);
+
+    unsigned numWorkers;
+    std::vector<std::unique_ptr<WorkerQueue>> queues;
+    std::vector<std::thread> threads;
+
+    std::mutex sleepMu;
+    std::condition_variable workCv;  ///< Wakes idle workers.
+    std::condition_variable doneCv;  ///< Wakes a blocked run().
+    std::atomic<std::uint64_t> queued{0};    ///< Tasks in deques.
+    std::atomic<std::uint64_t> pending{0};   ///< Unfinished tasks.
+    std::atomic<bool> stopping{false};
+    std::atomic<unsigned> nextQueue{0};      ///< Round-robin cursor.
+};
+
+} // namespace cdcs
+
+#endif // CDCS_COMMON_TASK_POOL_HH

@@ -1,0 +1,207 @@
+#include "sim/access_path.hh"
+
+#include <algorithm>
+#include <bit>
+
+namespace cdcs
+{
+
+AccessPath::AccessPath(const SystemConfig &config, Platform &plat,
+                       WorkloadMix &workload,
+                       std::vector<TileId> &thread_core,
+                       RunStats &run_stats)
+    : cfg(config), platform(plat), mix(workload),
+      threadCore(thread_core), stats(run_stats)
+{
+    clocks.reserve(mix.numThreads());
+    for (ThreadId t = 0; t < mix.numThreads(); t++) {
+        const ThreadCtx &thr = mix.thread(t);
+        clocks.emplace_back(thr.cpiExe, thr.mlp);
+    }
+    accessMatrix.assign(mix.numThreads(),
+                        std::vector<double>(mix.numVcs(), 0.0));
+}
+
+double
+AccessPath::meanActiveCycles() const
+{
+    if (clocks.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const CoreClock &clock : clocks)
+        sum += clock.cycleCount();
+    return sum / static_cast<double>(clocks.size());
+}
+
+void
+AccessPath::beginChunk()
+{
+    chunkMisses = 0;
+}
+
+void
+AccessPath::endChunk(double before, double after)
+{
+    if (!cfg.modelMemBandwidth)
+        return;
+    const double dt = std::max(after - before, 1.0);
+    const double rho = std::min(
+        0.95, (static_cast<double>(chunkMisses) / dt) /
+            cfg.memLinesPerCycle);
+    const double service_cycles = cfg.memChannels / cfg.memLinesPerCycle;
+    queueDelay = service_cycles * rho / (2.0 * (1.0 - rho));
+}
+
+int
+AccessPath::memHops(TileId bank_tile, TileId core, LineAddr line)
+{
+    if (!cfg.numaAwareMem)
+        return platform.mesh.hopsToMemCtrl(bank_tile, line);
+    const std::uint64_t page = line >> pageLineShift;
+    const auto [it, inserted] =
+        pageCtrl.try_emplace(page, platform.mesh.nearestMemCtrl(core));
+    return platform.mesh.hopsToCtrl(bank_tile, it->second);
+}
+
+void
+AccessPath::issueAccess(ThreadId t)
+{
+    Mesh &mesh = platform.mesh;
+    auto &banks = platform.banks;
+    NucaPolicy &policy = *platform.policy;
+
+    const ThreadCtx &thr = mix.thread(t);
+    const AccessSample sample = mix.nextAccess(t);
+    const TileId core = threadCore[t];
+    accessMatrix[t][sample.vc] += 1.0;
+
+    if (!platform.monitors.empty()) {
+        platform.monitors[sample.vc]->access(sample.line);
+        // Monitoring traffic: roughly one control message per 64
+        // accesses to the VC's fixed monitor location (Sec. IV-I).
+        if ((++monitorTrafficSampleCtr & 63) == 0) {
+            const TileId mon_tile =
+                static_cast<TileId>(sample.vc % mesh.numTiles());
+            mesh.addTraffic(TrafficClass::Other,
+                            mesh.hops(core, mon_tile),
+                            cfg.noc.ctrlFlits());
+        }
+    }
+
+    const MapResult mr = policy.map(t, core, sample.vc, sample.line);
+    const VcId tag = policy.partitionTag(sample.vc);
+    const TileId bank_tile =
+        static_cast<TileId>(mr.bank / cfg.banksPerTile);
+    const int h = mesh.hops(core, bank_tile);
+    const std::uint32_t ctrl = cfg.noc.ctrlFlits();
+    const std::uint32_t data = cfg.noc.dataFlits();
+
+    double lat = static_cast<double>(mesh.latency(h, ctrl)) +
+        cfg.bankLatency + mesh.latency(h, data);
+    double onchip = lat - cfg.bankLatency;
+    double offchip = 0.0;
+    mesh.addTraffic(TrafficClass::L2ToLLC, h, ctrl + data);
+
+    stats.llcAccesses++;
+    BankAccessResult fill_res;
+    bool filled = false;
+    if (banks[mr.bank].probeHit(sample.line, tag, core)) {
+        stats.llcHits++;
+    } else if (mr.oldBank != invalidTile &&
+               policy.demandMovesActive()) {
+        // Demand move (Fig. 10): chase the line in its old bank.
+        const TileId old_tile =
+            static_cast<TileId>(mr.oldBank / cfg.banksPerTile);
+        const int h2 = mesh.hops(bank_tile, old_tile);
+        lat += mesh.latency(h2, ctrl) + cfg.bankLatency;
+        onchip += mesh.latency(h2, ctrl);
+        mesh.addTraffic(TrafficClass::Other, h2, ctrl);
+        stats.moveProbes++;
+        CacheLine moved;
+        if (banks[mr.oldBank].extractForMove(sample.line, moved)) {
+            // Old bank hit: line + coherence state move to the new
+            // bank (Fig. 10a).
+            lat += mesh.latency(h2, data);
+            onchip += mesh.latency(h2, data);
+            mesh.addTraffic(TrafficClass::Other, h2, data);
+            fill_res = banks[mr.bank].installMoved(moved, tag);
+            filled = true;
+            stats.demandMoves++;
+        } else {
+            // Old bank miss: forward to memory; the response fills
+            // the new home (Fig. 10b).
+            const int hm = memHops(old_tile, core, sample.line);
+            const int hr = memHops(bank_tile, core, sample.line);
+            const double mem_leg =
+                static_cast<double>(mesh.latency(hm, ctrl)) +
+                cfg.memLatency + queueDelay + mesh.latency(hr, data);
+            lat += mem_leg;
+            offchip += mem_leg;
+            mesh.addTraffic(TrafficClass::LLCToMem, hm, ctrl);
+            mesh.addTraffic(TrafficClass::LLCToMem, hr, data);
+            stats.memAccesses++;
+            chunkMisses++;
+            fill_res = banks[mr.bank].fill(sample.line, tag, core);
+            filled = true;
+        }
+    } else {
+        const int hm = memHops(bank_tile, core, sample.line);
+        const double mem_leg =
+            static_cast<double>(mesh.latency(hm, ctrl)) +
+            cfg.memLatency + queueDelay + mesh.latency(hm, data);
+        lat += mem_leg;
+        offchip += mem_leg;
+        mesh.addTraffic(TrafficClass::LLCToMem, hm, ctrl + data);
+        stats.memAccesses++;
+        chunkMisses++;
+        fill_res = banks[mr.bank].fill(sample.line, tag, core);
+        filled = true;
+    }
+
+    if (filled && fill_res.evicted && fill_res.evictedSharers != 0) {
+        // Invalidate L2 copies of the victim (in-cache directory).
+        std::uint64_t mask = fill_res.evictedSharers;
+        while (mask != 0) {
+            const int sharer = std::countr_zero(mask);
+            mask &= mask - 1;
+            if (sharer < mesh.numTiles()) {
+                mesh.addTraffic(TrafficClass::Other,
+                                mesh.hops(bank_tile,
+                                          static_cast<TileId>(sharer)),
+                                ctrl);
+            }
+        }
+    }
+
+    if (mr.invalidatePage) {
+        // R-NUCA reclassification: flush the page from its old bank.
+        int flushed = 0;
+        for (std::uint32_t i = 0; i < linesPerPage; i++) {
+            if (banks[mr.invalidateBank].invalidateLine(
+                    mr.invalidatePageBase + i)) {
+                flushed++;
+            }
+        }
+        if (flushed > 0) {
+            const TileId old_tile = static_cast<TileId>(
+                mr.invalidateBank / cfg.banksPerTile);
+            mesh.addTraffic(TrafficClass::Other,
+                            mesh.hopsToMemCtrl(old_tile, sample.line),
+                            data * flushed);
+        }
+    }
+
+    stats.onChipLatSum += onchip;
+    stats.offChipLatSum += offchip;
+    clocks[t].addAccess(thr.instrPerAccess, lat);
+
+    if (cfg.traceIpc) {
+        const auto bin = static_cast<std::size_t>(
+            clocks[t].cycleCount() / cfg.traceBinCycles);
+        if (bin >= ipcBins.size())
+            ipcBins.resize(bin + 1, 0.0);
+        ipcBins[bin] += thr.instrPerAccess;
+    }
+}
+
+} // namespace cdcs

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Per-access dynamics layer: drives one LLC access end to end through
+ * the platform (policy mapping, bank lookup, demand moves, memory),
+ * accounts latency/traffic/stats, models the memory-bandwidth queue,
+ * and keeps the first-touch NUMA page map. Owns the per-thread core
+ * clocks and the per-epoch access matrix the EpochController feeds to
+ * the runtime.
+ */
+
+#ifndef CDCS_SIM_ACCESS_PATH_HH
+#define CDCS_SIM_ACCESS_PATH_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "sim/core_model.hh"
+#include "sim/platform.hh"
+#include "sim/run_stats.hh"
+#include "workload/mix.hh"
+
+namespace cdcs
+{
+
+/** The hot path: issues accesses and accrues timing state. */
+class AccessPath
+{
+  public:
+    /**
+     * @param threadCore Live thread-to-core map (updated between
+     *        epochs by the EpochController).
+     * @param stats Shared run counters (reset at warmup boundary).
+     */
+    AccessPath(const SystemConfig &cfg, Platform &platform,
+               WorkloadMix &mix, std::vector<TileId> &threadCore,
+               RunStats &stats);
+
+    /** Issue one access of thread t through the LLC. */
+    void issueAccess(ThreadId t);
+
+    /** Start a chunk: reset the per-chunk miss counter. */
+    void beginChunk();
+
+    /**
+     * End a chunk: refresh the M/D/1-style memory queueing delay from
+     * the miss rate observed between mean active cycles `before` and
+     * `after`.
+     */
+    void endChunk(double before, double after);
+
+    /** Mean active cycles over all thread clocks. */
+    double meanActiveCycles() const;
+
+    /// Per-thread performance state.
+    std::vector<CoreClock> clocks;
+    /// accessMatrix[t][vc]: accesses this epoch (runtime input).
+    std::vector<std::vector<double>> accessMatrix;
+    /// Aggregate-instruction bins for the IPC trace (traceIpc).
+    std::vector<double> ipcBins;
+
+  private:
+    /** Memory hops for a line accessed via `bank_tile` by `core`. */
+    int memHops(TileId bank_tile, TileId core, LineAddr line);
+
+    const SystemConfig &cfg;
+    Platform &platform;
+    WorkloadMix &mix;
+    std::vector<TileId> &threadCore;
+    RunStats &stats;
+
+    // Memory-bandwidth queueing state.
+    double queueDelay = 0.0;
+    std::uint64_t chunkMisses = 0;
+
+    /** First-touch page-to-controller map (numaAwareMem). */
+    std::unordered_map<std::uint64_t, int> pageCtrl;
+
+    std::uint64_t monitorTrafficSampleCtr = 0;
+};
+
+} // namespace cdcs
+
+#endif // CDCS_SIM_ACCESS_PATH_HH

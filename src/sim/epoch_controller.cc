@@ -1,0 +1,228 @@
+#include "sim/epoch_controller.hh"
+
+#include <algorithm>
+
+namespace cdcs
+{
+
+EpochController::EpochController(const SystemConfig &config,
+                                 Platform &plat, AccessPath &access,
+                                 WorkloadMix &workload,
+                                 std::vector<TileId> &thread_core,
+                                 RunStats &run_stats)
+    : cfg(config), platform(plat), path(access), mix(workload),
+      threadCore(thread_core), stats(run_stats)
+{
+    instrOffset.assign(mix.numThreads(), 0.0);
+    cycleOffset.assign(mix.numThreads(), 0.0);
+}
+
+RuntimeInput
+EpochController::gatherRuntimeInput()
+{
+    RuntimeInput in;
+    in.mesh = &platform.mesh;
+    in.numBanks = platform.numBanks();
+    in.banksPerTile = cfg.banksPerTile;
+    in.bankLines = cfg.bankLines;
+    in.allocGranule =
+        static_cast<std::uint64_t>(cfg.allocGranuleLines);
+    if (!platform.monitors.empty()) {
+        in.missCurves.reserve(platform.monitors.size());
+        for (const auto &mon : platform.monitors)
+            in.missCurves.push_back(mon->missCurve());
+    }
+    in.access = path.accessMatrix;
+
+    // Blend with the EWMA of previous epochs: the runtime's inputs
+    // are sampled and noisy, and placement stability depends on them
+    // converging for stationary workloads.
+    const double alpha = cfg.monitorSmoothing;
+    if (alpha < 1.0) {
+        if (smoothedAccess.empty()) {
+            smoothedAccess = in.access;
+            smoothedCurves = in.missCurves;
+        } else {
+            for (std::size_t t = 0; t < in.access.size(); t++) {
+                for (std::size_t d = 0; d < in.access[t].size(); d++) {
+                    smoothedAccess[t][d] = alpha * in.access[t][d] +
+                        (1.0 - alpha) * smoothedAccess[t][d];
+                }
+            }
+            for (std::size_t d = 0; d < in.missCurves.size(); d++) {
+                // Same monitor geometry each epoch: identical x grid.
+                Curve blended;
+                const auto &cur = in.missCurves[d].samples();
+                const auto &old_curve = smoothedCurves[d].samples();
+                for (std::size_t i = 0; i < cur.size(); i++) {
+                    const double prev_y = i < old_curve.size()
+                        ? old_curve[i].y : cur[i].y;
+                    blended.addPoint(cur[i].x,
+                                     alpha * cur[i].y +
+                                         (1.0 - alpha) * prev_y);
+                }
+                smoothedCurves[d] = blended;
+            }
+            in.access = smoothedAccess;
+            in.missCurves = smoothedCurves;
+        }
+    }
+    in.threadCore = threadCore;
+    in.hopCycles = static_cast<double>(cfg.noc.routerCycles +
+                                       cfg.noc.linkCycles);
+    in.bankAccessCycles = static_cast<double>(cfg.bankLatency);
+    in.memAccessCycles = static_cast<double>(cfg.memLatency);
+    return in;
+}
+
+void
+EpochController::applyDirective(const EpochDirective &directive)
+{
+    if (!directive.reconfigured)
+        return;
+    stats.reconfigs++;
+    stats.timeSums.allocUs += directive.times.allocUs;
+    stats.timeSums.threadPlaceUs += directive.times.threadPlaceUs;
+    stats.timeSums.dataPlaceUs += directive.times.dataPlaceUs;
+    stats.instantMoved += directive.movedLines;
+    stats.bulkInvalidated += directive.invalidatedLines;
+    if (!directive.newThreadCore.empty())
+        threadCore = directive.newThreadCore;
+    if (directive.pauseCycles > 0) {
+        for (CoreClock &clock : path.clocks)
+            clock.addPause(static_cast<double>(directive.pauseCycles));
+        stats.pausedCycles += directive.pauseCycles;
+    }
+}
+
+void
+EpochController::runEpochs()
+{
+    const int num_threads = mix.numThreads();
+    for (int epoch = 0; epoch < cfg.epochs; epoch++) {
+        if (epoch == cfg.warmupEpochs) {
+            // Warmup boundary: reset measured statistics, keep all
+            // microarchitectural state warm.
+            stats = RunStats{};
+            platform.mesh.clearTraffic();
+            for (int t = 0; t < num_threads; t++) {
+                instrOffset[t] = path.clocks[t].instructions();
+                cycleOffset[t] = path.clocks[t].cycleCount();
+            }
+        }
+
+        std::uint64_t issued = 0;
+        while (issued < cfg.accessesPerThreadEpoch) {
+            const auto n = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(
+                    cfg.chunkAccesses,
+                    cfg.accessesPerThreadEpoch - issued));
+            const double before = path.meanActiveCycles();
+            path.beginChunk();
+            for (ThreadId t = 0; t < num_threads; t++) {
+                for (std::uint32_t i = 0; i < n; i++)
+                    path.issueAccess(t);
+            }
+            issued += n;
+            const double after = path.meanActiveCycles();
+            path.endChunk(before, after);
+
+            const double elapsed =
+                std::max(0.0, after - reconfigStartMean);
+            stats.bgInvalidated += platform.policy->advanceWalk(
+                static_cast<Cycles>(elapsed), platform.banks);
+        }
+
+        if (epoch + 1 < cfg.epochs) {
+            RuntimeInput input = gatherRuntimeInput();
+            const EpochDirective directive =
+                platform.policy->endEpoch(input, platform.banks);
+            applyDirective(directive);
+            for (auto &mon : platform.monitors)
+                mon->clearCounters();
+            for (auto &row : path.accessMatrix)
+                std::fill(row.begin(), row.end(), 0.0);
+            reconfigStartMean = path.meanActiveCycles();
+        }
+    }
+}
+
+RunResult
+EpochController::assemble() const
+{
+    const int num_threads = mix.numThreads();
+    RunResult res;
+    res.threadInstrs.resize(num_threads);
+    res.threadCycles.resize(num_threads);
+    res.threadIpc.resize(num_threads);
+    for (int t = 0; t < num_threads; t++) {
+        res.threadInstrs[t] =
+            path.clocks[t].instructions() - instrOffset[t];
+        res.threadCycles[t] =
+            path.clocks[t].cycleCount() - cycleOffset[t];
+        res.threadIpc[t] = res.threadCycles[t] > 0.0
+            ? res.threadInstrs[t] / res.threadCycles[t] : 0.0;
+        res.totalInstrs += res.threadInstrs[t];
+        res.wallCycles = std::max(res.wallCycles, res.threadCycles[t]);
+    }
+    for (ProcId p = 0; p < mix.numProcesses(); p++) {
+        const ProcessCtx &proc = mix.process(p);
+        double instrs = 0.0, max_cycles = 0.0;
+        for (ThreadId t : proc.threads) {
+            instrs += res.threadInstrs[t];
+            max_cycles = std::max(max_cycles, res.threadCycles[t]);
+        }
+        res.procThroughput.push_back(
+            max_cycles > 0.0 ? instrs / max_cycles : 0.0);
+    }
+
+    res.llcAccesses = stats.llcAccesses;
+    res.llcHits = stats.llcHits;
+    res.demandMoves = stats.demandMoves;
+    res.moveProbes = stats.moveProbes;
+    res.memAccesses = stats.memAccesses;
+    res.instantMoved = stats.instantMoved;
+    res.bulkInvalidated = stats.bulkInvalidated;
+    res.bgInvalidated = stats.bgInvalidated;
+    res.pausedCycles = stats.pausedCycles;
+    res.reconfigs = stats.reconfigs;
+    if (stats.reconfigs > 0) {
+        res.avgTimes.allocUs =
+            stats.timeSums.allocUs / stats.reconfigs;
+        res.avgTimes.threadPlaceUs =
+            stats.timeSums.threadPlaceUs / stats.reconfigs;
+        res.avgTimes.dataPlaceUs =
+            stats.timeSums.dataPlaceUs / stats.reconfigs;
+    }
+    res.onChipLatSum = stats.onChipLatSum;
+    res.offChipLatSum = stats.offChipLatSum;
+    for (std::size_t c = 0; c < res.trafficFlitHops.size(); c++) {
+        res.trafficFlitHops[c] =
+            platform.mesh.trafficFlitHops(static_cast<TrafficClass>(c));
+    }
+
+    // Static energy accrues over the mean per-thread runtime: in the
+    // fixed-work methodology threads retire their work at different
+    // times and finished cores clock-gate.
+    double mean_cycles = 0.0;
+    for (double c : res.threadCycles)
+        mean_cycles += c;
+    if (!res.threadCycles.empty())
+        mean_cycles /= static_cast<double>(res.threadCycles.size());
+    const EnergyModel energy_model;
+    res.energy = energy_model.evaluate(
+        res.totalInstrs,
+        static_cast<double>(res.llcAccesses + res.moveProbes),
+        static_cast<double>(platform.mesh.totalFlitHops()),
+        static_cast<double>(res.memAccesses), mean_cycles);
+
+    if (cfg.traceIpc) {
+        res.ipcBinCycles = cfg.traceBinCycles;
+        res.ipcTrace.reserve(path.ipcBins.size());
+        for (double instrs : path.ipcBins)
+            res.ipcTrace.push_back(instrs / cfg.traceBinCycles);
+    }
+    return res;
+}
+
+} // namespace cdcs

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Epoch control layer: drives the fixed-work epoch loop (Fig. 4) —
+ * issue chunks through the AccessPath, gather and EWMA-smooth the
+ * runtime inputs at each epoch boundary, invoke the policy's
+ * reconfiguration, apply its directive (new thread placement, pauses,
+ * move accounting), reset statistics at the warmup boundary, and
+ * assemble the final RunResult.
+ */
+
+#ifndef CDCS_SIM_EPOCH_CONTROLLER_HH
+#define CDCS_SIM_EPOCH_CONTROLLER_HH
+
+#include <vector>
+
+#include "common/curve.hh"
+#include "sim/access_path.hh"
+#include "sim/platform.hh"
+#include "sim/run_result.hh"
+#include "sim/run_stats.hh"
+
+namespace cdcs
+{
+
+/** Runs epochs and reconfigurations over an AccessPath. */
+class EpochController
+{
+  public:
+    EpochController(const SystemConfig &cfg, Platform &platform,
+                    AccessPath &path, WorkloadMix &mix,
+                    std::vector<TileId> &threadCore, RunStats &stats);
+
+    /** Run all epochs (warmup + measured). */
+    void runEpochs();
+
+    /** Aggregate the post-warmup measurements. */
+    RunResult assemble() const;
+
+  private:
+    /** Snapshot monitor curves + access matrix for the runtime. */
+    RuntimeInput gatherRuntimeInput();
+    /** Apply a reconfiguration directive to the live system. */
+    void applyDirective(const EpochDirective &directive);
+
+    const SystemConfig &cfg;
+    Platform &platform;
+    AccessPath &path;
+    WorkloadMix &mix;
+    std::vector<TileId> &threadCore;
+    RunStats &stats;
+
+    /// Per-thread instruction/cycle counts at the warmup boundary.
+    std::vector<double> instrOffset;
+    std::vector<double> cycleOffset;
+
+    // EWMA-smoothed runtime inputs.
+    std::vector<Curve> smoothedCurves;
+    std::vector<std::vector<double>> smoothedAccess;
+
+    // Reconfiguration/walk timing.
+    double reconfigStartMean = 0.0;
+};
+
+} // namespace cdcs
+
+#endif // CDCS_SIM_EPOCH_CONTROLLER_HH

@@ -1,8 +1,6 @@
 #include "sim/experiment.hh"
 
-#include <atomic>
 #include <cstdlib>
-#include <thread>
 
 #include "common/log.hh"
 #include "common/stats.hh"
@@ -57,34 +55,6 @@ runSchemes(const SystemConfig &cfg,
     for (std::size_t i = 0; i < schemes.size(); i++)
         results[i] = runScheme(cfg, schemes[i], mix);
     return results;
-}
-
-void
-parallelFor(int n, const std::function<void(int)> &fn)
-{
-    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-    const unsigned workers =
-        std::min<unsigned>(hw, static_cast<unsigned>(n));
-    if (workers <= 1) {
-        for (int i = 0; i < n; i++)
-            fn(i);
-        return;
-    }
-    std::atomic<int> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; w++) {
-        pool.emplace_back([&]() {
-            while (true) {
-                const int i = next.fetch_add(1);
-                if (i >= n)
-                    return;
-                fn(i);
-            }
-        });
-    }
-    for (auto &worker : pool)
-        worker.join();
 }
 
 std::uint64_t

@@ -2,9 +2,10 @@
  * @file
  * Experiment harness helpers shared by the bench binaries: mix
  * construction, per-scheme runs with identical workload streams,
- * weighted-speedup computation against the S-NUCA baseline, parallel
- * sweeps over mixes, and environment-variable knobs for scaling the
- * (scaled-down) default methodology up or down.
+ * weighted-speedup computation against the S-NUCA baseline, and
+ * environment-variable knobs for scaling the (scaled-down) default
+ * methodology up or down. Parallel scheme x mix sweeps live in
+ * sim/experiment_runner.hh.
  */
 
 #ifndef CDCS_SIM_EXPERIMENT_HH
@@ -80,17 +81,12 @@ double weightedSpeedup(const RunResult &run, const RunResult &baseline);
 
 /**
  * Run several schemes on the same mix (identical streams) and return
- * results in scheme order.
+ * results in scheme order. Serial; use ExperimentRunner::runSchemes
+ * to shard the runs across the pool.
  */
 std::vector<RunResult> runSchemes(const SystemConfig &cfg,
                                   const std::vector<SchemeSpec> &schemes,
                                   const MixSpec &mix);
-
-/**
- * Map fn over [0, n) with a small worker pool (the benches parallelize
- * over mixes).
- */
-void parallelFor(int n, const std::function<void(int)> &fn);
 
 /** Integer environment knob with default (e.g., CDCS_MIXES). */
 std::uint64_t envOr(const char *name, std::uint64_t fallback);

@@ -1,0 +1,289 @@
+#include "sim/experiment_runner.hh"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/stats.hh"
+
+namespace cdcs
+{
+
+namespace
+{
+
+void
+appendF(std::string &out, const char *fmt, ...)
+{
+    char buf[256];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    out += buf;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+void
+appendDoubleArray(std::string &out, const std::vector<double> &xs)
+{
+    out += '[';
+    for (std::size_t i = 0; i < xs.size(); i++)
+        appendF(out, "%s%.17g", i > 0 ? "," : "", xs[i]);
+    out += ']';
+}
+
+} // anonymous namespace
+
+std::string
+SweepResult::toJson() const
+{
+    std::string out = "{\n";
+    appendF(out, "  \"mixes\": %d,\n", mixes());
+    out += "  \"schemes\": [\n";
+    for (std::size_t s = 0; s < schemes.size(); s++) {
+        out += "    {\n";
+        appendF(out, "      \"name\": \"%s\",\n",
+                jsonEscape(schemes[s].name).c_str());
+        out += "      \"ws\": ";
+        appendDoubleArray(out, ws[s]);
+        out += ",\n";
+        appendF(out, "      \"gmeanWs\": %.17g,\n",
+                ws[s].empty() ? 0.0 : gmean(ws[s]));
+        appendF(out, "      \"onChipLat\": %.17g,\n", onChipLat[s]);
+        appendF(out, "      \"offChipLat\": %.17g,\n", offChipLat[s]);
+        appendF(out,
+                "      \"trafficPerInstr\": [%.17g,%.17g,%.17g],\n",
+                trafficPerInstr[s][0], trafficPerInstr[s][1],
+                trafficPerInstr[s][2]);
+        appendF(out, "      \"energyPerInstr\": %.17g,\n",
+                energyPerInstr[s]);
+        appendF(out,
+                "      \"energyParts\": {\"static\": %.17g, "
+                "\"core\": %.17g, \"net\": %.17g, \"llc\": %.17g, "
+                "\"mem\": %.17g}\n",
+                energyParts[s][0], energyParts[s][1],
+                energyParts[s][2], energyParts[s][3],
+                energyParts[s][4]);
+        appendF(out, "    }%s\n",
+                s + 1 < schemes.size() ? "," : "");
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+bool
+SweepResult::writeJson(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    const std::string json = toJson();
+    const bool ok =
+        std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+ExperimentRunner::ExperimentRunner(Options options)
+    : opts(options), pool(options.workers)
+{
+}
+
+std::string
+ExperimentRunner::cacheKey(const SystemConfig &cfg,
+                           const SchemeSpec &scheme,
+                           const MixSpec &mix)
+{
+    std::string key;
+    key.reserve(512);
+    // SystemConfig.
+    appendF(key,
+            "cfg:%d,%d,%d,%" PRIu64 ",%u,%" PRIu64 ",%" PRIu64
+            ",%" PRIu64 ",%" PRIu64 ",%u,%u,%d,%.17g,%d,%d,%" PRIu64
+            ",%d,%d,%u,%d,%" PRIu64 ",%d,%" PRIu64 ",%.17g,%.17g|",
+            cfg.meshWidth, cfg.meshHeight, cfg.banksPerTile,
+            cfg.bankLines, cfg.bankWays, cfg.bankLatency,
+            cfg.memLatency, cfg.noc.routerCycles, cfg.noc.linkCycles,
+            cfg.noc.flitBits, cfg.noc.headerBits,
+            cfg.modelMemBandwidth ? 1 : 0, cfg.memLinesPerCycle,
+            cfg.memChannels, cfg.numaAwareMem ? 1 : 0,
+            cfg.accessesPerThreadEpoch, cfg.epochs, cfg.warmupEpochs,
+            cfg.chunkAccesses, cfg.traceIpc ? 1 : 0,
+            cfg.traceBinCycles, static_cast<int>(cfg.moveCfg.moves),
+            cfg.seed, cfg.allocGranuleLines, cfg.monitorSmoothing);
+    appendF(key,
+            "mv:%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%.17g|",
+            cfg.moveCfg.walkCyclesPerSet, cfg.moveCfg.walkDelay,
+            cfg.moveCfg.bulkCyclesPerSet, cfg.moveCfg.allocHysteresis);
+    // SchemeSpec (name excluded: it is a label, not behavior).
+    appendF(key,
+            "spec:%d,%d,%d,%d,%u,%u,%u,%d,%d,%d,%d,%d,%.17g,%.17g,"
+            "%.17g|",
+            static_cast<int>(scheme.kind),
+            static_cast<int>(scheme.moves),
+            static_cast<int>(scheme.sched),
+            static_cast<int>(scheme.monitor), scheme.monitorWays,
+            scheme.monitorSets, scheme.monitorSampleShift,
+            static_cast<int>(scheme.placer), scheme.saIterations,
+            scheme.cdcsOpts.latencyAwareAlloc ? 1 : 0,
+            scheme.cdcsOpts.placeThreads ? 1 : 0,
+            scheme.cdcsOpts.refineTrades ? 1 : 0,
+            scheme.cdcsOpts.minAllocLines,
+            scheme.cdcsOpts.sizeHysteresis,
+            scheme.cdcsOpts.placeGranule);
+    // MixSpec.
+    appendF(key, "mix:%d,%d,%" PRIu64,
+            static_cast<int>(mix.kind), mix.count, mix.seed);
+    for (const std::string &name : mix.names) {
+        key += ',';
+        key += name;
+    }
+    return key;
+}
+
+RunResult
+ExperimentRunner::runJob(const Job &job)
+{
+    const bool memoize =
+        opts.memoizeBaseline && job.scheme.kind == SchemeKind::SNuca;
+    std::string key;
+    if (memoize) {
+        key = cacheKey(job.cfg, job.scheme, job.mix);
+        std::lock_guard<std::mutex> lock(memoMu);
+        const auto it = baselineMemo.find(key);
+        if (it != baselineMemo.end())
+            return it->second;
+    }
+    RunResult res = runScheme(job.cfg, job.scheme, job.mix);
+    if (memoize) {
+        std::lock_guard<std::mutex> lock(memoMu);
+        baselineMemo.emplace(std::move(key), res);
+    }
+    return res;
+}
+
+RunResult
+ExperimentRunner::run(const SystemConfig &cfg,
+                      const SchemeSpec &scheme, const MixSpec &mix)
+{
+    return runJob(Job{cfg, scheme, mix});
+}
+
+std::vector<RunResult>
+ExperimentRunner::runAll(const std::vector<Job> &jobs)
+{
+    std::vector<RunResult> results(jobs.size());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); i++) {
+        tasks.push_back([this, &jobs, &results, i]() {
+            results[i] = runJob(jobs[i]);
+        });
+    }
+    pool.run(std::move(tasks));
+    return results;
+}
+
+std::vector<RunResult>
+ExperimentRunner::runSchemes(const SystemConfig &cfg,
+                             const std::vector<SchemeSpec> &schemes,
+                             const MixSpec &mix)
+{
+    std::vector<Job> jobs;
+    jobs.reserve(schemes.size());
+    for (const SchemeSpec &scheme : schemes)
+        jobs.push_back(Job{cfg, scheme, mix});
+    return runAll(jobs);
+}
+
+void
+ExperimentRunner::forEach(int n, const std::function<void(int)> &fn)
+{
+    if (n <= 0)
+        return;
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(n);
+    for (int i = 0; i < n; i++)
+        tasks.push_back([&fn, i]() { fn(i); });
+    pool.run(std::move(tasks));
+}
+
+SweepResult
+ExperimentRunner::sweep(const SystemConfig &cfg,
+                        const std::vector<SchemeSpec> &schemes,
+                        int mixes,
+                        const std::function<MixSpec(int)> &mix_of)
+{
+    const std::size_t num_schemes = schemes.size();
+    SweepResult out;
+    out.schemes = schemes;
+    out.ws.assign(num_schemes, std::vector<double>(mixes, 0.0));
+    out.onChipLat.assign(num_schemes, 0.0);
+    out.offChipLat.assign(num_schemes, 0.0);
+    out.trafficPerInstr.assign(num_schemes, {0.0, 0.0, 0.0});
+    out.energyPerInstr.assign(num_schemes, 0.0);
+    out.energyParts.assign(num_schemes, {0, 0, 0, 0, 0});
+    out.firstRun.resize(num_schemes);
+    if (num_schemes == 0 || mixes <= 0)
+        return out;
+
+    // Shard every (scheme, mix) pair, not just mixes: a sweep with
+    // fewer mixes than cores still saturates the machine.
+    std::vector<Job> jobs;
+    jobs.reserve(num_schemes * mixes);
+    for (int m = 0; m < mixes; m++) {
+        const MixSpec mix = mix_of(m);
+        for (std::size_t s = 0; s < num_schemes; s++)
+            jobs.push_back(Job{cfg, schemes[s], mix});
+    }
+    const std::vector<RunResult> all = runAll(jobs);
+
+    // Deterministic aggregation order: mixes outer, schemes inner,
+    // independent of which worker finished when.
+    for (int m = 0; m < mixes; m++) {
+        const RunResult &base = all[m * num_schemes];
+        for (std::size_t s = 0; s < num_schemes; s++) {
+            const RunResult &r = all[m * num_schemes + s];
+            out.ws[s][m] = weightedSpeedup(r, base);
+            out.onChipLat[s] += r.avgOnChipLatency() / mixes;
+            out.offChipLat[s] += r.offChipLatPerInstr() / mixes;
+            for (int c = 0; c < 3; c++) {
+                out.trafficPerInstr[s][c] +=
+                    r.flitHopsPerInstr(static_cast<TrafficClass>(c)) /
+                    mixes;
+            }
+            // Zero-work runs (e.g. epochs == warmup) contribute zero
+            // energy rather than NaN, mirroring avgOnChipLatency().
+            if (r.totalInstrs > 0.0) {
+                out.energyPerInstr[s] +=
+                    r.energy.total() / r.totalInstrs / mixes;
+                out.energyParts[s][0] +=
+                    r.energy.staticE / r.totalInstrs / mixes;
+                out.energyParts[s][1] +=
+                    r.energy.core / r.totalInstrs / mixes;
+                out.energyParts[s][2] +=
+                    r.energy.net / r.totalInstrs / mixes;
+                out.energyParts[s][3] +=
+                    r.energy.llc / r.totalInstrs / mixes;
+                out.energyParts[s][4] +=
+                    r.energy.mem / r.totalInstrs / mixes;
+            }
+        }
+    }
+    for (std::size_t s = 0; s < num_schemes; s++)
+        out.firstRun[s] = all[s];
+    return out;
+}
+
+} // namespace cdcs

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The parallel experiment engine behind every figure sweep: shards
+ * individual (scheme, mix) runs — not just mixes — across a
+ * work-stealing pool, memoizes the shared S-NUCA baseline, and
+ * aggregates per-scheme weighted speedups, latency, traffic and
+ * energy into a structured SweepResult with optional JSON export.
+ *
+ * Determinism: every run is a pure function of (SystemConfig,
+ * SchemeSpec, MixSpec) — all RNG streams are derived from the config
+ * and mix seeds, never from scheduling order — and aggregation
+ * iterates results in a fixed order, so a sweep produces bit-identical
+ * output whether it runs serially (CDCS_WORKERS=1) or on all cores.
+ */
+
+#ifndef CDCS_SIM_EXPERIMENT_RUNNER_HH
+#define CDCS_SIM_EXPERIMENT_RUNNER_HH
+
+#include <array>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/task_pool.hh"
+#include "sim/experiment.hh"
+
+namespace cdcs
+{
+
+/** Per-scheme results of a scheme x mix sweep. */
+struct SweepResult
+{
+    std::vector<SchemeSpec> schemes;
+    /// ws[s][m]: weighted speedup of scheme s on mix m vs. scheme 0.
+    std::vector<std::vector<double>> ws;
+    /// Per-scheme aggregates over mixes.
+    std::vector<RunResult> firstRun;    ///< Scheme results on mix 0.
+    std::vector<double> onChipLat;      ///< Mean avg on-chip latency.
+    std::vector<double> offChipLat;     ///< Mean off-chip lat/instr.
+    std::vector<std::array<double, 3>> trafficPerInstr;
+    std::vector<double> energyPerInstr;
+    std::vector<std::array<double, 5>> energyParts;
+
+    int
+    mixes() const
+    {
+        return ws.empty() ? 0 : static_cast<int>(ws[0].size());
+    }
+
+    /** Serialize schemes + per-mix/per-scheme aggregates as JSON. */
+    std::string toJson() const;
+
+    /** Write toJson() to `path`; returns false on I/O failure. */
+    bool writeJson(const std::string &path) const;
+};
+
+/**
+ * Parallel (scheme, mix) experiment runner. One instance owns a
+ * work-stealing pool and a baseline memo; reuse it across sweeps so
+ * identical baseline runs are shared.
+ */
+class ExperimentRunner
+{
+  public:
+    struct Options
+    {
+        /**
+         * Worker threads; 0 honors CDCS_WORKERS and falls back to the
+         * hardware thread count. 1 forces serial in-order execution
+         * (the determinism-check mode).
+         */
+        unsigned workers = 0;
+
+        /** Share identical S-NUCA baseline runs across sweeps. */
+        bool memoizeBaseline = true;
+    };
+
+    /** One unit of schedulable work. */
+    struct Job
+    {
+        SystemConfig cfg;
+        SchemeSpec scheme;
+        MixSpec mix;
+    };
+
+    ExperimentRunner() : ExperimentRunner(Options{}) {}
+    explicit ExperimentRunner(Options options);
+
+    /** Run one scheme on one mix (memoized if an S-NUCA baseline). */
+    RunResult run(const SystemConfig &cfg, const SchemeSpec &scheme,
+                  const MixSpec &mix);
+
+    /** Run every job concurrently; results in job order. */
+    std::vector<RunResult> runAll(const std::vector<Job> &jobs);
+
+    /**
+     * Run several schemes on the same mix (identical workload
+     * streams), in parallel over schemes; results in scheme order.
+     */
+    std::vector<RunResult>
+    runSchemes(const SystemConfig &cfg,
+               const std::vector<SchemeSpec> &schemes,
+               const MixSpec &mix);
+
+    /**
+     * Run `schemes` (scheme 0 is the baseline all weighted speedups
+     * are computed against) over `mixes` mixes built by `mix_of`,
+     * sharding all scheme x mix pairs across the pool at once.
+     */
+    SweepResult sweep(const SystemConfig &cfg,
+                      const std::vector<SchemeSpec> &schemes,
+                      int mixes,
+                      const std::function<MixSpec(int)> &mix_of);
+
+    /** Parallel index map over [0, n) (work-stealing order). */
+    void forEach(int n, const std::function<void(int)> &fn);
+
+    unsigned workers() const { return pool.workerCount(); }
+
+  private:
+    /**
+     * Exact-match memo key: a full serialization of everything that
+     * can influence a run's outcome.
+     */
+    static std::string cacheKey(const SystemConfig &cfg,
+                                const SchemeSpec &scheme,
+                                const MixSpec &mix);
+
+    RunResult runJob(const Job &job);
+
+    Options opts;
+    WorkStealingPool pool;
+    std::mutex memoMu;
+    std::unordered_map<std::string, RunResult> baselineMemo;
+};
+
+} // namespace cdcs
+
+#endif // CDCS_SIM_EXPERIMENT_RUNNER_HH

@@ -1,0 +1,98 @@
+#include "sim/platform.hh"
+
+#include "common/log.hh"
+#include "monitor/gmon.hh"
+#include "monitor/umon.hh"
+#include "nuca/rnuca.hh"
+#include "nuca/snuca.hh"
+#include "runtime/anneal.hh"
+#include "runtime/bisect.hh"
+#include "runtime/schedulers.hh"
+#include "workload/mix.hh"
+
+namespace cdcs
+{
+
+Platform::Platform(const SystemConfig &cfg, const SchemeSpec &spec,
+                   const WorkloadMix &mix)
+    : mesh(cfg.meshWidth, cfg.meshHeight, cfg.noc, cfg.memChannels)
+{
+    const int num_banks = mesh.numTiles() * cfg.banksPerTile;
+    cdcs_assert(mix.numThreads() <= mesh.numTiles(),
+                "mix has more threads than cores");
+
+    banks.reserve(num_banks);
+    for (int b = 0; b < num_banks; b++) {
+        banks.emplace_back(cfg.bankLines, cfg.bankWays,
+                           mix64(cfg.seed ^ (0xBA2B + b)));
+    }
+
+    // Initial thread scheduling.
+    std::vector<ProcId> thread_proc;
+    for (ThreadId t = 0; t < mix.numThreads(); t++)
+        thread_proc.push_back(mix.thread(t).proc);
+    if (spec.sched == InitialSched::Random) {
+        Rng sched_rng(mix64(cfg.seed ^ 0x5E5E));
+        initialPlacement = randomSchedule(mix.numThreads(),
+                                          mesh.numTiles(), sched_rng);
+    } else {
+        initialPlacement = clusteredSchedule(thread_proc,
+                                             mesh.numTiles());
+    }
+
+    // Policy + runtime.
+    switch (spec.kind) {
+      case SchemeKind::SNuca:
+        policy = std::make_unique<SNucaPolicy>(num_banks);
+        break;
+      case SchemeKind::RNuca:
+        policy = std::make_unique<RNucaPolicy>(&mesh,
+                                               cfg.banksPerTile);
+        break;
+      case SchemeKind::Partitioned: {
+        switch (spec.placer) {
+          case PlacerKind::Heuristic:
+            runtime = std::make_unique<CdcsRuntime>(spec.cdcsOpts);
+            break;
+          case PlacerKind::Annealed:
+            runtime = std::make_unique<AnnealingRuntime>(
+                spec.cdcsOpts, spec.saIterations, cfg.seed ^ 0x5A5A);
+            break;
+          case PlacerKind::Bisection:
+            runtime = std::make_unique<BisectRuntime>(spec.cdcsOpts);
+            break;
+        }
+        std::vector<ThreadVcWiring> wiring;
+        for (ThreadId t = 0; t < mix.numThreads(); t++) {
+            const ThreadCtx &thr = mix.thread(t);
+            wiring.push_back({thr.privateVc, thr.processVc,
+                              thr.globalVc});
+        }
+        PartitionedNucaConfig move_cfg = cfg.moveCfg;
+        move_cfg.moves = spec.moves;
+        policy = std::make_unique<PartitionedNucaPolicy>(
+            &mesh, cfg.banksPerTile, cfg.bankLines,
+            static_cast<std::uint32_t>(cfg.bankLines / cfg.bankWays),
+            std::move(wiring), mix.numVcs(), runtime.get(), move_cfg);
+        break;
+      }
+    }
+
+    // Monitors (partitioned schemes only).
+    if (policy->wantsMonitors()) {
+        for (int d = 0; d < mix.numVcs(); d++) {
+            if (spec.monitor == MonitorKind::Gmon) {
+                monitors.push_back(std::make_unique<Gmon>(
+                    spec.monitorWays, cfg.llcLines(), spec.monitorSets,
+                    spec.monitorSampleShift,
+                    mix64(cfg.seed ^ (0x60D + d))));
+            } else {
+                monitors.push_back(std::make_unique<Umon>(
+                    spec.monitorWays, cfg.llcLines(), spec.monitorSets,
+                    mix64(cfg.seed ^ (0x60D + d))));
+            }
+        }
+    }
+}
+
+} // namespace cdcs

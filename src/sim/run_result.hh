@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Aggregated results of one run, reported by the System facade and
+ * consumed by the experiment layers and bench harnesses.
+ */
+
+#ifndef CDCS_SIM_RUN_RESULT_HH
+#define CDCS_SIM_RUN_RESULT_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "mesh/mesh.hh"
+#include "runtime/cdcs_runtime.hh"
+#include "sim/energy.hh"
+
+namespace cdcs
+{
+
+/** Aggregated results of one run (post-warmup unless noted). */
+struct RunResult
+{
+    std::vector<double> threadInstrs;
+    std::vector<double> threadCycles;
+    std::vector<double> threadIpc;
+    /** Per-process throughput: sum(instrs) / max(cycles). */
+    std::vector<double> procThroughput;
+
+    double totalInstrs = 0.0;
+    double wallCycles = 0.0;
+
+    std::uint64_t llcAccesses = 0;
+    std::uint64_t llcHits = 0;
+    std::uint64_t demandMoves = 0;
+    std::uint64_t moveProbes = 0;
+    std::uint64_t memAccesses = 0;
+    std::uint64_t instantMoved = 0;
+    std::uint64_t bulkInvalidated = 0;
+    std::uint64_t bgInvalidated = 0;
+    Cycles pausedCycles = 0;
+    int reconfigs = 0;
+    RuntimeStepTimes avgTimes;
+
+    double onChipLatSum = 0.0;  ///< L2<->LLC network cycles.
+    double offChipLatSum = 0.0; ///< Memory + LLC<->mem network cycles.
+
+    std::array<std::uint64_t, 3> trafficFlitHops = {0, 0, 0};
+
+    EnergyBreakdown energy;
+
+    /** Aggregate-IPC trace (whole run, no warmup trim). */
+    std::vector<double> ipcTrace;
+    Cycles ipcBinCycles = 0;
+
+    double
+    avgOnChipLatency() const
+    {
+        return llcAccesses > 0 ? onChipLatSum / llcAccesses : 0.0;
+    }
+
+    double
+    offChipLatPerInstr() const
+    {
+        return totalInstrs > 0 ? offChipLatSum / totalInstrs : 0.0;
+    }
+
+    double
+    flitHopsPerInstr(TrafficClass cls) const
+    {
+        return totalInstrs > 0
+            ? trafficFlitHops[static_cast<std::size_t>(cls)] /
+                totalInstrs
+            : 0.0;
+    }
+};
+
+} // namespace cdcs
+
+#endif // CDCS_SIM_RUN_RESULT_HH

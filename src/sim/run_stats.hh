@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Measured statistics of one run, shared by the AccessPath (which
+ * accounts per-access events) and the EpochController (which accounts
+ * reconfiguration events and resets the counters at the warmup
+ * boundary).
+ */
+
+#ifndef CDCS_SIM_RUN_STATS_HH
+#define CDCS_SIM_RUN_STATS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "runtime/cdcs_runtime.hh"
+
+namespace cdcs
+{
+
+/** Counters reset at the warmup boundary. */
+struct RunStats
+{
+    std::uint64_t llcAccesses = 0;
+    std::uint64_t llcHits = 0;
+    std::uint64_t demandMoves = 0;
+    std::uint64_t moveProbes = 0;
+    std::uint64_t memAccesses = 0;
+    std::uint64_t instantMoved = 0;
+    std::uint64_t bulkInvalidated = 0;
+    std::uint64_t bgInvalidated = 0;
+    Cycles pausedCycles = 0;
+    int reconfigs = 0;
+    RuntimeStepTimes timeSums;
+    double onChipLatSum = 0.0;
+    double offChipLatSum = 0.0;
+};
+
+} // namespace cdcs
+
+#endif // CDCS_SIM_RUN_STATS_HH

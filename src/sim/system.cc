@@ -1,19 +1,5 @@
 #include "sim/system.hh"
 
-#include <algorithm>
-#include <bit>
-#include <cmath>
-
-#include "common/log.hh"
-#include "monitor/gmon.hh"
-#include "monitor/umon.hh"
-#include "nuca/rnuca.hh"
-#include "nuca/snuca.hh"
-#include "runtime/anneal.hh"
-#include "runtime/bisect.hh"
-#include "runtime/jigsaw_runtime.hh"
-#include "runtime/schedulers.hh"
-
 namespace cdcs
 {
 
@@ -84,472 +70,26 @@ SchemeSpec::factor(bool l, bool t, bool d)
 
 System::System(const SystemConfig &config, const SchemeSpec &scheme,
                WorkloadMix workload)
-    : cfg(config), spec(scheme),
-      mesh(config.meshWidth, config.meshHeight, config.noc,
-           config.memChannels),
-      mix(std::move(workload)), rng(mix64(config.seed ^ 0x5E5E))
+    : cfg(config), spec(scheme), mix(std::move(workload)),
+      platform(cfg, spec, mix), stats(),
+      threadCore(platform.initialPlacement),
+      path(cfg, platform, mix, threadCore, stats),
+      controller(cfg, platform, path, mix, threadCore, stats)
 {
-    const int num_banks = mesh.numTiles() * cfg.banksPerTile;
-    cdcs_assert(mix.numThreads() <= mesh.numTiles(),
-                "mix has more threads than cores");
-
-    banks.reserve(num_banks);
-    for (int b = 0; b < num_banks; b++) {
-        banks.emplace_back(cfg.bankLines, cfg.bankWays,
-                           mix64(cfg.seed ^ (0xBA2B + b)));
-    }
-
-    // Initial thread scheduling.
-    std::vector<ProcId> thread_proc;
-    for (ThreadId t = 0; t < mix.numThreads(); t++)
-        thread_proc.push_back(mix.thread(t).proc);
-    if (spec.sched == InitialSched::Random)
-        threadCore = randomSchedule(mix.numThreads(), mesh.numTiles(),
-                                    rng);
-    else
-        threadCore = clusteredSchedule(thread_proc, mesh.numTiles());
-
-    // Policy + runtime.
-    switch (spec.kind) {
-      case SchemeKind::SNuca:
-        nucaPolicy = std::make_unique<SNucaPolicy>(num_banks);
-        break;
-      case SchemeKind::RNuca:
-        nucaPolicy = std::make_unique<RNucaPolicy>(&mesh,
-                                                   cfg.banksPerTile);
-        break;
-      case SchemeKind::Partitioned: {
-        switch (spec.placer) {
-          case PlacerKind::Heuristic:
-            runtime = std::make_unique<CdcsRuntime>(spec.cdcsOpts);
-            break;
-          case PlacerKind::Annealed:
-            runtime = std::make_unique<AnnealingRuntime>(
-                spec.cdcsOpts, spec.saIterations, cfg.seed ^ 0x5A5A);
-            break;
-          case PlacerKind::Bisection:
-            runtime = std::make_unique<BisectRuntime>(spec.cdcsOpts);
-            break;
-        }
-        std::vector<ThreadVcWiring> wiring;
-        for (ThreadId t = 0; t < mix.numThreads(); t++) {
-            const ThreadCtx &thr = mix.thread(t);
-            wiring.push_back({thr.privateVc, thr.processVc,
-                              thr.globalVc});
-        }
-        PartitionedNucaConfig move_cfg = cfg.moveCfg;
-        move_cfg.moves = spec.moves;
-        nucaPolicy = std::make_unique<PartitionedNucaPolicy>(
-            &mesh, cfg.banksPerTile, cfg.bankLines,
-            static_cast<std::uint32_t>(cfg.bankLines / cfg.bankWays),
-            std::move(wiring), mix.numVcs(), runtime.get(), move_cfg);
-        break;
-      }
-    }
-
-    // Monitors (partitioned schemes only).
-    if (nucaPolicy->wantsMonitors()) {
-        for (int d = 0; d < mix.numVcs(); d++) {
-            if (spec.monitor == MonitorKind::Gmon) {
-                monitors.push_back(std::make_unique<Gmon>(
-                    spec.monitorWays, cfg.llcLines(), spec.monitorSets,
-                    spec.monitorSampleShift,
-                    mix64(cfg.seed ^ (0x60D + d))));
-            } else {
-                monitors.push_back(std::make_unique<Umon>(
-                    spec.monitorWays, cfg.llcLines(), spec.monitorSets,
-                    mix64(cfg.seed ^ (0x60D + d))));
-            }
-        }
-    }
-
-    clocks.reserve(mix.numThreads());
-    for (ThreadId t = 0; t < mix.numThreads(); t++) {
-        const ThreadCtx &thr = mix.thread(t);
-        clocks.emplace_back(thr.cpiExe, thr.mlp);
-    }
-    accessMatrix.assign(mix.numThreads(),
-                        std::vector<double>(mix.numVcs(), 0.0));
-    instrOffset.assign(mix.numThreads(), 0.0);
-    cycleOffset.assign(mix.numThreads(), 0.0);
 }
 
 const PartitionedNucaPolicy *
 System::partitionedPolicy() const
 {
-    return dynamic_cast<const PartitionedNucaPolicy *>(nucaPolicy.get());
-}
-
-double
-System::meanActiveCycles() const
-{
-    if (clocks.empty())
-        return 0.0;
-    double sum = 0.0;
-    for (const CoreClock &clock : clocks)
-        sum += clock.cycleCount();
-    return sum / static_cast<double>(clocks.size());
-}
-
-RuntimeInput
-System::gatherRuntimeInput()
-{
-    RuntimeInput in;
-    in.mesh = &mesh;
-    in.numBanks = mesh.numTiles() * cfg.banksPerTile;
-    in.banksPerTile = cfg.banksPerTile;
-    in.bankLines = cfg.bankLines;
-    in.allocGranule =
-        static_cast<std::uint64_t>(cfg.allocGranuleLines);
-    if (!monitors.empty()) {
-        in.missCurves.reserve(monitors.size());
-        for (const auto &mon : monitors)
-            in.missCurves.push_back(mon->missCurve());
-    }
-    in.access = accessMatrix;
-
-    // Blend with the EWMA of previous epochs: the runtime's inputs
-    // are sampled and noisy, and placement stability depends on them
-    // converging for stationary workloads.
-    const double alpha = cfg.monitorSmoothing;
-    if (alpha < 1.0) {
-        if (smoothedAccess.empty()) {
-            smoothedAccess = in.access;
-            smoothedCurves = in.missCurves;
-        } else {
-            for (std::size_t t = 0; t < in.access.size(); t++) {
-                for (std::size_t d = 0; d < in.access[t].size(); d++) {
-                    smoothedAccess[t][d] = alpha * in.access[t][d] +
-                        (1.0 - alpha) * smoothedAccess[t][d];
-                }
-            }
-            for (std::size_t d = 0; d < in.missCurves.size(); d++) {
-                // Same monitor geometry each epoch: identical x grid.
-                Curve blended;
-                const auto &cur = in.missCurves[d].samples();
-                const auto &old_curve = smoothedCurves[d].samples();
-                for (std::size_t i = 0; i < cur.size(); i++) {
-                    const double prev_y = i < old_curve.size()
-                        ? old_curve[i].y : cur[i].y;
-                    blended.addPoint(cur[i].x,
-                                     alpha * cur[i].y +
-                                         (1.0 - alpha) * prev_y);
-                }
-                smoothedCurves[d] = blended;
-            }
-            in.access = smoothedAccess;
-            in.missCurves = smoothedCurves;
-        }
-    }
-    in.threadCore = threadCore;
-    in.hopCycles = static_cast<double>(cfg.noc.routerCycles +
-                                       cfg.noc.linkCycles);
-    in.bankAccessCycles = static_cast<double>(cfg.bankLatency);
-    in.memAccessCycles = static_cast<double>(cfg.memLatency);
-    return in;
-}
-
-void
-System::applyDirective(const EpochDirective &directive)
-{
-    if (!directive.reconfigured)
-        return;
-    stats.reconfigs++;
-    stats.timeSums.allocUs += directive.times.allocUs;
-    stats.timeSums.threadPlaceUs += directive.times.threadPlaceUs;
-    stats.timeSums.dataPlaceUs += directive.times.dataPlaceUs;
-    stats.instantMoved += directive.movedLines;
-    stats.bulkInvalidated += directive.invalidatedLines;
-    if (!directive.newThreadCore.empty())
-        threadCore = directive.newThreadCore;
-    if (directive.pauseCycles > 0) {
-        for (CoreClock &clock : clocks)
-            clock.addPause(static_cast<double>(directive.pauseCycles));
-        stats.pausedCycles += directive.pauseCycles;
-    }
-}
-
-int
-System::memHops(TileId bank_tile, TileId core, LineAddr line)
-{
-    if (!cfg.numaAwareMem)
-        return mesh.hopsToMemCtrl(bank_tile, line);
-    const std::uint64_t page = line >> pageLineShift;
-    const auto [it, inserted] =
-        pageCtrl.try_emplace(page, mesh.nearestMemCtrl(core));
-    return mesh.hopsToCtrl(bank_tile, it->second);
-}
-
-void
-System::issueAccess(ThreadId t)
-{
-    const ThreadCtx &thr = mix.thread(t);
-    const AccessSample sample = mix.nextAccess(t);
-    const TileId core = threadCore[t];
-    accessMatrix[t][sample.vc] += 1.0;
-
-    if (!monitors.empty()) {
-        monitors[sample.vc]->access(sample.line);
-        // Monitoring traffic: roughly one control message per 64
-        // accesses to the VC's fixed monitor location (Sec. IV-I).
-        if ((++monitorTrafficSampleCtr & 63) == 0) {
-            const TileId mon_tile =
-                static_cast<TileId>(sample.vc % mesh.numTiles());
-            mesh.addTraffic(TrafficClass::Other,
-                            mesh.hops(core, mon_tile),
-                            cfg.noc.ctrlFlits());
-        }
-    }
-
-    const MapResult mr = nucaPolicy->map(t, core, sample.vc,
-                                         sample.line);
-    const VcId tag = nucaPolicy->partitionTag(sample.vc);
-    const TileId bank_tile =
-        static_cast<TileId>(mr.bank / cfg.banksPerTile);
-    const int h = mesh.hops(core, bank_tile);
-    const std::uint32_t ctrl = cfg.noc.ctrlFlits();
-    const std::uint32_t data = cfg.noc.dataFlits();
-
-    double lat = static_cast<double>(mesh.latency(h, ctrl)) +
-        cfg.bankLatency + mesh.latency(h, data);
-    double onchip = lat - cfg.bankLatency;
-    double offchip = 0.0;
-    mesh.addTraffic(TrafficClass::L2ToLLC, h, ctrl + data);
-
-    stats.llcAccesses++;
-    BankAccessResult fill_res;
-    bool filled = false;
-    if (banks[mr.bank].probeHit(sample.line, tag, core)) {
-        stats.llcHits++;
-    } else if (mr.oldBank != invalidTile &&
-               nucaPolicy->demandMovesActive()) {
-        // Demand move (Fig. 10): chase the line in its old bank.
-        const TileId old_tile =
-            static_cast<TileId>(mr.oldBank / cfg.banksPerTile);
-        const int h2 = mesh.hops(bank_tile, old_tile);
-        lat += mesh.latency(h2, ctrl) + cfg.bankLatency;
-        onchip += mesh.latency(h2, ctrl);
-        mesh.addTraffic(TrafficClass::Other, h2, ctrl);
-        stats.moveProbes++;
-        CacheLine moved;
-        if (banks[mr.oldBank].extractForMove(sample.line, moved)) {
-            // Old bank hit: line + coherence state move to the new
-            // bank (Fig. 10a).
-            lat += mesh.latency(h2, data);
-            onchip += mesh.latency(h2, data);
-            mesh.addTraffic(TrafficClass::Other, h2, data);
-            fill_res = banks[mr.bank].installMoved(moved, tag);
-            filled = true;
-            stats.demandMoves++;
-        } else {
-            // Old bank miss: forward to memory; the response fills
-            // the new home (Fig. 10b).
-            const int hm = memHops(old_tile, core, sample.line);
-            const int hr = memHops(bank_tile, core, sample.line);
-            const double mem_leg =
-                static_cast<double>(mesh.latency(hm, ctrl)) +
-                cfg.memLatency + queueDelay + mesh.latency(hr, data);
-            lat += mem_leg;
-            offchip += mem_leg;
-            mesh.addTraffic(TrafficClass::LLCToMem, hm, ctrl);
-            mesh.addTraffic(TrafficClass::LLCToMem, hr, data);
-            stats.memAccesses++;
-            chunkMisses++;
-            fill_res = banks[mr.bank].fill(sample.line, tag, core);
-            filled = true;
-        }
-    } else {
-        const int hm = memHops(bank_tile, core, sample.line);
-        const double mem_leg =
-            static_cast<double>(mesh.latency(hm, ctrl)) +
-            cfg.memLatency + queueDelay + mesh.latency(hm, data);
-        lat += mem_leg;
-        offchip += mem_leg;
-        mesh.addTraffic(TrafficClass::LLCToMem, hm, ctrl + data);
-        stats.memAccesses++;
-        chunkMisses++;
-        fill_res = banks[mr.bank].fill(sample.line, tag, core);
-        filled = true;
-    }
-
-    if (filled && fill_res.evicted && fill_res.evictedSharers != 0) {
-        // Invalidate L2 copies of the victim (in-cache directory).
-        std::uint64_t mask = fill_res.evictedSharers;
-        while (mask != 0) {
-            const int sharer = std::countr_zero(mask);
-            mask &= mask - 1;
-            if (sharer < mesh.numTiles()) {
-                mesh.addTraffic(TrafficClass::Other,
-                                mesh.hops(bank_tile,
-                                          static_cast<TileId>(sharer)),
-                                ctrl);
-            }
-        }
-    }
-
-    if (mr.invalidatePage) {
-        // R-NUCA reclassification: flush the page from its old bank.
-        int flushed = 0;
-        for (std::uint32_t i = 0; i < linesPerPage; i++) {
-            if (banks[mr.invalidateBank].invalidateLine(
-                    mr.invalidatePageBase + i)) {
-                flushed++;
-            }
-        }
-        if (flushed > 0) {
-            const TileId old_tile = static_cast<TileId>(
-                mr.invalidateBank / cfg.banksPerTile);
-            mesh.addTraffic(TrafficClass::Other,
-                            mesh.hopsToMemCtrl(old_tile, sample.line),
-                            data * flushed);
-        }
-    }
-
-    stats.onChipLatSum += onchip;
-    stats.offChipLatSum += offchip;
-    clocks[t].addAccess(thr.instrPerAccess, lat);
-
-    if (cfg.traceIpc) {
-        const auto bin = static_cast<std::size_t>(
-            clocks[t].cycleCount() / cfg.traceBinCycles);
-        if (bin >= ipcBins.size())
-            ipcBins.resize(bin + 1, 0.0);
-        ipcBins[bin] += thr.instrPerAccess;
-    }
+    return dynamic_cast<const PartitionedNucaPolicy *>(
+        platform.policy.get());
 }
 
 RunResult
 System::run()
 {
-    const int num_threads = mix.numThreads();
-    for (int epoch = 0; epoch < cfg.epochs; epoch++) {
-        if (epoch == cfg.warmupEpochs) {
-            // Warmup boundary: reset measured statistics, keep all
-            // microarchitectural state warm.
-            stats = Stats{};
-            mesh.clearTraffic();
-            for (int t = 0; t < num_threads; t++) {
-                instrOffset[t] = clocks[t].instructions();
-                cycleOffset[t] = clocks[t].cycleCount();
-            }
-        }
-
-        std::uint64_t issued = 0;
-        while (issued < cfg.accessesPerThreadEpoch) {
-            const auto n = static_cast<std::uint32_t>(
-                std::min<std::uint64_t>(
-                    cfg.chunkAccesses,
-                    cfg.accessesPerThreadEpoch - issued));
-            const double before = meanActiveCycles();
-            chunkMisses = 0;
-            for (ThreadId t = 0; t < num_threads; t++) {
-                for (std::uint32_t i = 0; i < n; i++)
-                    issueAccess(t);
-            }
-            issued += n;
-            const double after = meanActiveCycles();
-
-            if (cfg.modelMemBandwidth) {
-                const double dt = std::max(after - before, 1.0);
-                const double rho = std::min(
-                    0.95, (static_cast<double>(chunkMisses) / dt) /
-                        cfg.memLinesPerCycle);
-                const double service_cycles =
-                    cfg.memChannels / cfg.memLinesPerCycle;
-                queueDelay =
-                    service_cycles * rho / (2.0 * (1.0 - rho));
-            }
-
-            const double elapsed =
-                std::max(0.0, after - reconfigStartMean);
-            stats.bgInvalidated += nucaPolicy->advanceWalk(
-                static_cast<Cycles>(elapsed), banks);
-        }
-
-        if (epoch + 1 < cfg.epochs) {
-            RuntimeInput input = gatherRuntimeInput();
-            const EpochDirective directive =
-                nucaPolicy->endEpoch(input, banks);
-            applyDirective(directive);
-            for (auto &mon : monitors)
-                mon->clearCounters();
-            for (auto &row : accessMatrix)
-                std::fill(row.begin(), row.end(), 0.0);
-            reconfigStartMean = meanActiveCycles();
-        }
-    }
-
-    // Assemble results.
-    RunResult res;
-    res.threadInstrs.resize(num_threads);
-    res.threadCycles.resize(num_threads);
-    res.threadIpc.resize(num_threads);
-    for (int t = 0; t < num_threads; t++) {
-        res.threadInstrs[t] = clocks[t].instructions() - instrOffset[t];
-        res.threadCycles[t] = clocks[t].cycleCount() - cycleOffset[t];
-        res.threadIpc[t] = res.threadCycles[t] > 0.0
-            ? res.threadInstrs[t] / res.threadCycles[t] : 0.0;
-        res.totalInstrs += res.threadInstrs[t];
-        res.wallCycles = std::max(res.wallCycles, res.threadCycles[t]);
-    }
-    for (ProcId p = 0; p < mix.numProcesses(); p++) {
-        const ProcessCtx &proc = mix.process(p);
-        double instrs = 0.0, max_cycles = 0.0;
-        for (ThreadId t : proc.threads) {
-            instrs += res.threadInstrs[t];
-            max_cycles = std::max(max_cycles, res.threadCycles[t]);
-        }
-        res.procThroughput.push_back(
-            max_cycles > 0.0 ? instrs / max_cycles : 0.0);
-    }
-
-    res.llcAccesses = stats.llcAccesses;
-    res.llcHits = stats.llcHits;
-    res.demandMoves = stats.demandMoves;
-    res.moveProbes = stats.moveProbes;
-    res.memAccesses = stats.memAccesses;
-    res.instantMoved = stats.instantMoved;
-    res.bulkInvalidated = stats.bulkInvalidated;
-    res.bgInvalidated = stats.bgInvalidated;
-    res.pausedCycles = stats.pausedCycles;
-    res.reconfigs = stats.reconfigs;
-    if (stats.reconfigs > 0) {
-        res.avgTimes.allocUs =
-            stats.timeSums.allocUs / stats.reconfigs;
-        res.avgTimes.threadPlaceUs =
-            stats.timeSums.threadPlaceUs / stats.reconfigs;
-        res.avgTimes.dataPlaceUs =
-            stats.timeSums.dataPlaceUs / stats.reconfigs;
-    }
-    res.onChipLatSum = stats.onChipLatSum;
-    res.offChipLatSum = stats.offChipLatSum;
-    for (std::size_t c = 0; c < res.trafficFlitHops.size(); c++) {
-        res.trafficFlitHops[c] =
-            mesh.trafficFlitHops(static_cast<TrafficClass>(c));
-    }
-
-    // Static energy accrues over the mean per-thread runtime: in the
-    // fixed-work methodology threads retire their work at different
-    // times and finished cores clock-gate.
-    double mean_cycles = 0.0;
-    for (double c : res.threadCycles)
-        mean_cycles += c;
-    if (!res.threadCycles.empty())
-        mean_cycles /= static_cast<double>(res.threadCycles.size());
-    const EnergyModel energy_model;
-    res.energy = energy_model.evaluate(
-        res.totalInstrs,
-        static_cast<double>(res.llcAccesses + res.moveProbes),
-        static_cast<double>(mesh.totalFlitHops()),
-        static_cast<double>(res.memAccesses), mean_cycles);
-
-    if (cfg.traceIpc) {
-        res.ipcBinCycles = cfg.traceBinCycles;
-        res.ipcTrace.reserve(ipcBins.size());
-        for (double instrs : ipcBins)
-            res.ipcTrace.push_back(instrs / cfg.traceBinCycles);
-    }
-    return res;
+    controller.runEpochs();
+    return controller.assemble();
 }
 
 } // namespace cdcs

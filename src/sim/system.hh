@@ -5,209 +5,33 @@
  * mesh NoC, edge memory controllers, per-VC monitors and a pluggable
  * NUCA policy. Drives a WorkloadMix in fixed-work epochs, invoking the
  * policy's reconfiguration between epochs (Fig. 4).
+ *
+ * System is a thin facade over three layers (see ARCHITECTURE.md):
+ *
+ *  - Platform: hardware construction (mesh, banks, monitors, policy,
+ *    runtime, initial thread schedule);
+ *  - AccessPath: the per-access hot path (policy mapping, demand
+ *    moves, memory-bandwidth queueing, NUMA page map, stats);
+ *  - EpochController: the epoch loop (runtime-input gathering, EWMA
+ *    smoothing, reconfiguration directives, result assembly).
  */
 
 #ifndef CDCS_SIM_SYSTEM_HH
 #define CDCS_SIM_SYSTEM_HH
 
-#include <array>
-#include <memory>
-#include <string>
-#include <unordered_map>
 #include <vector>
 
-#include "cache/partitioned_bank.hh"
-#include "mesh/mesh.hh"
-#include "monitor/sampled_monitor.hh"
 #include "nuca/partitioned_nuca.hh"
-#include "nuca/policy.hh"
-#include "runtime/cdcs_runtime.hh"
-#include "sim/core_model.hh"
-#include "sim/energy.hh"
+#include "sim/access_path.hh"
+#include "sim/epoch_controller.hh"
+#include "sim/platform.hh"
+#include "sim/run_result.hh"
+#include "sim/run_stats.hh"
+#include "sim/system_config.hh"
 #include "workload/mix.hh"
 
 namespace cdcs
 {
-
-/** Which NUCA organization a run uses. */
-enum class SchemeKind : std::uint8_t
-{
-    SNuca,
-    RNuca,
-    Partitioned
-};
-
-/** Initial (static) thread scheduler. */
-enum class InitialSched : std::uint8_t
-{
-    Random,
-    Clustered
-};
-
-/** Monitor hardware used by partitioned schemes. */
-enum class MonitorKind : std::uint8_t
-{
-    Gmon,
-    Umon
-};
-
-/** Placement engine (Sec. VI-C comparators). */
-enum class PlacerKind : std::uint8_t
-{
-    Heuristic,      ///< CDCS/Jigsaw heuristics.
-    Annealed,       ///< + simulated-annealing thread placer.
-    Bisection       ///< Recursive-bisection co-placement.
-};
-
-/** Full description of one scheme under test. */
-struct SchemeSpec
-{
-    std::string name = "cdcs";
-    SchemeKind kind = SchemeKind::Partitioned;
-    CdcsOptions cdcsOpts;
-    MoveScheme moves = MoveScheme::DemandBackground;
-    InitialSched sched = InitialSched::Random;
-    MonitorKind monitor = MonitorKind::Gmon;
-    std::uint32_t monitorWays = 64;
-    std::uint32_t monitorSets = 16;
-    /**
-     * Monitor sampling: 1 in 2^shift accesses. The paper uses 6
-     * (1/64) with 25 ms epochs; scaled-down epochs need denser
-     * sampling to keep per-epoch sample counts comparable
-     * (DESIGN.md Sec. 2).
-     */
-    std::uint32_t monitorSampleShift = 4;
-    PlacerKind placer = PlacerKind::Heuristic;
-    int saIterations = 5000;
-
-    /** S-NUCA baseline. */
-    static SchemeSpec snuca();
-    /** R-NUCA. */
-    static SchemeSpec rnuca();
-    /** Jigsaw with a random or clustered static scheduler. */
-    static SchemeSpec jigsaw(InitialSched sched);
-    /** Full CDCS. */
-    static SchemeSpec cdcs();
-    /**
-     * Factor-analysis variant on Jigsaw+R (Fig. 12): enable
-     * latency-aware allocation (L), thread placement (T) and/or
-     * refined data placement (D).
-     */
-    static SchemeSpec factor(bool l, bool t, bool d);
-};
-
-/** Simulated-platform and methodology parameters. */
-struct SystemConfig
-{
-    int meshWidth = 8;
-    int meshHeight = 8;
-    int banksPerTile = 1;
-    std::uint64_t bankLines = 8192;     ///< 512 KB banks.
-    std::uint32_t bankWays = 16;
-    Cycles bankLatency = 9;
-    Cycles memLatency = 120;
-    NocConfig noc;
-
-    bool modelMemBandwidth = true;
-    double memLinesPerCycle = 0.8;      ///< Aggregate service rate.
-    int memChannels = 8;
-
-    /**
-     * NUMA-aware memory placement (the extension Sec. III leaves to
-     * future work, cf. the Fig. 11d discussion): pages are served by
-     * the controller nearest their first-touching thread's core
-     * instead of being page-interleaved across all controllers.
-     */
-    bool numaAwareMem = false;
-
-    std::uint64_t accessesPerThreadEpoch = 50000;
-    int epochs = 6;
-    int warmupEpochs = 2;
-    std::uint32_t chunkAccesses = 1000;
-
-    PartitionedNucaConfig moveCfg;
-
-    bool traceIpc = false;
-    Cycles traceBinCycles = 20000;
-
-    std::uint64_t seed = 42;
-
-    /** Runtime allocation granule (bankLines when partitioning off). */
-    double allocGranuleLines = 64.0;
-
-    /**
-     * EWMA factor blending each epoch's monitor curves and access
-     * matrix into the values fed to the runtime (1.0 = use the raw
-     * epoch values). Smoothing the sampled inputs lets the runtime
-     * converge to a stable configuration (see DESIGN.md Sec. 5).
-     */
-    double monitorSmoothing = 0.5;
-
-    /** Total LLC lines. */
-    std::uint64_t
-    llcLines() const
-    {
-        return static_cast<std::uint64_t>(meshWidth) * meshHeight *
-            banksPerTile * bankLines;
-    }
-};
-
-/** Aggregated results of one run (post-warmup unless noted). */
-struct RunResult
-{
-    std::vector<double> threadInstrs;
-    std::vector<double> threadCycles;
-    std::vector<double> threadIpc;
-    /** Per-process throughput: sum(instrs) / max(cycles). */
-    std::vector<double> procThroughput;
-
-    double totalInstrs = 0.0;
-    double wallCycles = 0.0;
-
-    std::uint64_t llcAccesses = 0;
-    std::uint64_t llcHits = 0;
-    std::uint64_t demandMoves = 0;
-    std::uint64_t moveProbes = 0;
-    std::uint64_t memAccesses = 0;
-    std::uint64_t instantMoved = 0;
-    std::uint64_t bulkInvalidated = 0;
-    std::uint64_t bgInvalidated = 0;
-    Cycles pausedCycles = 0;
-    int reconfigs = 0;
-    RuntimeStepTimes avgTimes;
-
-    double onChipLatSum = 0.0;  ///< L2<->LLC network cycles.
-    double offChipLatSum = 0.0; ///< Memory + LLC<->mem network cycles.
-
-    std::array<std::uint64_t, 3> trafficFlitHops = {0, 0, 0};
-
-    EnergyBreakdown energy;
-
-    /** Aggregate-IPC trace (whole run, no warmup trim). */
-    std::vector<double> ipcTrace;
-    Cycles ipcBinCycles = 0;
-
-    double
-    avgOnChipLatency() const
-    {
-        return llcAccesses > 0 ? onChipLatSum / llcAccesses : 0.0;
-    }
-
-    double
-    offChipLatPerInstr() const
-    {
-        return totalInstrs > 0 ? offChipLatSum / totalInstrs : 0.0;
-    }
-
-    double
-    flitHopsPerInstr(TrafficClass cls) const
-    {
-        return totalInstrs > 0
-            ? trafficFlitHops[static_cast<std::size_t>(cls)] /
-                totalInstrs
-            : 0.0;
-    }
-};
 
 /**
  * One simulated system: builds the platform for a scheme, runs the
@@ -235,76 +59,23 @@ class System
     }
 
     /** The policy (inspection/tests). */
-    NucaPolicy &policy() { return *nucaPolicy; }
+    NucaPolicy &policy() { return *platform.policy; }
 
     /** Per-VC allocation of the last reconfiguration, if partitioned. */
     const PartitionedNucaPolicy *partitionedPolicy() const;
 
-    const Mesh &meshRef() const { return mesh; }
+    const Mesh &meshRef() const { return platform.mesh; }
     const WorkloadMix &workload() const { return mix; }
 
   private:
-    void issueAccess(ThreadId t);
-    void applyDirective(const EpochDirective &directive);
-    RuntimeInput gatherRuntimeInput();
-    double meanActiveCycles() const;
-
     SystemConfig cfg;
     SchemeSpec spec;
-    Mesh mesh;
     WorkloadMix mix;
-    std::vector<PartitionedBank> banks;
-    std::vector<std::unique_ptr<SampledMonitor>> monitors;
-    std::unique_ptr<ReconfigRuntime> runtime;
-    std::unique_ptr<NucaPolicy> nucaPolicy;
-    Rng rng;
-
+    Platform platform;
+    RunStats stats;
     std::vector<TileId> threadCore;
-    std::vector<CoreClock> clocks;
-    std::vector<std::vector<double>> accessMatrix;
-
-    // Statistics (reset at the warmup boundary).
-    struct Stats
-    {
-        std::uint64_t llcAccesses = 0;
-        std::uint64_t llcHits = 0;
-        std::uint64_t demandMoves = 0;
-        std::uint64_t moveProbes = 0;
-        std::uint64_t memAccesses = 0;
-        std::uint64_t instantMoved = 0;
-        std::uint64_t bulkInvalidated = 0;
-        std::uint64_t bgInvalidated = 0;
-        Cycles pausedCycles = 0;
-        int reconfigs = 0;
-        RuntimeStepTimes timeSums;
-        double onChipLatSum = 0.0;
-        double offChipLatSum = 0.0;
-    };
-    Stats stats;
-    std::vector<double> instrOffset;
-    std::vector<double> cycleOffset;
-
-    // Memory-bandwidth queueing state.
-    double queueDelay = 0.0;
-    std::uint64_t chunkMisses = 0;
-
-    // EWMA-smoothed runtime inputs.
-    std::vector<Curve> smoothedCurves;
-    std::vector<std::vector<double>> smoothedAccess;
-
-    /** First-touch page-to-controller map (numaAwareMem). */
-    std::unordered_map<std::uint64_t, int> pageCtrl;
-
-    /** Memory hops for a line accessed via `bank_tile` by `core`. */
-    int memHops(TileId bank_tile, TileId core, LineAddr line);
-
-    // Reconfiguration/walk timing.
-    double reconfigStartMean = 0.0;
-
-    // IPC trace.
-    std::vector<double> ipcBins;
-
-    std::uint64_t monitorTrafficSampleCtr = 0;
+    AccessPath path;
+    EpochController controller;
 };
 
 } // namespace cdcs

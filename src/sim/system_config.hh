@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Run description types shared by every simulator layer: which NUCA
+ * scheme is under test (SchemeSpec) and the simulated-platform and
+ * methodology parameters (SystemConfig). Split from system.hh so the
+ * Platform / AccessPath / EpochController layers and the
+ * ExperimentRunner can depend on the configuration without pulling in
+ * the System facade.
+ */
+
+#ifndef CDCS_SIM_SYSTEM_CONFIG_HH
+#define CDCS_SIM_SYSTEM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "mesh/mesh.hh"
+#include "nuca/partitioned_nuca.hh"
+#include "runtime/cdcs_runtime.hh"
+
+namespace cdcs
+{
+
+/** Which NUCA organization a run uses. */
+enum class SchemeKind : std::uint8_t
+{
+    SNuca,
+    RNuca,
+    Partitioned
+};
+
+/** Initial (static) thread scheduler. */
+enum class InitialSched : std::uint8_t
+{
+    Random,
+    Clustered
+};
+
+/** Monitor hardware used by partitioned schemes. */
+enum class MonitorKind : std::uint8_t
+{
+    Gmon,
+    Umon
+};
+
+/** Placement engine (Sec. VI-C comparators). */
+enum class PlacerKind : std::uint8_t
+{
+    Heuristic,      ///< CDCS/Jigsaw heuristics.
+    Annealed,       ///< + simulated-annealing thread placer.
+    Bisection       ///< Recursive-bisection co-placement.
+};
+
+/** Full description of one scheme under test. */
+struct SchemeSpec
+{
+    std::string name = "cdcs";
+    SchemeKind kind = SchemeKind::Partitioned;
+    CdcsOptions cdcsOpts;
+    MoveScheme moves = MoveScheme::DemandBackground;
+    InitialSched sched = InitialSched::Random;
+    MonitorKind monitor = MonitorKind::Gmon;
+    std::uint32_t monitorWays = 64;
+    std::uint32_t monitorSets = 16;
+    /**
+     * Monitor sampling: 1 in 2^shift accesses. The paper uses 6
+     * (1/64) with 25 ms epochs; scaled-down epochs need denser
+     * sampling to keep per-epoch sample counts comparable
+     * (DESIGN.md Sec. 2).
+     */
+    std::uint32_t monitorSampleShift = 4;
+    PlacerKind placer = PlacerKind::Heuristic;
+    int saIterations = 5000;
+
+    /** S-NUCA baseline. */
+    static SchemeSpec snuca();
+    /** R-NUCA. */
+    static SchemeSpec rnuca();
+    /** Jigsaw with a random or clustered static scheduler. */
+    static SchemeSpec jigsaw(InitialSched sched);
+    /** Full CDCS. */
+    static SchemeSpec cdcs();
+    /**
+     * Factor-analysis variant on Jigsaw+R (Fig. 12): enable
+     * latency-aware allocation (L), thread placement (T) and/or
+     * refined data placement (D).
+     */
+    static SchemeSpec factor(bool l, bool t, bool d);
+};
+
+/** Simulated-platform and methodology parameters. */
+struct SystemConfig
+{
+    int meshWidth = 8;
+    int meshHeight = 8;
+    int banksPerTile = 1;
+    std::uint64_t bankLines = 8192;     ///< 512 KB banks.
+    std::uint32_t bankWays = 16;
+    Cycles bankLatency = 9;
+    Cycles memLatency = 120;
+    NocConfig noc;
+
+    bool modelMemBandwidth = true;
+    double memLinesPerCycle = 0.8;      ///< Aggregate service rate.
+    int memChannels = 8;
+
+    /**
+     * NUMA-aware memory placement (the extension Sec. III leaves to
+     * future work, cf. the Fig. 11d discussion): pages are served by
+     * the controller nearest their first-touching thread's core
+     * instead of being page-interleaved across all controllers.
+     */
+    bool numaAwareMem = false;
+
+    std::uint64_t accessesPerThreadEpoch = 50000;
+    int epochs = 6;
+    int warmupEpochs = 2;
+    std::uint32_t chunkAccesses = 1000;
+
+    PartitionedNucaConfig moveCfg;
+
+    bool traceIpc = false;
+    Cycles traceBinCycles = 20000;
+
+    std::uint64_t seed = 42;
+
+    /** Runtime allocation granule (bankLines when partitioning off). */
+    double allocGranuleLines = 64.0;
+
+    /**
+     * EWMA factor blending each epoch's monitor curves and access
+     * matrix into the values fed to the runtime (1.0 = use the raw
+     * epoch values). Smoothing the sampled inputs lets the runtime
+     * converge to a stable configuration (see DESIGN.md Sec. 5).
+     */
+    double monitorSmoothing = 0.5;
+
+    /** Total LLC lines. */
+    std::uint64_t
+    llcLines() const
+    {
+        return static_cast<std::uint64_t>(meshWidth) * meshHeight *
+            banksPerTile * bankLines;
+    }
+};
+
+} // namespace cdcs
+
+#endif // CDCS_SIM_SYSTEM_CONFIG_HH

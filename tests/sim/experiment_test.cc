@@ -4,7 +4,6 @@
  * weighted speedup, environment knobs and the parallel sweep driver.
  */
 
-#include <atomic>
 #include <cstdlib>
 
 #include <gtest/gtest.h>
@@ -50,25 +49,6 @@ TEST(ExperimentTest, BenchConfigHonorsOverrides)
     unsetenv("CDCS_EPOCH_ACCESSES");
     unsetenv("CDCS_EPOCHS");
     unsetenv("CDCS_WARMUP");
-}
-
-TEST(ExperimentTest, ParallelForCoversRange)
-{
-    std::vector<std::atomic<int>> hits(64);
-    for (auto &h : hits)
-        h = 0;
-    parallelFor(64, [&](int i) { hits[i]++; });
-    for (const auto &h : hits)
-        EXPECT_EQ(h.load(), 1);
-}
-
-TEST(ExperimentTest, ParallelForHandlesSmallCounts)
-{
-    std::atomic<int> count{0};
-    parallelFor(1, [&](int) { count++; });
-    EXPECT_EQ(count.load(), 1);
-    parallelFor(0, [&](int) { count++; });
-    EXPECT_EQ(count.load(), 1);
 }
 
 TEST(ExperimentTest, WeightedSpeedupIsMeanOfRatios)
