@@ -1,47 +1,15 @@
 /**
  * @file
- * Ablation of the NUMA-aware memory-placement extension (the future
- * work Sec. III defers; cf. the Fig. 11d remark that NUMA-aware
- * techniques would further reduce the dominant LLC-to-memory
- * traffic): first-touch page-to-controller affinity vs. the paper's
- * page-interleaved baseline, under R-NUCA and CDCS.
+ * Legacy entry point kept for existing scripts and CMake targets:
+ * delegates to the "ablation_numa" study (bench/studies/), whose default
+ * text output is byte-identical to the old hand-written harness.
+ * Prefer `cdcs_studies run ablation_numa`.
  */
 
-#include "bench/bench_util.hh"
+#include "sim/study.hh"
 
 int
 main()
 {
-    using namespace cdcs;
-
-    SystemConfig base = benchConfig();
-    SystemConfig numa = base;
-    numa.numaAwareMem = true;
-    printHeader("NUMA-aware memory placement ablation",
-                "Sec. III future work / Fig. 11d remark", base, 1);
-
-    const MixSpec mix = MixSpec::cpu(48, 9950);
-    const std::vector<const char *> tags = {
-        "R-NUCA interleaved", "R-NUCA numa-aware",
-        "CDCS interleaved", "CDCS numa-aware"};
-    const std::vector<ExperimentRunner::Job> jobs = {
-        {base, SchemeSpec::rnuca(), mix},
-        {numa, SchemeSpec::rnuca(), mix},
-        {base, SchemeSpec::cdcs(), mix},
-        {numa, SchemeSpec::cdcs(), mix},
-    };
-    const auto results = benchRunner().runAll(jobs);
-
-    std::printf("%-24s %14s %16s %12s\n", "config",
-                "LLCMem fh/instr", "offchip/instr", "nJ/instr");
-    for (std::size_t i = 0; i < jobs.size(); i++) {
-        const RunResult &r = results[i];
-        std::printf("%-24s %14.3f %16.3f %12.2f\n", tags[i],
-                    r.flitHopsPerInstr(TrafficClass::LLCToMem),
-                    r.offChipLatPerInstr(),
-                    r.totalInstrs > 0.0
-                        ? 1e9 * r.energy.total() / r.totalInstrs
-                        : 0.0);
-    }
-    return 0;
+    return cdcs::studyMain("ablation_numa");
 }

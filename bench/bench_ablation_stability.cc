@@ -1,62 +1,15 @@
 /**
  * @file
- * Ablation of this implementation's reconfiguration-stability layer
- * (DESIGN.md Sec. 7): size/allocation hysteresis, EWMA smoothing of
- * monitor inputs, and rendezvous-hashed VC descriptors.
- *
- * The paper reconfigures every 25 ms (~50 Mcycles), so a full-VC
- * remap re-warms within a fraction of an epoch and stability is free.
- * At laptop-scale epochs a remap can cost more than the
- * reconfiguration gains; this harness quantifies how much of CDCS's
- * speedup the stability layer preserves, and what descriptor churn
- * (background invalidations + demand moves) looks like without it.
+ * Legacy entry point kept for existing scripts and CMake targets:
+ * delegates to the "ablation_stability" study (bench/studies/), whose default
+ * text output is byte-identical to the old hand-written harness.
+ * Prefer `cdcs_studies run ablation_stability`.
  */
 
-#include "bench/bench_util.hh"
+#include "sim/study.hh"
 
 int
 main()
 {
-    using namespace cdcs;
-
-    SystemConfig cfg = benchConfig();
-    const int mixes = benchMixes(2);
-    printHeader("Stability ablation",
-                "hysteresis + EWMA smoothing (DESIGN.md Sec. 7)", cfg,
-                mixes);
-
-    SystemConfig raw_cfg = cfg;
-    raw_cfg.monitorSmoothing = 1.0;     // No EWMA.
-    raw_cfg.moveCfg.allocHysteresis = 0.0;
-
-    SchemeSpec stable = SchemeSpec::cdcs();
-    SchemeSpec raw = SchemeSpec::cdcs();
-    raw.cdcsOpts.sizeHysteresis = 0.0;
-    raw.name = "CDCS-raw";
-
-    const SweepResult with_stab = benchRunner().sweep(
-        cfg, {SchemeSpec::snuca(), stable}, mixes,
-        [&](int m) { return MixSpec::cpu(48, 9900 + m); });
-    const SweepResult without = benchRunner().sweep(
-        raw_cfg, {SchemeSpec::snuca(), raw}, mixes,
-        [&](int m) { return MixSpec::cpu(48, 9900 + m); });
-
-    maybeExportJson(with_stab, "ablation_stability_stable");
-    maybeExportJson(without, "ablation_stability_raw");
-
-    std::printf("%-14s %10s %14s %14s\n", "variant", "gmeanWS",
-                "bg-invalidated", "demand-moves");
-    std::printf("%-14s %10.3f %14llu %14llu\n", "CDCS(stable)",
-                gmean(with_stab.ws[1]),
-                static_cast<unsigned long long>(
-                    with_stab.firstRun[1].bgInvalidated),
-                static_cast<unsigned long long>(
-                    with_stab.firstRun[1].demandMoves));
-    std::printf("%-14s %10.3f %14llu %14llu\n", "CDCS(raw)",
-                gmean(without.ws[1]),
-                static_cast<unsigned long long>(
-                    without.firstRun[1].bgInvalidated),
-                static_cast<unsigned long long>(
-                    without.firstRun[1].demandMoves));
-    return 0;
+    return cdcs::studyMain("ablation_stability");
 }

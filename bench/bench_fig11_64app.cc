@@ -1,43 +1,15 @@
 /**
  * @file
- * Fig. 11 (a-e): mixes of 64 SPEC CPU2006-like apps on the 64-core
- * CMP under S-NUCA, R-NUCA, Jigsaw+C, Jigsaw+R and CDCS.
- *
- *  - 11a: per-mix weighted speedup over S-NUCA (inverse CDF);
- *  - 11b: average on-chip network latency of LLC accesses;
- *  - 11c: average off-chip latency;
- *  - 11d: network traffic breakdown per instruction;
- *  - 11e: energy breakdown per instruction.
- *
- * Paper shape: CDCS > Jigsaw+R > Jigsaw+C > R-NUCA > S-NUCA in WS
- * (46/38/34/18% gmean); S-NUCA ~11x CDCS's on-chip latency and ~3x
- * its traffic; R-NUCA lowest on-chip latency but worst off-chip.
+ * Legacy entry point kept for existing scripts and CMake targets:
+ * delegates to the "fig11" study (bench/studies/), whose default
+ * text output is byte-identical to the old hand-written harness.
+ * Prefer `cdcs_studies run fig11`.
  */
 
-#include "bench/bench_util.hh"
+#include "sim/study.hh"
 
 int
 main()
 {
-    using namespace cdcs;
-
-    const SystemConfig cfg = benchConfig();
-    const int mixes = benchMixes(4);
-    printHeader("Fig. 11 (a-e)", "50 mixes of 64 apps in the paper",
-                cfg, mixes);
-
-    const SweepResult sweep =
-        benchRunner().sweep(cfg, standardSchemes(), mixes, [&](int m) {
-            return MixSpec::cpu(64, 1000 + m);
-        });
-    maybeExportJson(sweep, "fig11_64app");
-
-    std::printf("-- Fig. 11a: weighted speedup inverse CDF --\n");
-    printInverseCdf(sweep);
-    std::printf("\n");
-    printWsSummary(sweep);
-    std::printf("\n-- Fig. 11b-e: latency, traffic and energy "
-                "breakdowns (normalized to CDCS) --\n");
-    printBreakdowns(sweep);
-    return 0;
+    return cdcs::studyMain("fig11");
 }

@@ -1,56 +1,15 @@
 /**
  * @file
- * Fig. 12: factor analysis of the CDCS techniques applied to Jigsaw+R
- * individually — latency-aware allocation (+L), thread placement
- * (+T), refined data placement (+D), and all three (+LTD == CDCS) —
- * on 64-app and 4-app mixes.
- *
- * Paper shape: with 64 apps capacity is scarce, so +T and +D carry
- * the gains and +L adds little; with 4 apps capacity is plentiful and
- * +L provides most of the speedup.
+ * Legacy entry point kept for existing scripts and CMake targets:
+ * delegates to the "fig12" study (bench/studies/), whose default
+ * text output is byte-identical to the old hand-written harness.
+ * Prefer `cdcs_studies run fig12`.
  */
 
-#include "bench/bench_util.hh"
-
-namespace
-{
-
-using namespace cdcs;
-
-void
-runFactor(const SystemConfig &cfg, int apps, int mixes)
-{
-    std::vector<SchemeSpec> schemes = {
-        SchemeSpec::snuca(),
-        SchemeSpec::factor(false, false, false), // Jigsaw+R
-        SchemeSpec::factor(true, false, false),  // +L
-        SchemeSpec::factor(false, true, false),  // +T
-        SchemeSpec::factor(false, false, true),  // +D
-        SchemeSpec::factor(true, true, true),    // +LTD
-    };
-    const SweepResult sweep =
-        benchRunner().sweep(cfg, schemes, mixes, [&](int m) {
-            return MixSpec::cpu(apps, 2000 + m);
-        });
-    maybeExportJson(sweep, (std::string("fig12_factor_") +
-                            std::to_string(apps) + "app").c_str());
-    std::printf("-- %d-app mixes --\n", apps);
-    printWsSummary(sweep);
-    std::printf("\n");
-}
-
-} // anonymous namespace
+#include "sim/study.hh"
 
 int
 main()
 {
-    using namespace cdcs;
-
-    const SystemConfig cfg = benchConfig();
-    const int mixes = benchMixes(4);
-    printHeader("Fig. 12 factor analysis", "+L/+T/+D on Jigsaw+R",
-                cfg, mixes);
-    runFactor(cfg, 64, mixes);
-    runFactor(cfg, 4, mixes);
-    return 0;
+    return cdcs::studyMain("fig12");
 }

@@ -1,45 +1,15 @@
 /**
  * @file
- * Fig. 13: gmean weighted speedup with an under-committed 64-core
- * CMP: mixes of 1, 2, 4, 8, 16, 32 and 64 single-threaded apps.
- *
- * Paper shape: CDCS stays on top across the whole range; Jigsaw+C
- * collapses at low app counts (clustered capacity contention) and
- * Jigsaw+R is mediocre there because it over-allocates capacity that
- * only adds on-chip latency; latency-aware allocation matters most
- * when capacity is plentiful.
+ * Legacy entry point kept for existing scripts and CMake targets:
+ * delegates to the "fig13" study (bench/studies/), whose default
+ * text output is byte-identical to the old hand-written harness.
+ * Prefer `cdcs_studies run fig13`.
  */
 
-#include "bench/bench_util.hh"
+#include "sim/study.hh"
 
 int
 main()
 {
-    using namespace cdcs;
-
-    const SystemConfig cfg = benchConfig();
-    const int mixes = benchMixes(3);
-    printHeader("Fig. 13 under-committed sweep", "1-64 apps", cfg,
-                mixes);
-
-    const std::vector<SchemeSpec> schemes = standardSchemes();
-    std::printf("%-8s", "apps");
-    for (const auto &s : schemes)
-        std::printf(" %10s", s.name.c_str());
-    std::printf("\n");
-
-    for (int apps : {1, 2, 4, 8, 16, 32, 64}) {
-        const SweepResult sweep =
-            benchRunner().sweep(cfg, schemes, mixes, [&](int m) {
-                return MixSpec::cpu(apps, 3000 + 100 * apps + m);
-            });
-        maybeExportJson(sweep, (std::string("fig13_undercommit_") +
-                                std::to_string(apps) + "app").c_str());
-        std::printf("%-8d", apps);
-        for (std::size_t s = 0; s < schemes.size(); s++)
-            std::printf(" %10.3f", gmean(sweep.ws[s]));
-        std::printf("\n");
-        std::fflush(stdout);
-    }
-    return 0;
+    return cdcs::studyMain("fig13");
 }

@@ -1,35 +1,15 @@
 /**
  * @file
- * Fig. 14: mixes of 4 SPEC CPU2006-like apps on the 64-core CMP —
- * weighted-speedup distribution and traffic breakdown.
- *
- * Paper shape: with capacity plentiful, Jigsaw's greedy full-capacity
- * allocations inflate L2-LLC traffic/latency; CDCS's latency-aware
- * allocation avoids that (28% vs 17%/6% gmean WS).
+ * Legacy entry point kept for existing scripts and CMake targets:
+ * delegates to the "fig14" study (bench/studies/), whose default
+ * text output is byte-identical to the old hand-written harness.
+ * Prefer `cdcs_studies run fig14`.
  */
 
-#include "bench/bench_util.hh"
+#include "sim/study.hh"
 
 int
 main()
 {
-    using namespace cdcs;
-
-    const SystemConfig cfg = benchConfig();
-    const int mixes = benchMixes(4);
-    printHeader("Fig. 14", "4-app mixes on 64 cores", cfg, mixes);
-
-    const SweepResult sweep =
-        benchRunner().sweep(cfg, standardSchemes(), mixes, [&](int m) {
-            return MixSpec::cpu(4, 4000 + m);
-        });
-    maybeExportJson(sweep, "fig14_4app");
-
-    std::printf("-- weighted speedup inverse CDF --\n");
-    printInverseCdf(sweep);
-    std::printf("\n");
-    printWsSummary(sweep);
-    std::printf("\n-- traffic / energy --\n");
-    printBreakdowns(sweep);
-    return 0;
+    return cdcs::studyMain("fig14");
 }

@@ -1,37 +1,15 @@
 /**
  * @file
- * Fig. 15: mixes of eight 8-thread SPEC OMP2012-like apps (64 threads
- * total) on the 64-core CMP — weighted-speedup distribution and
- * traffic breakdown.
- *
- * Paper shape: trends reverse vs. single-threaded mixes — Jigsaw+C
- * (clustered) beats Jigsaw+R because shared-heavy processes want
- * their threads around the shared data; CDCS still wins (21% vs
- * 19%/14%/9%) because it clusters or spreads per process as needed.
+ * Legacy entry point kept for existing scripts and CMake targets:
+ * delegates to the "fig15" study (bench/studies/), whose default
+ * text output is byte-identical to the old hand-written harness.
+ * Prefer `cdcs_studies run fig15`.
  */
 
-#include "bench/bench_util.hh"
+#include "sim/study.hh"
 
 int
 main()
 {
-    using namespace cdcs;
-
-    const SystemConfig cfg = benchConfig();
-    const int mixes = benchMixes(4);
-    printHeader("Fig. 15", "8 x 8-thread OMP mixes", cfg, mixes);
-
-    const SweepResult sweep =
-        benchRunner().sweep(cfg, standardSchemes(), mixes, [&](int m) {
-            return MixSpec::omp(8, 5000 + m);
-        });
-    maybeExportJson(sweep, "fig15_multithread");
-
-    std::printf("-- Fig. 15a: weighted speedup inverse CDF --\n");
-    printInverseCdf(sweep);
-    std::printf("\n");
-    printWsSummary(sweep);
-    std::printf("\n-- Fig. 15b: traffic breakdown --\n");
-    printBreakdowns(sweep);
-    return 0;
+    return cdcs::studyMain("fig15");
 }

@@ -1,40 +1,15 @@
 /**
  * @file
- * Fig. 16: mixes of four 8-thread SPEC OMP2012-like apps (32 threads
- * on 64 cores) — weighted speedups, plus the Fig. 16b case study:
- * CDCS spreads the private-heavy mgrid across the chip while tightly
- * clustering the shared-heavy md/ilbdc/nab around their shared VCs.
+ * Legacy entry point kept for existing scripts and CMake targets:
+ * delegates to the "fig16" study (bench/studies/), whose default
+ * text output is byte-identical to the old hand-written harness.
+ * Prefer `cdcs_studies run fig16`.
  */
 
-#include "bench/bench_util.hh"
+#include "sim/study.hh"
 
 int
 main()
 {
-    using namespace cdcs;
-
-    const SystemConfig cfg = benchConfig();
-    const int mixes = benchMixes(4);
-    printHeader("Fig. 16", "4 x 8-thread OMP mixes (32/64 cores)",
-                cfg, mixes);
-
-    const SweepResult sweep =
-        benchRunner().sweep(cfg, standardSchemes(), mixes, [&](int m) {
-            return MixSpec::omp(4, 6000 + m);
-        });
-    maybeExportJson(sweep, "fig16_undercommit_mt");
-
-    std::printf("-- Fig. 16a: weighted speedup inverse CDF --\n");
-    printInverseCdf(sweep);
-    std::printf("\n");
-    printWsSummary(sweep);
-
-    std::printf("\n-- Fig. 16b case study: mgrid (private-heavy) + "
-                "md/ilbdc/nab (shared-heavy) under CDCS --\n");
-    const MixSpec case_mix =
-        MixSpec::named({"mgrid", "md", "ilbdc", "nab"}, 6100);
-    System system(cfg, SchemeSpec::cdcs(), buildMix(case_mix));
-    system.run();
-    printChipMap(system);
-    return 0;
+    return cdcs::studyMain("fig16");
 }

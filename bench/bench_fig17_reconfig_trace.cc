@@ -1,60 +1,15 @@
 /**
  * @file
- * Fig. 17: aggregate IPC of the 64-core CMP across one
- * reconfiguration under the three data-movement schemes: idealized
- * instant moves, CDCS demand moves + background invalidations, and
- * Jigsaw bulk invalidations.
- *
- * Paper shape: bulk invalidations pause the whole chip for ~100
- * Kcycles (IPC crater) and lose warm data; background invalidations
- * track instant moves closely with no pause.
+ * Legacy entry point kept for existing scripts and CMake targets:
+ * delegates to the "fig17" study (bench/studies/), whose default
+ * text output is byte-identical to the old hand-written harness.
+ * Prefer `cdcs_studies run fig17`.
  */
 
-#include <algorithm>
-
-#include "bench/bench_util.hh"
+#include "sim/study.hh"
 
 int
 main()
 {
-    using namespace cdcs;
-
-    SystemConfig cfg = benchConfig();
-    cfg.traceIpc = true;
-    cfg.traceBinCycles = envOr("CDCS_TRACE_BIN", 25000);
-    printHeader("Fig. 17", "IPC across one reconfiguration", cfg, 1);
-
-    const MixSpec mix = MixSpec::cpu(64, 7000);
-
-    std::vector<std::pair<const char *, MoveScheme>> modes = {
-        {"instant", MoveScheme::Instant},
-        {"background-inv", MoveScheme::DemandBackground},
-        {"bulk-inv", MoveScheme::BulkInvalidate},
-    };
-    std::vector<ExperimentRunner::Job> jobs;
-    for (const auto &[name, moves] : modes) {
-        SchemeSpec spec = SchemeSpec::cdcs();
-        spec.moves = moves;
-        spec.name = name;
-        jobs.push_back({cfg, spec, mix});
-    }
-    std::vector<std::vector<double>> traces;
-    for (const RunResult &r : benchRunner().runAll(jobs))
-        traces.push_back(r.ipcTrace);
-
-    std::size_t bins = 0;
-    for (const auto &t : traces)
-        bins = std::max(bins, t.size());
-    std::printf("%10s %12s %16s %12s   (aggregate IPC, bin = %llu "
-                "cycles)\n",
-                "Kcycles", "instant", "background-inv", "bulk-inv",
-                static_cast<unsigned long long>(cfg.traceBinCycles));
-    for (std::size_t b = 0; b < bins; b++) {
-        std::printf("%10.0f", b * cfg.traceBinCycles / 1000.0);
-        for (const auto &t : traces)
-            std::printf(" %12.2f",
-                        b < t.size() ? t[b] : 0.0);
-        std::printf("\n");
-    }
-    return 0;
+    return cdcs::studyMain("fig17");
 }

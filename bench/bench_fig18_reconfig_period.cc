@@ -1,64 +1,15 @@
 /**
  * @file
- * Fig. 18: weighted speedup of 64-app mixes as the reconfiguration
- * period shrinks, for bulk invalidations, background invalidations
- * and idealized instant moves.
- *
- * The paper sweeps 10M-100M cycle periods; our epochs are defined in
- * accesses per thread, so the sweep scales the epoch length (shorter
- * epoch == more frequent reconfigurations, same proportional cost).
- *
- * Paper shape: background invalidations beat bulk at every period and
- * the gap narrows as reconfigurations get rarer; instant moves bound
- * both from above.
+ * Legacy entry point kept for existing scripts and CMake targets:
+ * delegates to the "fig18" study (bench/studies/), whose default
+ * text output is byte-identical to the old hand-written harness.
+ * Prefer `cdcs_studies run fig18`.
  */
 
-#include "bench/bench_util.hh"
+#include "sim/study.hh"
 
 int
 main()
 {
-    using namespace cdcs;
-
-    const int mixes = benchMixes(2);
-    SystemConfig base = benchConfig();
-    printHeader("Fig. 18", "WS vs reconfiguration period", base,
-                mixes);
-
-    std::vector<std::pair<const char *, MoveScheme>> modes = {
-        {"bulk-inv", MoveScheme::BulkInvalidate},
-        {"background-inv", MoveScheme::DemandBackground},
-        {"instant", MoveScheme::Instant},
-    };
-
-    std::printf("%-22s %12s %16s %12s\n", "epoch accesses/thread",
-                "bulk-inv", "background-inv", "instant");
-    const std::uint64_t base_accesses = base.accessesPerThreadEpoch;
-    for (double scale : {0.25, 0.5, 1.0, 2.0}) {
-        SystemConfig cfg = base;
-        cfg.accessesPerThreadEpoch =
-            static_cast<std::uint64_t>(base_accesses * scale);
-        std::vector<SchemeSpec> schemes = {SchemeSpec::snuca()};
-        for (const auto &[name, moves] : modes) {
-            SchemeSpec spec = SchemeSpec::cdcs();
-            spec.moves = moves;
-            spec.name = name;
-            schemes.push_back(spec);
-        }
-        const SweepResult sweep =
-            benchRunner().sweep(cfg, schemes, mixes, [&](int m) {
-                return MixSpec::cpu(64, 8000 + m);
-            });
-        maybeExportJson(
-            sweep, (std::string("fig18_period_") +
-                    std::to_string(cfg.accessesPerThreadEpoch))
-                .c_str());
-        std::printf("%-22llu %12.3f %16.3f %12.3f\n",
-                    static_cast<unsigned long long>(
-                        cfg.accessesPerThreadEpoch),
-                    gmean(sweep.ws[1]), gmean(sweep.ws[2]),
-                    gmean(sweep.ws[3]));
-        std::fflush(stdout);
-    }
-    return 0;
+    return cdcs::studyMain("fig18");
 }

@@ -1,52 +1,15 @@
 /**
  * @file
- * Sec. VI-C, "Bank-partitioned NUCA": CDCS without fine-grained
- * partitioning — four 128 KB banks per tile, whole-bank allocation
- * (Sec. IV-I) — vs. fine-grained CDCS and S-NUCA.
- *
- * Paper shape: bank-granular CDCS keeps most of the benefit (36% vs
- * 46% gmean over S-NUCA at 64 apps) but loses from coarser capacity
- * allocation.
+ * Legacy entry point kept for existing scripts and CMake targets:
+ * delegates to the "vic_bankgrain" study (bench/studies/), whose default
+ * text output is byte-identical to the old hand-written harness.
+ * Prefer `cdcs_studies run vic_bankgrain`.
  */
 
-#include "bench/bench_util.hh"
+#include "sim/study.hh"
 
 int
 main()
 {
-    using namespace cdcs;
-
-    const int mixes = benchMixes(3);
-    SystemConfig fine_cfg = benchConfig();
-
-    SystemConfig bank_cfg = fine_cfg;
-    bank_cfg.banksPerTile = 4;
-    bank_cfg.bankLines = 2048;
-    bank_cfg.allocGranuleLines = 2048;
-
-    printHeader("Sec. VI-C bank-granular CDCS",
-                "4 x 128 KB banks/tile, whole-bank allocation",
-                bank_cfg, mixes);
-
-    SchemeSpec bank_spec = SchemeSpec::cdcs();
-    bank_spec.cdcsOpts.placeGranule = 2048.0;
-    bank_spec.cdcsOpts.minAllocLines = 2048.0;
-    bank_spec.cdcsOpts.sizeHysteresis = 0.4;
-    bank_spec.name = "CDCS-bank";
-
-    const int apps = static_cast<int>(envOr("CDCS_APPS", 48));
-    const SweepResult fine = benchRunner().sweep(
-        fine_cfg, {SchemeSpec::snuca(), SchemeSpec::cdcs()}, mixes,
-        [&](int m) { return MixSpec::cpu(apps, 9800 + m); });
-    const SweepResult bank = benchRunner().sweep(
-        bank_cfg, {SchemeSpec::snuca(), bank_spec}, mixes,
-        [&](int m) { return MixSpec::cpu(apps, 9800 + m); });
-
-    maybeExportJson(fine, "vic_bankgrain_fine");
-    maybeExportJson(bank, "vic_bankgrain_bank");
-
-    std::printf("%-12s %10s\n", "scheme", "gmeanWS");
-    std::printf("%-12s %10.3f\n", "CDCS-fine", gmean(fine.ws[1]));
-    std::printf("%-12s %10.3f\n", "CDCS-bank", gmean(bank.ws[1]));
-    return 0;
+    return cdcs::studyMain("vic_bankgrain");
 }

@@ -1,61 +1,15 @@
 /**
  * @file
- * Sec. VI-C, "Alternative thread and data placement schemes": the
- * CDCS heuristics vs. expensive comparators — a simulated-annealing
- * thread placer (standing in for the paper's Gurobi ILP, see
- * DESIGN.md) and recursive-bisection co-placement (standing in for
- * METIS graph partitioning).
- *
- * Paper shape: SA gains ~0.6% and ILP data placement ~0.5% over the
- * CDCS heuristics; graph partitioning does not outperform CDCS (it
- * splits the chip center instead of clustering around it). The
- * comparators also cost orders of magnitude more runtime.
+ * Legacy entry point kept for existing scripts and CMake targets:
+ * delegates to the "vic_placers" study (bench/studies/), whose default
+ * text output is byte-identical to the old hand-written harness.
+ * Prefer `cdcs_studies run vic_placers`.
  */
 
-#include "bench/bench_util.hh"
+#include "sim/study.hh"
 
 int
 main()
 {
-    using namespace cdcs;
-
-    const SystemConfig cfg = benchConfig();
-    const int mixes = benchMixes(2);
-    printHeader("Sec. VI-C placers", "CDCS vs SA vs bisection", cfg,
-                mixes);
-
-    std::vector<SchemeSpec> schemes = {SchemeSpec::snuca(),
-                                       SchemeSpec::cdcs()};
-    {
-        SchemeSpec sa = SchemeSpec::cdcs();
-        sa.placer = PlacerKind::Annealed;
-        sa.saIterations = static_cast<int>(envOr("CDCS_SA_ITERS",
-                                                 5000));
-        sa.name = "CDCS+SA";
-        schemes.push_back(sa);
-    }
-    {
-        SchemeSpec bisect = SchemeSpec::cdcs();
-        bisect.placer = PlacerKind::Bisection;
-        bisect.name = "Bisection";
-        schemes.push_back(bisect);
-    }
-
-    const SweepResult sweep =
-        benchRunner().sweep(cfg, schemes, mixes, [&](int m) {
-            return MixSpec::cpu(32, 9500 + m);
-        });
-    maybeExportJson(sweep, "vic_placers");
-    printWsSummary(sweep);
-
-    std::printf("\nreconfiguration runtime (avg us per invocation, "
-                "mix 0)\n%-12s %10s %10s %10s\n", "scheme", "alloc",
-                "thread", "data");
-    for (std::size_t s = 1; s < schemes.size(); s++) {
-        const RuntimeStepTimes &t = sweep.firstRun[s].avgTimes;
-        std::printf("%-12s %10.1f %10.1f %10.1f\n",
-                    schemes[s].name.c_str(), t.allocUs,
-                    t.threadPlaceUs, t.dataPlaceUs);
-    }
-    return 0;
+    return cdcs::studyMain("vic_placers");
 }

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fig. 11 (a-e): mixes of 64 SPEC CPU2006-like apps on the 64-core
+ * CMP under S-NUCA, R-NUCA, Jigsaw+C, Jigsaw+R and CDCS.
+ *
+ *  - 11a: per-mix weighted speedup over S-NUCA (inverse CDF);
+ *  - 11b: average on-chip network latency of LLC accesses;
+ *  - 11c: average off-chip latency;
+ *  - 11d: network traffic breakdown per instruction;
+ *  - 11e: energy breakdown per instruction.
+ *
+ * Paper shape: CDCS > Jigsaw+R > Jigsaw+C > R-NUCA > S-NUCA in WS
+ * (46/38/34/18% gmean); S-NUCA ~11x CDCS's on-chip latency and ~3x
+ * its traffic; R-NUCA lowest on-chip latency but worst off-chip.
+ */
+
+#include "sim/study.hh"
+
+namespace
+{
+
+using namespace cdcs;
+
+const StudyRegistrar registrar([] {
+    StudySpec spec;
+    spec.name = "fig11";
+    spec.title = "Fig. 11 (a-e)";
+    spec.paperRef = "50 mixes of 64 apps in the paper";
+    spec.category = "figure";
+    spec.defaultMixes = 4;
+    spec.lineup = {"snuca", "rnuca", "jigsaw-c", "jigsaw-r", "cdcs"};
+    spec.run = [](StudyContext &ctx) {
+        ctx.header();
+        const SweepResult sweep = ctx.runner.sweep(
+            ctx.cfg, ctx.lineup(), ctx.mixes,
+            [&](int m) { return MixSpec::cpu(64, 1000 + m); });
+        ctx.sink.sweep("fig11_64app", sweep);
+
+        ctx.sink.printf(
+            "-- Fig. 11a: weighted speedup inverse CDF --\n");
+        writeInverseCdf(ctx.sink, sweep);
+        ctx.sink.printf("\n");
+        writeWsSummary(ctx.sink, sweep);
+        ctx.sink.printf("\n-- Fig. 11b-e: latency, traffic and energy "
+                        "breakdowns (normalized to CDCS) --\n");
+        writeBreakdowns(ctx.sink, sweep);
+    };
+    return spec;
+}());
+
+} // anonymous namespace

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fig. 15: mixes of eight 8-thread SPEC OMP2012-like apps (64 threads
+ * total) on the 64-core CMP — weighted-speedup distribution and
+ * traffic breakdown.
+ *
+ * Paper shape: trends reverse vs. single-threaded mixes — Jigsaw+C
+ * (clustered) beats Jigsaw+R because shared-heavy processes want
+ * their threads around the shared data; CDCS still wins (21% vs
+ * 19%/14%/9%) because it clusters or spreads per process as needed.
+ */
+
+#include "sim/study.hh"
+
+namespace
+{
+
+using namespace cdcs;
+
+const StudyRegistrar registrar([] {
+    StudySpec spec;
+    spec.name = "fig15";
+    spec.title = "Fig. 15";
+    spec.paperRef = "8 x 8-thread OMP mixes";
+    spec.category = "figure";
+    spec.defaultMixes = 4;
+    spec.lineup = {"snuca", "rnuca", "jigsaw-c", "jigsaw-r", "cdcs"};
+    spec.run = [](StudyContext &ctx) {
+        ctx.header();
+        const SweepResult sweep = ctx.runner.sweep(
+            ctx.cfg, ctx.lineup(), ctx.mixes,
+            [&](int m) { return MixSpec::omp(8, 5000 + m); });
+        ctx.sink.sweep("fig15_multithread", sweep);
+
+        ctx.sink.printf(
+            "-- Fig. 15a: weighted speedup inverse CDF --\n");
+        writeInverseCdf(ctx.sink, sweep);
+        ctx.sink.printf("\n");
+        writeWsSummary(ctx.sink, sweep);
+        ctx.sink.printf("\n-- Fig. 15b: traffic breakdown --\n");
+        writeBreakdowns(ctx.sink, sweep);
+    };
+    return spec;
+}());
+
+} // anonymous namespace

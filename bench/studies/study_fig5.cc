@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fig. 5 (design section): average memory access latency of one VC vs.
+ * its capacity allocation, split into off-chip and on-chip components.
+ * Off-chip falls with capacity (fewer misses), on-chip grows (data
+ * spreads over more, farther banks): the total has a sweet spot, and
+ * past it more capacity *hurts* — the insight behind latency-aware
+ * allocation (Sec. IV-C).
+ *
+ * The curve is produced exactly the way the runtime sees it: a GMON
+ * monitors the app's stream, and the optimistic compact-placement
+ * distance (Fig. 6) prices the on-chip term.
+ */
+
+#include "mesh/mesh.hh"
+#include "monitor/gmon.hh"
+#include "runtime/curves.hh"
+#include "sim/study.hh"
+#include "workload/app_profile.hh"
+
+namespace
+{
+
+using namespace cdcs;
+
+const StudyRegistrar registrar([] {
+    StudySpec spec;
+    spec.name = "fig5";
+    spec.title = "Fig. 5 latency vs capacity";
+    spec.paperRef = "per-access latency curve, sphinx3-like VC";
+    spec.category = "figure";
+    spec.defaultMixes = 1;
+    spec.run = [](StudyContext &ctx) {
+        Mesh mesh(ctx.cfg.meshWidth, ctx.cfg.meshHeight);
+        const double tile_lines =
+            static_cast<double>(ctx.cfg.bankLines);
+        const std::uint64_t llc_lines =
+            static_cast<std::uint64_t>(tile_lines) * mesh.numTiles();
+
+        // Monitor a cache-friendly app with a large footprint
+        // (sphinx3).
+        const AppProfile &app = profileByName("sphinx3");
+        Gmon gmon(64, llc_lines, 16, 2, 5);
+        StreamGen gen(app.privateStream, 3);
+        const auto accesses = ctx.cfg.accessesPerThreadEpoch * 8;
+        for (std::uint64_t i = 0; i < accesses; i++)
+            gmon.access(gen.next());
+
+        const Curve miss = gmon.missCurve();
+        LatencyModel lat;
+        double mem_net = 0.0;
+        for (TileId t = 0; t < mesh.numTiles(); t++)
+            mem_net += mesh.avgHopsToMemCtrl(t);
+        mem_net = lat.onChipRoundTrip(mem_net / mesh.numTiles());
+        const double miss_cost = lat.memAccessCycles + mem_net;
+        const double n = static_cast<double>(accesses);
+
+        ctx.sink.printf("== Fig. 5: per-access latency vs capacity "
+                        "(sphinx3-like VC) ==\n");
+        ctx.sink.printf("%10s %12s %12s %12s\n", "MB", "off-chip",
+                        "on-chip", "total");
+        double best_total = 1e30;
+        double best_mb = 0.0;
+        for (double tiles = 0.0; tiles <= 40.0; tiles += 1.0) {
+            const double x = tiles * tile_lines;
+            const double offchip = miss.at(x) * miss_cost / n;
+            const double onchip =
+                lat.onChipRoundTrip(mesh.optimisticDistance(tiles)) +
+                lat.bankAccessCycles;
+            const double total = offchip + onchip;
+            if (total < best_total) {
+                best_total = total;
+                best_mb = x * lineBytes / 1048576.0;
+            }
+            ctx.sink.printf("%10.2f %12.2f %12.2f %12.2f\n",
+                            x * lineBytes / 1048576.0, offchip,
+                            onchip, total);
+        }
+        ctx.sink.printf(
+            "\nsweet spot at ~%.1f MB: beyond it, extra capacity "
+            "adds more on-chip latency than it saves in misses\n",
+            best_mb);
+    };
+    return spec;
+}());
+
+} // anonymous namespace

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Sec. VI-C, "Geometric monitors": 64-way GMONs vs. conventional
+ * UMONs of 64, 256 and 1024 ways.
+ *
+ *  Part 1 compares miss-curve accuracy against a high-resolution
+ *  reference on analytic workloads; Part 2 compares end-to-end
+ *  weighted speedup when CDCS runs with each monitor.
+ *
+ * Paper shape: the 64-way GMON matches a 256-way UMON; 64-way UMONs
+ * lose a few percent from poor resolution; huge UMONs gain ~1%.
+ */
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "monitor/gmon.hh"
+#include "monitor/umon.hh"
+#include "sim/study.hh"
+
+namespace
+{
+
+using namespace cdcs;
+
+/** RMS error of a monitor's curve vs a reference monitor's curve. */
+double
+curveRms(const SampledMonitor &monitor, const SampledMonitor &ref,
+         double max_x)
+{
+    const Curve a = monitor.missCurve();
+    const Curve b = ref.missCurve();
+    const double total = std::max(1.0, b.at(0.0));
+    double sum = 0.0;
+    int n = 0;
+    for (double x = 0.0; x <= max_x; x += max_x / 32) {
+        const double d = (a.at(x) - b.at(x)) / total;
+        sum += d * d;
+        n++;
+    }
+    return std::sqrt(sum / n);
+}
+
+const StudyRegistrar registrar([] {
+    StudySpec spec;
+    spec.name = "vic_monitors";
+    spec.title = "Sec. VI-C monitors: GMON vs UMON";
+    spec.paperRef = "curve accuracy + end-to-end WS";
+    spec.category = "ablation";
+    spec.defaultMixes = 2;
+    spec.lineup = {"snuca", "cdcs"};
+    spec.run = [](StudyContext &ctx) {
+        const std::uint64_t llc_lines = 512 * 1024;
+        ctx.sink.printf("== Sec. VI-C monitors: GMON vs UMON ==\n\n");
+        ctx.sink.printf("-- curve accuracy (RMS miss-ratio error vs "
+                        "2K-way reference, Zipf workload) --\n");
+
+        Gmon gmon(64, llc_lines, 16, 4, 1);
+        Umon umon64(64, llc_lines, 16, 2);
+        Umon umon256(256, llc_lines, 16, 3);
+        Umon umon1k(1024, llc_lines, 16, 4);
+        Umon reference(2048, llc_lines, 64, 5);
+
+        Rng rng(9);
+        ZipfSampler zipf(300000, 0.6);
+        const auto accesses = ctx.cfg.accessesPerThreadEpoch * 64;
+        for (std::uint64_t i = 0; i < accesses; i++) {
+            const LineAddr a = mix64(zipf.sample(rng)) % 300000;
+            gmon.access(a);
+            umon64.access(a);
+            umon256.access(a);
+            umon1k.access(a);
+            reference.access(a);
+        }
+        ctx.sink.printf("%-14s %10s\n", "monitor", "rms");
+        ctx.sink.printf("%-14s %10.4f\n", "GMON-64",
+                        curveRms(gmon, reference, llc_lines));
+        ctx.sink.printf("%-14s %10.4f\n", "UMON-64",
+                        curveRms(umon64, reference, llc_lines));
+        ctx.sink.printf("%-14s %10.4f\n", "UMON-256",
+                        curveRms(umon256, reference, llc_lines));
+        ctx.sink.printf("%-14s %10.4f\n", "UMON-1024",
+                        curveRms(umon1k, reference, llc_lines));
+
+        ctx.sink.printf("\n-- end-to-end: CDCS weighted speedup with "
+                        "each monitor --\n");
+        std::vector<SchemeSpec> schemes = {schemeByName("snuca")};
+        {
+            SchemeSpec s = schemeByName("cdcs");
+            s.name = "CDCS/GMON-64";
+            schemes.push_back(s);
+        }
+        for (std::uint32_t ways : {64u, 256u}) {
+            SchemeSpec s = schemeByName("cdcs");
+            s.monitor = MonitorKind::Umon;
+            s.monitorWays = ways;
+            s.name = "CDCS/UMON-" + std::to_string(ways);
+            schemes.push_back(s);
+        }
+        const SweepResult sweep = ctx.runner.sweep(
+            ctx.cfg, schemes, ctx.mixes,
+            [&](int m) { return MixSpec::cpu(64, 9000 + m); });
+        ctx.sink.sweep("vic_monitors", sweep);
+        writeWsSummary(ctx.sink, sweep);
+    };
+    return spec;
+}());
+
+} // anonymous namespace

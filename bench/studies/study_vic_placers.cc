@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Sec. VI-C, "Alternative thread and data placement schemes": the
+ * CDCS heuristics vs. expensive comparators — a simulated-annealing
+ * thread placer (standing in for the paper's Gurobi ILP, see
+ * DESIGN.md) and recursive-bisection co-placement (standing in for
+ * METIS graph partitioning).
+ *
+ * Paper shape: SA gains ~0.6% and ILP data placement ~0.5% over the
+ * CDCS heuristics; graph partitioning does not outperform CDCS (it
+ * splits the chip center instead of clustering around it). The
+ * comparators also cost orders of magnitude more runtime.
+ */
+
+#include "sim/study.hh"
+
+namespace
+{
+
+using namespace cdcs;
+
+const StudyRegistrar registrar([] {
+    StudySpec spec;
+    spec.name = "vic_placers";
+    spec.title = "Sec. VI-C placers";
+    spec.paperRef = "CDCS vs SA vs bisection";
+    spec.category = "ablation";
+    spec.defaultMixes = 2;
+    spec.lineup = {"snuca", "cdcs"};
+    spec.run = [](StudyContext &ctx) {
+        ctx.header();
+
+        std::vector<SchemeSpec> schemes = ctx.lineup();
+        {
+            SchemeSpec sa = schemeByName("cdcs");
+            sa.placer = PlacerKind::Annealed;
+            sa.saIterations = static_cast<int>(
+                ctx.knob("saIters", "CDCS_SA_ITERS", 5000));
+            sa.name = "CDCS+SA";
+            schemes.push_back(sa);
+        }
+        {
+            SchemeSpec bisect = schemeByName("cdcs");
+            bisect.placer = PlacerKind::Bisection;
+            bisect.name = "Bisection";
+            schemes.push_back(bisect);
+        }
+
+        const SweepResult sweep = ctx.runner.sweep(
+            ctx.cfg, schemes, ctx.mixes,
+            [&](int m) { return MixSpec::cpu(32, 9500 + m); });
+        ctx.sink.sweep("vic_placers", sweep);
+        writeWsSummary(ctx.sink, sweep);
+
+        ctx.sink.printf("\nreconfiguration runtime (avg us per "
+                        "invocation, mix 0)\n%-12s %10s %10s %10s\n",
+                        "scheme", "alloc", "thread", "data");
+        for (std::size_t s = 1; s < schemes.size(); s++) {
+            const RuntimeStepTimes &t = sweep.firstRun[s].avgTimes;
+            ctx.sink.printf("%-12s %10.1f %10.1f %10.1f\n",
+                            schemes[s].name.c_str(), t.allocUs,
+                            t.threadPlaceUs, t.dataPlaceUs);
+        }
+    };
+    return spec;
+}());
+
+} // anonymous namespace

@@ -17,16 +17,31 @@
 #include "monitor/gmon.hh"
 #include "runtime/curves.hh"
 #include "runtime/peekahead.hh"
+#include "sim/overrides.hh"
 #include "workload/app_profile.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace cdcs;
 
-    // A 6x6-tile chip: 36 x 512 KB = 18 MB of LLC.
-    Mesh mesh(6, 6);
-    const double tile_lines = 8192.0;
+    // A 6x6-tile chip: 36 x 512 KB = 18 MB of LLC. Resizable from
+    // the command line with the study API's typed overrides, e.g.
+    //   ./build/example_capacity_allocation meshWidth=8 bankLines=4096
+    SystemConfig cfg;
+    cfg.meshWidth = 6;
+    cfg.meshHeight = 6;
+    Overrides overrides;
+    std::string err;
+    for (int i = 1; i < argc; i++) {
+        if (!overrides.add(argv[i], &err)) {
+            std::fprintf(stderr, "%s\n", err.c_str());
+            return 1;
+        }
+    }
+    overrides.apply(cfg);
+    Mesh mesh(cfg.meshWidth, cfg.meshHeight);
+    const double tile_lines = static_cast<double>(cfg.bankLines);
     const double total_lines = tile_lines * mesh.numTiles();
 
     // Monitor three apps' streams with one GMON each.
@@ -60,8 +75,11 @@ main()
         peekaheadAllocate(costs, total_lines, /*allow_unused=*/true);
 
     double used = 0.0;
+    char total_label[32];
+    std::snprintf(total_label, sizeof(total_label), "of %.0f MB",
+                  total_lines * lineBytes / 1048576.0);
     std::printf("%-10s %14s %10s\n", "app", "allocation(MB)",
-                "of 18 MB");
+                total_label);
     for (int i = 0; i < 3; i++) {
         std::printf("%-10s %14.2f %9.1f%%\n", names[i],
                     alloc[i] * lineBytes / 1048576.0,

@@ -3,20 +3,24 @@
  * Quickstart: simulate a small tiled CMP running a mix of
  * SPEC-CPU2006-like applications under S-NUCA and CDCS, and print the
  * headline numbers. This is the smallest end-to-end use of the
- * library: build a SystemConfig, pick a SchemeSpec, run, inspect
- * RunResult.
+ * library: build a SystemConfig (optionally overridden from the
+ * command line), pick schemes from the SchemeRegistry by name, run,
+ * inspect RunResult.
  *
  * Build and run:
  *   cmake -B build -G Ninja && cmake --build build
- *   ./build/examples/quickstart
+ *   ./build/example_quickstart
+ *   ./build/example_quickstart meshWidth=8 meshHeight=8 epochs=12
  */
 
 #include <cstdio>
 
 #include "sim/experiment_runner.hh"
+#include "sim/overrides.hh"
+#include "sim/scheme_registry.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace cdcs;
 
@@ -28,6 +32,18 @@ main()
     cfg.epochs = 8;
     cfg.warmupEpochs = 4;
 
+    // Any key=value argument overrides the config, with the same
+    // typed parser behind `cdcs_studies --set`.
+    Overrides overrides;
+    std::string err;
+    for (int i = 1; i < argc; i++) {
+        if (!overrides.add(argv[i], &err)) {
+            std::fprintf(stderr, "%s\n", err.c_str());
+            return 1;
+        }
+    }
+    overrides.apply(cfg);
+
     // Eight random SPEC-CPU2006-like applications.
     const MixSpec mix = MixSpec::cpu(8, /*seed=*/123);
 
@@ -36,10 +52,11 @@ main()
                 mix.count, cfg.meshWidth, cfg.meshHeight);
 
     // Both schemes run concurrently on the experiment engine's
-    // work-stealing pool (CDCS_WORKERS=1 forces serial).
+    // work-stealing pool (CDCS_WORKERS=1 forces serial). The lineup
+    // comes from the SchemeRegistry — the same names study specs use.
     ExperimentRunner runner;
     const auto results = runner.runSchemes(
-        cfg, {SchemeSpec::snuca(), SchemeSpec::cdcs()}, mix);
+        cfg, schemesByName({"snuca", "cdcs"}), mix);
     const RunResult &snuca = results[0];
     const RunResult &cdcs_r = results[1];
 

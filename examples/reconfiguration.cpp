@@ -7,10 +7,12 @@
  * full-system driver.
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "nuca/partitioned_nuca.hh"
 #include "runtime/cdcs_runtime.hh"
+#include "sim/overrides.hh"
 
 namespace
 {
@@ -41,23 +43,40 @@ class PinningRuntime : public ReconfigRuntime
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace cdcs;
 
-    Mesh mesh(4, 4);
+    // Chip geometry is overridable with the study API's typed
+    // key=value parser, e.g.
+    //   ./build/example_reconfiguration meshWidth=8 bankLines=4096
+    SystemConfig cfg;
+    cfg.meshWidth = 4;
+    cfg.meshHeight = 4;
+    Overrides overrides;
+    std::string err;
+    for (int i = 1; i < argc; i++) {
+        if (!overrides.add(argv[i], &err)) {
+            std::fprintf(stderr, "%s\n", err.c_str());
+            return 1;
+        }
+    }
+    overrides.apply(cfg);
+    Mesh mesh(cfg.meshWidth, cfg.meshHeight);
     std::vector<PartitionedBank> banks;
     for (int b = 0; b < mesh.numTiles(); b++)
-        banks.emplace_back(8192, 16);
+        banks.emplace_back(cfg.bankLines, cfg.bankWays);
 
-    PinningRuntime runtime(/*target=*/5);
+    const TileId target =
+        std::min<TileId>(5, static_cast<TileId>(mesh.numTiles() - 1));
+    PinningRuntime runtime(target);
     PartitionedNucaConfig move_cfg;
     move_cfg.moves = MoveScheme::DemandBackground;
     move_cfg.walkDelay = 1000;
     move_cfg.walkCyclesPerSet = 100;
     std::vector<ThreadVcWiring> wiring{{0, 1, 2}};
-    PartitionedNucaPolicy policy(&mesh, 1, 8192, 512, wiring, 3,
-                                 &runtime, move_cfg);
+    PartitionedNucaPolicy policy(&mesh, 1, cfg.bankLines, 512,
+                                 wiring, 3, &runtime, move_cfg);
 
     // Touch 1000 lines under the bootstrap (spread) configuration.
     for (LineAddr a = 0; a < 1000; a++) {
@@ -67,12 +86,12 @@ main()
     std::printf("before reconfiguration: lines spread over %d "
                 "banks\n", mesh.numTiles());
 
-    // Reconfigure: everything now belongs in bank 5.
+    // Reconfigure: everything now belongs in the target bank.
     RuntimeInput input;
     input.mesh = &mesh;
     input.numBanks = mesh.numTiles();
     input.banksPerTile = 1;
-    input.bankLines = 8192;
+    input.bankLines = cfg.bankLines;
     input.missCurves.resize(3);
     input.access = {{1000.0, 0.0, 0.0}};
     input.threadCore = {0};
@@ -92,8 +111,9 @@ main()
         }
     }
     std::printf("demand moves while walking: %llu of 200 accessed "
-                "lines chased into bank 5\n",
-                static_cast<unsigned long long>(demand_moves));
+                "lines chased into bank %d\n",
+                static_cast<unsigned long long>(demand_moves),
+                static_cast<int>(target));
 
     // The background walker cleans up everything else.
     const std::uint64_t invalidated =
@@ -102,8 +122,9 @@ main()
                 "shadow descriptors dropped: %s\n",
                 static_cast<unsigned long long>(invalidated),
                 policy.demandMovesActive() ? "no" : "yes");
-    std::printf("bank 5 now holds %llu lines\n",
+    std::printf("bank %d now holds %llu lines\n",
+                static_cast<int>(target),
                 static_cast<unsigned long long>(
-                    banks[5].totalOccupancy()));
+                    banks[target].totalOccupancy()));
     return 0;
 }

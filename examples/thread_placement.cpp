@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "sim/experiment_runner.hh"
+#include "sim/scheme_registry.hh"
 
 namespace
 {
@@ -66,12 +67,12 @@ main()
         {"omnetpp", "omnetpp", "omnetpp", "omnetpp", "ilbdc"}, 77);
 
     // All four schemes run concurrently through the experiment
-    // engine; identical mix seeds keep the streams comparable.
+    // engine; identical mix seeds keep the streams comparable. The
+    // lineup is named through the SchemeRegistry, like study specs.
     ExperimentRunner runner;
     const auto results = runner.runSchemes(
         cfg,
-        {SchemeSpec::snuca(), SchemeSpec::jigsaw(InitialSched::Clustered),
-         SchemeSpec::jigsaw(InitialSched::Random), SchemeSpec::cdcs()},
+        schemesByName({"snuca", "jigsaw-c", "jigsaw-r", "cdcs"}),
         mix);
     const RunResult &snuca = results[0];
     const RunResult &jc = results[1];
@@ -84,10 +85,9 @@ main()
 
     std::printf("\nClustered placement (threads; A-D omnetpp, E "
                 "ilbdc):\n");
-    showPlacement(cfg, SchemeSpec::jigsaw(InitialSched::Clustered),
-                  mix);
+    showPlacement(cfg, schemeByName("jigsaw-c"), mix);
     std::printf("\nCDCS placement (spreads omnetpp, clusters "
                 "ilbdc):\n");
-    showPlacement(cfg, SchemeSpec::cdcs(), mix);
+    showPlacement(cfg, schemeByName("cdcs"), mix);
     return 0;
 }

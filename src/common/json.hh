@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Minimal JSON string helpers shared by the result-export paths
+ * (SweepResult::toJson, the report sinks, chip-map/trace artifacts).
+ */
+
+#ifndef CDCS_COMMON_JSON_HH
+#define CDCS_COMMON_JSON_HH
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace cdcs
+{
+
+/**
+ * Escape a string for embedding inside a JSON string literal:
+ * quotes, backslashes and every control character (RFC 8259), so
+ * registry-named schemes like `jigsaw+L"T"` cannot produce invalid
+ * documents.
+ */
+inline std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char raw : s) {
+        const auto c = static_cast<unsigned char>(raw);
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += raw;
+            }
+        }
+    }
+    return out;
+}
+
+/** `"escaped"` — a complete JSON string literal. */
+inline std::string
+jsonString(std::string_view s)
+{
+    return "\"" + jsonEscape(s) + "\"";
+}
+
+} // namespace cdcs
+
+#endif // CDCS_COMMON_JSON_HH

@@ -76,11 +76,4 @@ benchConfig()
     return cfg;
 }
 
-int
-benchMixes(int fallback)
-{
-    return static_cast<int>(
-        envOr("CDCS_MIXES", static_cast<std::uint64_t>(fallback)));
-}
-
 } // namespace cdcs

@@ -92,14 +92,13 @@ std::vector<RunResult> runSchemes(const SystemConfig &cfg,
 std::uint64_t envOr(const char *name, std::uint64_t fallback);
 
 /**
- * Default scaled-down methodology configuration for the bench
- * harnesses, honoring CDCS_EPOCH_ACCESSES / CDCS_EPOCHS / CDCS_WARMUP
- * environment overrides (see EXPERIMENTS.md).
+ * Default scaled-down methodology configuration for the studies,
+ * honoring CDCS_EPOCH_ACCESSES / CDCS_EPOCHS / CDCS_WARMUP
+ * environment overrides (see EXPERIMENTS.md). `--set` overrides are
+ * applied on top by runStudy (sim/study.hh); mix counts resolve
+ * through Overrides::knob.
  */
 SystemConfig benchConfig();
-
-/** Number of mixes for sweep benches (CDCS_MIXES, default `fallback`). */
-int benchMixes(int fallback);
 
 } // namespace cdcs
 

@@ -4,6 +4,7 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "common/json.hh"
 #include "common/stats.hh"
 
 namespace cdcs
@@ -21,18 +22,6 @@ appendF(std::string &out, const char *fmt, ...)
     std::vsnprintf(buf, sizeof(buf), fmt, args);
     va_end(args);
     out += buf;
-}
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        out += c;
-    }
-    return out;
 }
 
 void
@@ -152,23 +141,45 @@ ExperimentRunner::cacheKey(const SystemConfig &cfg,
     return key;
 }
 
+ExperimentRunner::CacheStats
+ExperimentRunner::cacheStats() const
+{
+    std::lock_guard<std::mutex> lock(cacheMu);
+    CacheStats snapshot = stats;
+    snapshot.entries = cache.size();
+    return snapshot;
+}
+
 RunResult
 ExperimentRunner::runJob(const Job &job)
 {
-    const bool memoize =
-        opts.memoizeBaseline && job.scheme.kind == SchemeKind::SNuca;
+    const bool cacheable = opts.cacheResults ||
+        (opts.memoizeBaseline &&
+         job.scheme.kind == SchemeKind::SNuca);
     std::string key;
-    if (memoize) {
+    if (cacheable) {
         key = cacheKey(job.cfg, job.scheme, job.mix);
-        std::lock_guard<std::mutex> lock(memoMu);
-        const auto it = baselineMemo.find(key);
-        if (it != baselineMemo.end())
+        std::lock_guard<std::mutex> lock(cacheMu);
+        const auto it = cache.find(key);
+        if (it != cache.end()) {
+            stats.hits++;
             return it->second;
+        }
+        stats.misses++;
     }
     RunResult res = runScheme(job.cfg, job.scheme, job.mix);
-    if (memoize) {
-        std::lock_guard<std::mutex> lock(memoMu);
-        baselineMemo.emplace(std::move(key), res);
+    if (cacheable) {
+        std::lock_guard<std::mutex> lock(cacheMu);
+        // Two workers can race to compute the same key; the first
+        // insert wins and the FIFO tracks only successful inserts.
+        if (cache.emplace(key, res).second) {
+            cacheFifo.push_back(std::move(key));
+            while (cache.size() > opts.cacheBudget) {
+                cache.erase(cacheFifo.front());
+                cacheFifo.pop_front();
+                stats.evictions++;
+            }
+        }
     }
     return res;
 }

@@ -17,6 +17,7 @@
 #define CDCS_SIM_EXPERIMENT_RUNNER_HH
 
 #include <array>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <string>
@@ -75,6 +76,28 @@ class ExperimentRunner
 
         /** Share identical S-NUCA baseline runs across sweeps. */
         bool memoizeBaseline = true;
+
+        /**
+         * Opt-in general (cfg, scheme, mix) result cache: any
+         * identical run repeated within the runner's lifetime (the
+         * same study run twice, lineups sharing runs under one
+         * config) is served from the cache, not just S-NUCA
+         * baselines. Studies with disjoint seeds/configs get no
+         * reuse — the footer's hit counter shows what it bought.
+         */
+        bool cacheResults = false;
+
+        /** Max cached entries; FIFO eviction beyond the budget. */
+        std::size_t cacheBudget = 1024;
+    };
+
+    /** Result-cache counters (monotonic over the runner's life). */
+    struct CacheStats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        std::size_t entries = 0;
     };
 
     /** One unit of schedulable work. */
@@ -119,6 +142,11 @@ class ExperimentRunner
 
     unsigned workers() const { return pool.workerCount(); }
 
+    const Options &options() const { return opts; }
+
+    /** Snapshot of the result-cache counters. */
+    CacheStats cacheStats() const;
+
   private:
     /**
      * Exact-match memo key: a full serialization of everything that
@@ -132,8 +160,15 @@ class ExperimentRunner
 
     Options opts;
     WorkStealingPool pool;
-    std::mutex memoMu;
-    std::unordered_map<std::string, RunResult> baselineMemo;
+    mutable std::mutex cacheMu;
+    /**
+     * The result cache. Holds S-NUCA baselines (memoizeBaseline) and,
+     * when cacheResults is on, every run; bounded by cacheBudget with
+     * FIFO eviction (cacheFifo tracks insertion order).
+     */
+    std::unordered_map<std::string, RunResult> cache;
+    std::deque<std::string> cacheFifo;
+    CacheStats stats;
 };
 
 } // namespace cdcs

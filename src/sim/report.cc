@@ -1,0 +1,495 @@
+#include "sim/report.hh"
+
+#include <cstdarg>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/stats.hh"
+#include "sim/study.hh"
+#include "sim/system.hh"
+
+namespace cdcs
+{
+
+namespace
+{
+
+void
+appendF(std::string &out, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void
+appendF(std::string &out, const char *fmt, ...)
+{
+    char buf[512];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    out += buf;
+}
+
+bool
+writeFile(const std::string &path, const std::string &data)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    const bool ok =
+        std::fwrite(data.data(), 1, data.size(), f) == data.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+/**
+ * Write one artifact as <dir>/<name>.json; no-op on an empty dir,
+ * stderr note on I/O failure. Returns the path written, or "".
+ */
+std::string
+exportArtifactFile(const std::string &dir, const std::string &name,
+                   const std::string &json)
+{
+    if (dir.empty())
+        return "";
+    const std::string path = dir + "/" + name + ".json";
+    if (!writeFile(path, json)) {
+        std::fprintf(stderr, "failed to write %s\n", path.c_str());
+        return "";
+    }
+    return path;
+}
+
+/** CSV field, quoted when it contains a delimiter or quote. */
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // anonymous namespace
+
+void
+ReportSink::printf(const char *fmt, ...)
+{
+    char buf[512];
+    va_list args;
+    va_start(args, fmt);
+    const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    if (n < static_cast<int>(sizeof(buf))) {
+        text(std::string_view(buf, n < 0 ? 0 : n));
+        return;
+    }
+    std::vector<char> big(static_cast<std::size_t>(n) + 1);
+    va_start(args, fmt);
+    std::vsnprintf(big.data(), big.size(), fmt, args);
+    va_end(args);
+    text(std::string_view(big.data(), n));
+}
+
+// ------------------------------------------------------------------
+// ChipMap
+
+std::string
+ChipMap::toJson() const
+{
+    std::string out = "{";
+    appendF(out, "\"width\": %d, \"height\": %d, ", width, height);
+    out += "\"threadLabel\": [";
+    for (std::size_t t = 0; t < threadLabel.size(); t++) {
+        out += t > 0 ? "," : "";
+        out += jsonString(threadLabel[t]);
+    }
+    out += "], \"dataLabel\": [";
+    for (std::size_t t = 0; t < dataLabel.size(); t++) {
+        out += t > 0 ? "," : "";
+        out += jsonString(dataLabel[t]);
+    }
+    out += "]}";
+    return out;
+}
+
+ChipMap
+captureChipMap(const System &system)
+{
+    const Mesh &mesh = system.meshRef();
+    const WorkloadMix &mix = system.workload();
+    const auto &thread_core = system.threadPlacement();
+    const auto *policy = system.partitionedPolicy();
+
+    ChipMap map;
+    map.width = mesh.width();
+    map.height = mesh.height();
+    map.threadLabel.assign(mesh.numTiles(), "--");
+    for (ThreadId t = 0; t < mix.numThreads(); t++) {
+        const ProcId p = mix.thread(t).proc;
+        std::string label;
+        label += static_cast<char>('A' + (p % 26));
+        label += std::to_string(t % 10);
+        map.threadLabel[thread_core[t]] = label;
+    }
+
+    map.dataLabel.assign(mesh.numTiles(), "..");
+    if (policy != nullptr) {
+        const auto &alloc = policy->allocation();
+        for (TileId tile = 0; tile < mesh.numTiles(); tile++) {
+            double best = 0.0;
+            int best_vc = -1;
+            for (std::size_t d = 0; d < alloc.size(); d++) {
+                double here = 0.0;
+                // Sum this tile's banks.
+                const std::size_t bpt =
+                    alloc[d].size() / mesh.numTiles();
+                for (std::size_t k = 0; k < bpt; k++)
+                    here += alloc[d][tile * bpt + k];
+                if (here > best) {
+                    best = here;
+                    best_vc = static_cast<int>(d);
+                }
+            }
+            if (best_vc >= 0) {
+                // Map VC to owning process.
+                ProcId proc;
+                const int threads = mix.numThreads();
+                if (best_vc < threads)
+                    proc = mix.thread(
+                        static_cast<ThreadId>(best_vc)).proc;
+                else if (best_vc < threads + mix.numProcesses())
+                    proc = static_cast<ProcId>(best_vc - threads);
+                else
+                    proc = 255; // Global VC.
+                std::string label;
+                label += proc == 255
+                    ? '*' : static_cast<char>('a' + (proc % 26));
+                label += best_vc < threads ? 'p' : 's';
+                map.dataLabel[tile] = label;
+            }
+        }
+    }
+    return map;
+}
+
+std::string
+traceToJson(const std::string &name, const RunResult &run)
+{
+    std::string out = "{";
+    out += "\"name\": " + jsonString(name) + ", ";
+    appendF(out, "\"binCycles\": %llu, ",
+            static_cast<unsigned long long>(run.ipcBinCycles));
+    out += "\"ipc\": [";
+    for (std::size_t b = 0; b < run.ipcTrace.size(); b++)
+        appendF(out, "%s%.17g", b > 0 ? "," : "", run.ipcTrace[b]);
+    out += "]}";
+    return out;
+}
+
+// ------------------------------------------------------------------
+// TextReportSink
+
+TextReportSink::TextReportSink(std::FILE *out_file,
+                               std::string json_dir)
+    : out(out_file), jsonDir(std::move(json_dir))
+{
+}
+
+void
+TextReportSink::text(std::string_view s)
+{
+    std::fwrite(s.data(), 1, s.size(), out);
+}
+
+void
+TextReportSink::flush()
+{
+    std::fflush(out);
+}
+
+void
+TextReportSink::exportArtifact(const std::string &name,
+                               const std::string &json)
+{
+    const std::string path = exportArtifactFile(jsonDir, name, json);
+    if (!path.empty())
+        this->printf("[json: %s]\n", path.c_str());
+}
+
+void
+TextReportSink::sweep(const std::string &name,
+                      const SweepResult &result)
+{
+    if (!jsonDir.empty())
+        exportArtifact(name, result.toJson());
+}
+
+void
+TextReportSink::trace(const std::string &name, const RunResult &run)
+{
+    if (!jsonDir.empty())
+        exportArtifact(name, traceToJson(name, run) + "\n");
+}
+
+void
+TextReportSink::chipMap(const std::string &name, const ChipMap &map)
+{
+    if (!jsonDir.empty())
+        exportArtifact(name, map.toJson() + "\n");
+}
+
+// ------------------------------------------------------------------
+// JsonReportSink
+
+JsonReportSink::JsonReportSink(std::FILE *out_file,
+                               std::string json_dir)
+    : out(out_file), jsonDir(std::move(json_dir))
+{
+}
+
+void
+JsonReportSink::beginStudy(const StudySpec &spec)
+{
+    if (anyStudy)
+        doc += "\n  ]},\n";
+    anyStudy = true;
+    anyArtifact = false;
+    doc += "  {\"name\": " + jsonString(spec.name) +
+        ", \"title\": " + jsonString(spec.title) +
+        ", \"paperRef\": " + jsonString(spec.paperRef) +
+        ", \"category\": " + jsonString(spec.category) +
+        ", \"artifacts\": [";
+}
+
+void
+JsonReportSink::sweep(const std::string &name,
+                      const SweepResult &result)
+{
+    const std::string json = result.toJson();
+    exportArtifactFile(jsonDir, name, json);
+    doc += anyArtifact ? ",\n" : "\n";
+    anyArtifact = true;
+    doc += "   {\"name\": " + jsonString(name) +
+        ", \"kind\": \"sweep\", \"data\": " + json;
+    // toJson() ends with a newline; fold it before closing.
+    while (!doc.empty() && doc.back() == '\n')
+        doc.pop_back();
+    doc += "}";
+}
+
+void
+JsonReportSink::trace(const std::string &name, const RunResult &run)
+{
+    const std::string json = traceToJson(name, run);
+    exportArtifactFile(jsonDir, name, json + "\n");
+    doc += anyArtifact ? ",\n" : "\n";
+    anyArtifact = true;
+    doc += "   {\"name\": " + jsonString(name) +
+        ", \"kind\": \"trace\", \"data\": " + json + "}";
+}
+
+void
+JsonReportSink::chipMap(const std::string &name, const ChipMap &map)
+{
+    const std::string json = map.toJson();
+    exportArtifactFile(jsonDir, name, json + "\n");
+    doc += anyArtifact ? ",\n" : "\n";
+    anyArtifact = true;
+    doc += "   {\"name\": " + jsonString(name) +
+        ", \"kind\": \"chipmap\", \"data\": " + json + "}";
+}
+
+void
+JsonReportSink::finish()
+{
+    std::string full = "{\"studies\": [\n";
+    full += doc;
+    if (anyStudy)
+        full += "\n  ]}\n";
+    full += "]}\n";
+    std::fwrite(full.data(), 1, full.size(), out);
+    std::fflush(out);
+    doc.clear();
+    anyStudy = false;
+}
+
+// ------------------------------------------------------------------
+// CsvReportSink
+
+CsvReportSink::CsvReportSink(std::FILE *out_file,
+                             std::string json_dir)
+    : out(out_file), jsonDir(std::move(json_dir))
+{
+}
+
+void
+CsvReportSink::beginStudy(const StudySpec &spec)
+{
+    currentStudy = spec.name;
+}
+
+void
+CsvReportSink::trace(const std::string &name, const RunResult &run)
+{
+    if (!jsonDir.empty())
+        exportArtifactFile(jsonDir, name,
+                           traceToJson(name, run) + "\n");
+}
+
+void
+CsvReportSink::chipMap(const std::string &name, const ChipMap &map)
+{
+    if (!jsonDir.empty())
+        exportArtifactFile(jsonDir, name, map.toJson() + "\n");
+}
+
+void
+CsvReportSink::sweep(const std::string &name,
+                     const SweepResult &result)
+{
+    if (!jsonDir.empty())
+        exportArtifactFile(jsonDir, name, result.toJson());
+    if (!wroteHeader) {
+        std::fprintf(out,
+                     "study,sweep,scheme,mixes,gmeanWS,maxWS,"
+                     "onChipLat,offChipLat,trafficL2LLC,"
+                     "trafficLLCMem,trafficOther,energyPerInstr\n");
+        wroteHeader = true;
+    }
+    for (std::size_t s = 0; s < result.schemes.size(); s++) {
+        const bool any = result.mixes() > 0;
+        std::fprintf(out,
+                     "%s,%s,%s,%d,%.17g,%.17g,%.17g,%.17g,%.17g,"
+                     "%.17g,%.17g,%.17g\n",
+                     csvField(currentStudy).c_str(),
+                     csvField(name).c_str(),
+                     csvField(result.schemes[s].name).c_str(),
+                     result.mixes(),
+                     any ? gmean(result.ws[s]) : 0.0,
+                     any ? maxOf(result.ws[s]) : 0.0,
+                     result.onChipLat[s], result.offChipLat[s],
+                     result.trafficPerInstr[s][0],
+                     result.trafficPerInstr[s][1],
+                     result.trafficPerInstr[s][2],
+                     result.energyPerInstr[s]);
+    }
+}
+
+void
+CsvReportSink::finish()
+{
+    std::fflush(out);
+}
+
+// ------------------------------------------------------------------
+// Legacy text renderings (exact bench_util.hh formats)
+
+void
+writeInverseCdf(ReportSink &sink, const SweepResult &sweep)
+{
+    if (sweep.schemes.empty() || sweep.mixes() == 0)
+        return;
+    sink.printf("%-12s", "mix-rank");
+    for (int m = 0; m < sweep.mixes(); m++)
+        sink.printf("  %6d", m);
+    sink.printf("\n");
+    for (std::size_t s = 0; s < sweep.schemes.size(); s++) {
+        const auto sorted = inverseCdf(sweep.ws[s]);
+        sink.printf("%-12s", sweep.schemes[s].name.c_str());
+        for (double w : sorted)
+            sink.printf("  %6.3f", w);
+        sink.printf("\n");
+    }
+}
+
+void
+writeWsSummary(ReportSink &sink, const SweepResult &sweep)
+{
+    if (sweep.mixes() == 0) {
+        sink.printf("(no mixes swept)\n");
+        return;
+    }
+    sink.printf("%-12s  %8s  %8s\n", "scheme", "gmeanWS", "maxWS");
+    for (std::size_t s = 0; s < sweep.schemes.size(); s++) {
+        sink.printf("%-12s  %8.3f  %8.3f\n",
+                    sweep.schemes[s].name.c_str(), gmean(sweep.ws[s]),
+                    maxOf(sweep.ws[s]));
+    }
+}
+
+void
+writeBreakdowns(ReportSink &sink, const SweepResult &sweep)
+{
+    if (sweep.schemes.empty())
+        return;
+    const std::size_t ref = sweep.schemes.size() - 1;
+    sink.printf("\n%-12s %10s %10s %28s %10s\n", "scheme",
+                "onchip/ref", "offchip/ref",
+                "traffic/instr (L2LLC|LLCMem|Oth)", "energy/ref");
+    for (std::size_t s = 0; s < sweep.schemes.size(); s++) {
+        sink.printf(
+            "%-12s %10.2f %10.2f      %6.2f | %6.2f | %6.2f %10.2f\n",
+            sweep.schemes[s].name.c_str(),
+            sweep.onChipLat[s] / std::max(sweep.onChipLat[ref], 1e-12),
+            sweep.offChipLat[s] /
+                std::max(sweep.offChipLat[ref], 1e-12),
+            sweep.trafficPerInstr[s][0], sweep.trafficPerInstr[s][1],
+            sweep.trafficPerInstr[s][2],
+            sweep.energyPerInstr[s] /
+                std::max(sweep.energyPerInstr[ref], 1e-12));
+    }
+    sink.printf("\n%-12s %8s %8s %8s %8s %8s  (nJ/instr)\n", "scheme",
+                "static", "core", "net", "llc", "mem");
+    for (std::size_t s = 0; s < sweep.schemes.size(); s++) {
+        sink.printf("%-12s %8.3f %8.3f %8.3f %8.3f %8.3f\n",
+                    sweep.schemes[s].name.c_str(),
+                    1e9 * sweep.energyParts[s][0],
+                    1e9 * sweep.energyParts[s][1],
+                    1e9 * sweep.energyParts[s][2],
+                    1e9 * sweep.energyParts[s][3],
+                    1e9 * sweep.energyParts[s][4]);
+    }
+}
+
+void
+writeChipMap(ReportSink &sink, const ChipMap &map)
+{
+    sink.printf("thread placement (process letter + thread digit; "
+                "-- idle) / dominant data (process letter: p=private "
+                "s=shared)\n");
+    for (int y = 0; y < map.height; y++) {
+        for (int x = 0; x < map.width; x++)
+            sink.printf(
+                " %s", map.threadLabel[y * map.width + x].c_str());
+        sink.printf("   |");
+        for (int x = 0; x < map.width; x++)
+            sink.printf(" %s",
+                        map.dataLabel[y * map.width + x].c_str());
+        sink.printf("\n");
+    }
+}
+
+void
+writeStudyHeader(ReportSink &sink, const char *title,
+                 const char *paper_ref, const SystemConfig &cfg,
+                 int mixes)
+{
+    sink.printf("== %s (%s) ==\n", title, paper_ref);
+    // Worker count deliberately not printed: output is identical for
+    // any CDCS_WORKERS, and byte-identical logs should diff clean.
+    sink.printf("mesh %dx%d, %d banks/tile, %llu-line banks, "
+                "%llu accesses/thread/epoch, %d epochs (%d warmup), "
+                "%d mixes, seed base 1000\n\n",
+                cfg.meshWidth, cfg.meshHeight, cfg.banksPerTile,
+                static_cast<unsigned long long>(cfg.bankLines),
+                static_cast<unsigned long long>(
+                    cfg.accessesPerThreadEpoch),
+                cfg.epochs, cfg.warmupEpochs, mixes);
+}
+
+} // namespace cdcs

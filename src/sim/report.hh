@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Output layer of the study API. A ReportSink receives everything a
+ * study produces — the free-form text stream the legacy harnesses
+ * printed, plus structured artifacts (sweeps, per-run IPC traces,
+ * chip maps) — so one study body can render as plain text
+ * (byte-identical to the legacy benches), a JSON document, or CSV
+ * summary rows, and can export per-run artifacts as JSON files.
+ *
+ * The write* helpers are the old bench_util.hh printers, rendering
+ * through a sink with the exact legacy formats.
+ */
+
+#ifndef CDCS_SIM_REPORT_HH
+#define CDCS_SIM_REPORT_HH
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/experiment_runner.hh"
+
+namespace cdcs
+{
+
+class System;
+struct StudySpec;
+
+/**
+ * A captured Fig. 1 / Fig. 16b style placement map: per tile, the
+ * thread running there and the process whose data dominates the
+ * tile's bank(s).
+ */
+struct ChipMap
+{
+    int width = 0;
+    int height = 0;
+    std::vector<std::string> threadLabel; ///< Per tile; "--" idle.
+    std::vector<std::string> dataLabel;   ///< Per tile; ".." none.
+
+    std::string toJson() const;
+};
+
+/** Capture the placement map of a finished run. */
+ChipMap captureChipMap(const System &system);
+
+/** Where study output goes; default implementations discard. */
+class ReportSink
+{
+  public:
+    virtual ~ReportSink() = default;
+
+    /** Free-form preformatted text (the legacy printf stream). */
+    virtual void text(std::string_view s) { (void)s; }
+
+    /** printf-style convenience wrapper over text(). */
+    void printf(const char *fmt, ...)
+        __attribute__((format(printf, 2, 3)));
+
+    virtual void flush() {}
+
+    virtual void beginStudy(const StudySpec &spec) { (void)spec; }
+    virtual void endStudy(const StudySpec &spec) { (void)spec; }
+    /** Emitted once per run batch/document (sink lifetime). */
+    virtual void finish() {}
+
+    /** A completed scheme x mix sweep. */
+    virtual void
+    sweep(const std::string &name, const SweepResult &result)
+    {
+        (void)name;
+        (void)result;
+    }
+
+    /** A per-run IPC trace (Fig. 17). */
+    virtual void
+    trace(const std::string &name, const RunResult &run)
+    {
+        (void)name;
+        (void)run;
+    }
+
+    /** A captured placement map (Fig. 1 / Fig. 16b). */
+    virtual void
+    chipMap(const std::string &name, const ChipMap &map)
+    {
+        (void)name;
+        (void)map;
+    }
+};
+
+/**
+ * Text rendering to a FILE*, byte-identical to the legacy benches.
+ * When `json_dir` is non-empty, structured artifacts additionally
+ * land there as <name>.json files with a "[json: path]" marker line
+ * (the old CDCS_JSON_DIR behavior, now covering traces and chip maps
+ * too).
+ */
+class TextReportSink : public ReportSink
+{
+  public:
+    explicit TextReportSink(std::FILE *out = stdout,
+                            std::string json_dir = "");
+
+    void text(std::string_view s) override;
+    void flush() override;
+    void sweep(const std::string &name,
+               const SweepResult &result) override;
+    void trace(const std::string &name,
+               const RunResult &run) override;
+    void chipMap(const std::string &name,
+                 const ChipMap &map) override;
+
+  private:
+    void exportArtifact(const std::string &name,
+                        const std::string &json);
+
+    std::FILE *out;
+    std::string jsonDir;
+};
+
+/** Text capture into a string (tests, golden comparisons). */
+class StringReportSink : public ReportSink
+{
+  public:
+    void text(std::string_view s) override { captured += s; }
+    const std::string &str() const { return captured; }
+    void clear() { captured.clear(); }
+
+  private:
+    std::string captured;
+};
+
+/**
+ * One JSON document per batch: studies with their sweeps, traces and
+ * chip maps; the free-form text stream is dropped. Written to `out`
+ * by finish(). A non-empty `json_dir` additionally writes each
+ * artifact as a <name>.json file (silently: stdout carries the
+ * document).
+ */
+class JsonReportSink : public ReportSink
+{
+  public:
+    explicit JsonReportSink(std::FILE *out = stdout,
+                            std::string json_dir = "");
+
+    void beginStudy(const StudySpec &spec) override;
+    void sweep(const std::string &name,
+               const SweepResult &result) override;
+    void trace(const std::string &name,
+               const RunResult &run) override;
+    void chipMap(const std::string &name,
+                 const ChipMap &map) override;
+    void finish() override;
+
+  private:
+    std::FILE *out;
+    std::string jsonDir;
+    std::string doc;
+    bool anyStudy = false;
+    bool anyArtifact = false;
+};
+
+/**
+ * CSV summary rows, one per (sweep, scheme): gmean/max weighted
+ * speedup plus the latency/traffic/energy aggregates. The free-form
+ * text stream is dropped; a non-empty `json_dir` still exports every
+ * structured artifact as a <name>.json file.
+ */
+class CsvReportSink : public ReportSink
+{
+  public:
+    explicit CsvReportSink(std::FILE *out = stdout,
+                           std::string json_dir = "");
+
+    void beginStudy(const StudySpec &spec) override;
+    void sweep(const std::string &name,
+               const SweepResult &result) override;
+    void trace(const std::string &name,
+               const RunResult &run) override;
+    void chipMap(const std::string &name,
+                 const ChipMap &map) override;
+    void finish() override;
+
+  private:
+    std::FILE *out;
+    std::string jsonDir;
+    std::string currentStudy;
+    bool wroteHeader = false;
+};
+
+/** Serialize a per-run IPC trace (Fig. 17) as JSON. */
+std::string traceToJson(const std::string &name, const RunResult &run);
+
+// ------------------------------------------------------------------
+// The legacy bench_util.hh printers, rendering through a sink.
+
+/** The per-mix weighted speedups as inverse CDF rows. */
+void writeInverseCdf(ReportSink &sink, const SweepResult &sweep);
+
+/** gmean / max weighted speedups per scheme. */
+void writeWsSummary(ReportSink &sink, const SweepResult &sweep);
+
+/** On-/off-chip latency and traffic/energy vs. the last scheme. */
+void writeBreakdowns(ReportSink &sink, const SweepResult &sweep);
+
+/** The ASCII chip-map rendering (Fig. 1 / Fig. 16b). */
+void writeChipMap(ReportSink &sink, const ChipMap &map);
+
+/** The reproducibility header every study emits. */
+void writeStudyHeader(ReportSink &sink, const char *title,
+                      const char *paper_ref, const SystemConfig &cfg,
+                      int mixes);
+
+} // namespace cdcs
+
+#endif // CDCS_SIM_REPORT_HH

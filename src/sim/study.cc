@@ -1,0 +1,305 @@
+#include "sim/study.hh"
+
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "sim/experiment.hh"
+
+namespace cdcs
+{
+
+std::vector<SchemeSpec>
+StudyContext::lineup() const
+{
+    return schemesByName(spec.lineup);
+}
+
+std::uint64_t
+StudyContext::knob(const char *key, const char *env,
+                   std::uint64_t fallback) const
+{
+    return overrides.knob(key, env, fallback);
+}
+
+void
+StudyContext::header(int mixes_shown) const
+{
+    writeStudyHeader(sink, spec.title.c_str(), spec.paperRef.c_str(),
+                     cfg, mixes_shown);
+}
+
+StudyRegistry &
+StudyRegistry::instance()
+{
+    static StudyRegistry registry;
+    return registry;
+}
+
+void
+StudyRegistry::add(StudySpec spec)
+{
+    cdcs_assert(!spec.name.empty(), "study without a name");
+    cdcs_assert(spec.run != nullptr, "study without a body");
+    const std::string name = spec.name;
+    const auto inserted = studies.emplace(name, std::move(spec));
+    cdcs_assert(inserted.second, "study already registered");
+}
+
+const StudySpec *
+StudyRegistry::find(const std::string &name) const
+{
+    const auto it = studies.find(name);
+    return it == studies.end() ? nullptr : &it->second;
+}
+
+std::vector<const StudySpec *>
+StudyRegistry::all() const
+{
+    std::vector<const StudySpec *> out;
+    out.reserve(studies.size());
+    for (const auto &[name, spec] : studies)
+        out.push_back(&spec); // std::map iteration is name-sorted.
+    return out;
+}
+
+StudyRegistrar::StudyRegistrar(StudySpec spec)
+{
+    StudyRegistry::instance().add(std::move(spec));
+}
+
+ExperimentRunner::Options
+runnerOptions(const Overrides &overrides)
+{
+    ExperimentRunner::Options opts;
+    opts.workers = static_cast<unsigned>(
+        overrides.knob("workers", "CDCS_WORKERS", 0));
+    opts.cacheResults =
+        overrides.knob("cache", "CDCS_CACHE", 0) != 0;
+    opts.cacheBudget = static_cast<std::size_t>(
+        overrides.knob("cacheBudget", "CDCS_CACHE_BUDGET", 1024));
+    return opts;
+}
+
+int
+runStudy(const StudySpec &spec, const Overrides &overrides,
+         ExperimentRunner &runner, ReportSink &sink)
+{
+    // Precedence: defaults < CDCS_* env < spec.configure < --set.
+    SystemConfig cfg = benchConfig();
+    if (spec.configure)
+        spec.configure(cfg);
+    overrides.apply(cfg);
+    const int mixes = static_cast<int>(overrides.knob(
+        "mixes", "CDCS_MIXES",
+        static_cast<std::uint64_t>(spec.defaultMixes)));
+
+    StudyContext ctx(spec, cfg, mixes, runner, sink, overrides);
+    const ExperimentRunner::CacheStats before = runner.cacheStats();
+    sink.beginStudy(spec);
+    spec.run(ctx);
+    if (runner.options().cacheResults) {
+        // The runner (and cache) is shared across the studies of one
+        // invocation; report this study's delta, not the lifetime
+        // totals.
+        const ExperimentRunner::CacheStats now = runner.cacheStats();
+        sink.printf("[cache: %llu hits, %llu misses, %llu "
+                    "evictions, %llu entries]\n",
+                    static_cast<unsigned long long>(now.hits -
+                                                    before.hits),
+                    static_cast<unsigned long long>(now.misses -
+                                                    before.misses),
+                    static_cast<unsigned long long>(now.evictions -
+                                                    before.evictions),
+                    static_cast<unsigned long long>(now.entries));
+    }
+    sink.endStudy(spec);
+    sink.flush();
+    return 0;
+}
+
+int
+studyMain(const char *name)
+{
+    const StudySpec *spec = StudyRegistry::instance().find(name);
+    if (spec == nullptr) {
+        std::fprintf(stderr, "unknown study '%s'\n", name);
+        return 1;
+    }
+    const Overrides none;
+    ExperimentRunner runner(runnerOptions(none));
+    TextReportSink sink(
+        stdout, none.strKnob("jsonDir", "CDCS_JSON_DIR", ""));
+    const int rc = runStudy(*spec, none, runner, sink);
+    sink.finish();
+    return rc;
+}
+
+namespace
+{
+
+int
+usage(std::FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: cdcs_studies <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  list [--format=text|json]\n"
+        "      enumerate the registered studies\n"
+        "  run <study>...|all [--set key=value]... "
+        "[--format=text|json|csv]\n"
+        "      run studies; text output is byte-identical to the\n"
+        "      legacy bench harnesses under default knobs\n"
+        "\n"
+        "overrides (--set, also settable via CDCS_* env knobs):\n");
+    for (const auto &[key, type] : Overrides::knownKeys())
+        std::fprintf(out, "  %-20s %s\n", key.c_str(), type.c_str());
+    return out == stderr ? 2 : 0;
+}
+
+int
+listStudies(const std::string &format)
+{
+    const auto all = StudyRegistry::instance().all();
+    if (format == "json") {
+        std::string doc = "[\n";
+        for (std::size_t i = 0; i < all.size(); i++) {
+            const StudySpec &s = *all[i];
+            doc += "  {\"name\": " + jsonString(s.name) +
+                ", \"category\": " + jsonString(s.category) +
+                ", \"title\": " + jsonString(s.title) +
+                ", \"paperRef\": " + jsonString(s.paperRef) +
+                ", \"defaultMixes\": " +
+                std::to_string(s.defaultMixes) + ", \"lineup\": [";
+            for (std::size_t l = 0; l < s.lineup.size(); l++) {
+                doc += l > 0 ? "," : "";
+                doc += jsonString(s.lineup[l]);
+            }
+            doc += i + 1 < all.size() ? "]},\n" : "]}\n";
+        }
+        doc += "]\n";
+        std::fwrite(doc.data(), 1, doc.size(), stdout);
+        return 0;
+    }
+    if (format != "text") {
+        std::fprintf(stderr, "unknown list format '%s'\n",
+                     format.c_str());
+        return 2;
+    }
+    std::printf("%-22s %-9s %s\n", "study", "category",
+                "title (paper ref)");
+    for (const StudySpec *s : all) {
+        std::printf("%-22s %-9s %s (%s)\n", s->name.c_str(),
+                    s->category.c_str(), s->title.c_str(),
+                    s->paperRef.c_str());
+    }
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+studiesCliMain(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty())
+        return usage(stderr);
+    const std::string &cmd = args[0];
+    if (cmd == "help" || cmd == "--help" || cmd == "-h")
+        return usage(stdout);
+
+    Overrides overrides;
+    std::string format = "text";
+    std::vector<std::string> names;
+    for (std::size_t i = 1; i < args.size(); i++) {
+        const std::string &arg = args[i];
+        std::string err;
+        if (arg == "--set" || arg == "--format") {
+            if (i + 1 >= args.size()) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                return 2;
+            }
+            if (arg == "--format") {
+                format = args[++i];
+            } else if (!overrides.add(args[++i], &err)) {
+                std::fprintf(stderr, "%s\n", err.c_str());
+                return 2;
+            }
+        } else if (arg.rfind("--set=", 0) == 0) {
+            if (!overrides.add(arg.substr(6), &err)) {
+                std::fprintf(stderr, "%s\n", err.c_str());
+                return 2;
+            }
+        } else if (arg.rfind("--format=", 0) == 0) {
+            format = arg.substr(9);
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+            return usage(stderr);
+        } else {
+            names.push_back(arg);
+        }
+    }
+
+    if (cmd == "list") {
+        if (!names.empty() || !overrides.empty()) {
+            std::fprintf(stderr, "list takes only --format\n");
+            return 2;
+        }
+        return listStudies(format);
+    }
+    if (cmd != "run") {
+        std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+        return usage(stderr);
+    }
+    if (names.empty()) {
+        std::fprintf(stderr, "run needs at least one study name "
+                             "(or 'all')\n");
+        return 2;
+    }
+
+    StudyRegistry &registry = StudyRegistry::instance();
+    std::vector<const StudySpec *> specs;
+    if (names.size() == 1 && names[0] == "all") {
+        specs = registry.all();
+    } else {
+        for (const std::string &name : names) {
+            const StudySpec *spec = registry.find(name);
+            if (spec == nullptr) {
+                std::fprintf(stderr,
+                             "unknown study '%s' (try 'cdcs_studies "
+                             "list')\n",
+                             name.c_str());
+                return 2;
+            }
+            specs.push_back(spec);
+        }
+    }
+
+    const std::string json_dir =
+        overrides.strKnob("jsonDir", "CDCS_JSON_DIR", "");
+    std::unique_ptr<ReportSink> sink;
+    if (format == "text") {
+        sink = std::make_unique<TextReportSink>(stdout, json_dir);
+    } else if (format == "json") {
+        sink = std::make_unique<JsonReportSink>(stdout, json_dir);
+    } else if (format == "csv") {
+        sink = std::make_unique<CsvReportSink>(stdout, json_dir);
+    } else {
+        std::fprintf(stderr, "unknown format '%s'\n", format.c_str());
+        return 2;
+    }
+
+    ExperimentRunner runner(runnerOptions(overrides));
+    int rc = 0;
+    for (const StudySpec *spec : specs)
+        rc |= runStudy(*spec, overrides, runner, *sink);
+    sink->finish();
+    return rc;
+}
+
+} // namespace cdcs

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for the report layer: JSON string escaping (registry-named
+ * schemes like `jigsaw+L"T"` must not break documents), chip-map
+ * capture and rendering, the sink text plumbing, and the per-run
+ * artifact exports.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+#include "sim/report.hh"
+#include "sim/study.hh"
+#include "sim/system.hh"
+
+namespace cdcs
+{
+namespace
+{
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControlChars)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("jigsaw+L\"T\""), "jigsaw+L\\\"T\\\"");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(jsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+    EXPECT_EQ(jsonString("x\"y"), "\"x\\\"y\"");
+}
+
+SweepResult
+tinySweep(const std::string &scheme_name)
+{
+    SweepResult sweep;
+    SchemeSpec spec;
+    spec.name = scheme_name;
+    sweep.schemes = {spec};
+    sweep.ws = {{1.0, 2.0}};
+    sweep.firstRun.resize(1);
+    sweep.onChipLat = {1.0};
+    sweep.offChipLat = {2.0};
+    sweep.trafficPerInstr = {{0.1, 0.2, 0.3}};
+    sweep.energyPerInstr = {1e-9};
+    sweep.energyParts = {{0, 0, 0, 0, 0}};
+    return sweep;
+}
+
+TEST(ReportTest, SweepJsonEscapesSchemeNames)
+{
+    const SweepResult sweep = tinySweep("jigsaw+L\"T\"\n\\end");
+    const std::string json = sweep.toJson();
+    // The display name must appear fully escaped...
+    EXPECT_NE(json.find("jigsaw+L\\\"T\\\"\\n\\\\end"),
+              std::string::npos);
+    // ...and no raw control characters may survive inside strings.
+    EXPECT_EQ(json.find("L\"T"), std::string::npos);
+}
+
+TEST(ReportTest, StringSinkCapturesPrintf)
+{
+    StringReportSink sink;
+    sink.printf("%-8s %5.2f\n", "abc", 1.5);
+    EXPECT_EQ(sink.str(), "abc       1.50\n");
+    // Long lines take the heap path without truncation.
+    const std::string long_text(2000, 'x');
+    sink.clear();
+    sink.printf("%s", long_text.c_str());
+    EXPECT_EQ(sink.str(), long_text);
+}
+
+TEST(ReportTest, ChipMapCaptureMatchesMeshAndRenders)
+{
+    SystemConfig cfg;
+    cfg.meshWidth = 4;
+    cfg.meshHeight = 4;
+    cfg.bankLines = 1024;
+    cfg.accessesPerThreadEpoch = 2000;
+    cfg.epochs = 2;
+    cfg.warmupEpochs = 1;
+    System system(cfg, SchemeSpec::cdcs(),
+                  buildMix(MixSpec::cpu(4, 11)));
+    system.run();
+
+    const ChipMap map = captureChipMap(system);
+    EXPECT_EQ(map.width, 4);
+    EXPECT_EQ(map.height, 4);
+    ASSERT_EQ(map.threadLabel.size(), 16u);
+    ASSERT_EQ(map.dataLabel.size(), 16u);
+
+    StringReportSink sink;
+    writeChipMap(sink, map);
+    const std::string &text = sink.str();
+    EXPECT_NE(text.find("thread placement"), std::string::npos);
+    // Header line + one line per mesh row.
+    int lines = 0;
+    for (char c : text) {
+        if (c == '\n')
+            lines++;
+    }
+    EXPECT_EQ(lines, 1 + map.height);
+
+    const std::string json = map.toJson();
+    EXPECT_NE(json.find("\"width\": 4"), std::string::npos);
+    EXPECT_NE(json.find("\"threadLabel\""), std::string::npos);
+}
+
+TEST(ReportTest, TextSinkExportsArtifactsWithMarkers)
+{
+    const std::string dir = ::testing::TempDir();
+    std::FILE *stream = std::tmpfile();
+    ASSERT_NE(stream, nullptr);
+    {
+        TextReportSink sink(stream, dir);
+        sink.sweep("report_test_sweep", tinySweep("S-NUCA"));
+        RunResult run;
+        run.ipcTrace = {1.0, 2.5};
+        run.ipcBinCycles = 1000;
+        sink.trace("report_test_trace", run);
+        ChipMap map;
+        map.width = map.height = 1;
+        map.threadLabel = {"A0"};
+        map.dataLabel = {"ap"};
+        sink.chipMap("report_test_map", map);
+        sink.flush();
+    }
+    // Every artifact printed its marker line...
+    std::rewind(stream);
+    std::string text(4096, '\0');
+    text.resize(std::fread(text.data(), 1, text.size(), stream));
+    std::fclose(stream);
+    EXPECT_NE(text.find("[json: " + dir), std::string::npos);
+    EXPECT_NE(text.find("report_test_trace.json"),
+              std::string::npos);
+    EXPECT_NE(text.find("report_test_map.json"), std::string::npos);
+    // ...and the files exist with content.
+    std::FILE *f =
+        std::fopen((dir + "/report_test_trace.json").c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    std::string trace_json(512, '\0');
+    trace_json.resize(
+        std::fread(trace_json.data(), 1, trace_json.size(), f));
+    std::fclose(f);
+    EXPECT_NE(trace_json.find("\"binCycles\": 1000"),
+              std::string::npos);
+    EXPECT_NE(trace_json.find("2.5"), std::string::npos);
+}
+
+TEST(ReportTest, JsonAndCsvSinksExportArtifactFiles)
+{
+    // `jsonDir` works independently of the output format: the JSON
+    // and CSV sinks write the artifact files too (just without the
+    // text sink's marker lines — stdout carries the document/rows).
+    const std::string dir = ::testing::TempDir();
+    {
+        std::FILE *stream = std::tmpfile();
+        ASSERT_NE(stream, nullptr);
+        JsonReportSink sink(stream, dir);
+        sink.sweep("report_test_jsonsink", tinySweep("S-NUCA"));
+        sink.finish();
+        std::fclose(stream);
+    }
+    {
+        std::FILE *stream = std::tmpfile();
+        ASSERT_NE(stream, nullptr);
+        CsvReportSink sink(stream, dir);
+        sink.sweep("report_test_csvsink", tinySweep("S-NUCA"));
+        RunResult run;
+        run.ipcTrace = {0.5};
+        sink.trace("report_test_csvtrace", run);
+        sink.finish();
+        std::fclose(stream);
+    }
+    for (const char *name : {"report_test_jsonsink",
+                             "report_test_csvsink",
+                             "report_test_csvtrace"}) {
+        std::FILE *f = std::fopen(
+            (dir + "/" + name + ".json").c_str(), "r");
+        EXPECT_NE(f, nullptr) << name;
+        if (f != nullptr)
+            std::fclose(f);
+    }
+}
+
+TEST(ReportTest, TextSinkWithoutJsonDirEmitsNoMarkers)
+{
+    std::FILE *stream = std::tmpfile();
+    ASSERT_NE(stream, nullptr);
+    TextReportSink sink(stream, "");
+    sink.sweep("unused", tinySweep("S-NUCA"));
+    sink.flush();
+    std::rewind(stream);
+    char buf[64];
+    EXPECT_EQ(std::fread(buf, 1, sizeof(buf), stream), 0u);
+    std::fclose(stream);
+}
+
+} // anonymous namespace
+} // namespace cdcs

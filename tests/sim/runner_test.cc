@@ -192,6 +192,80 @@ TEST(RunnerTest, SweepHandlesZeroWorkRunsWithoutNan)
     EXPECT_NE(json.find("\"S-NUCA\""), std::string::npos);
 }
 
+TEST(RunnerTest, ResultCacheDoesNotChangeResults)
+{
+    const SystemConfig cfg = smallConfig();
+    const auto mix_of = [](int m) { return MixSpec::cpu(4, 1300 + m); };
+    ExperimentRunner::Options cached_opts;
+    cached_opts.workers = 2;
+    cached_opts.cacheResults = true;
+    ExperimentRunner cached(cached_opts);
+    ExperimentRunner fresh(
+        ExperimentRunner::Options{/*workers=*/2,
+                                  /*memoizeBaseline=*/false});
+    // Second sweep is served entirely from the cache.
+    cached.sweep(cfg, twoSchemes(), 2, mix_of);
+    const SweepResult a = cached.sweep(cfg, twoSchemes(), 2, mix_of);
+    const SweepResult b = fresh.sweep(cfg, twoSchemes(), 2, mix_of);
+    expectSameSweep(a, b);
+
+    const ExperimentRunner::CacheStats stats = cached.cacheStats();
+    EXPECT_EQ(stats.misses, 4u);  // 2 schemes x 2 mixes, once.
+    EXPECT_EQ(stats.hits, 4u);    // The whole second sweep.
+    EXPECT_EQ(stats.entries, 4u);
+    EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(RunnerTest, ResultCacheEvictsFifoAtBudget)
+{
+    const SystemConfig cfg = smallConfig();
+    ExperimentRunner::Options opts;
+    opts.workers = 1; // Serial: deterministic counter checks.
+    opts.cacheResults = true;
+    opts.cacheBudget = 2;
+    ExperimentRunner runner(opts);
+
+    const SchemeSpec cdcs_spec = SchemeSpec::cdcs();
+    const MixSpec a = MixSpec::cpu(4, 1400);
+    const MixSpec b = MixSpec::cpu(4, 1401);
+    const MixSpec c = MixSpec::cpu(4, 1402);
+
+    runner.run(cfg, cdcs_spec, a);
+    runner.run(cfg, cdcs_spec, b);
+    EXPECT_EQ(runner.cacheStats().entries, 2u);
+    runner.run(cfg, cdcs_spec, c); // Evicts a (FIFO).
+    EXPECT_EQ(runner.cacheStats().entries, 2u);
+    EXPECT_EQ(runner.cacheStats().evictions, 1u);
+
+    runner.run(cfg, cdcs_spec, c); // Still cached.
+    EXPECT_EQ(runner.cacheStats().hits, 1u);
+    runner.run(cfg, cdcs_spec, a); // Recompute; evicts b.
+    const ExperimentRunner::CacheStats stats = runner.cacheStats();
+    EXPECT_EQ(stats.misses, 4u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.evictions, 2u);
+    EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(RunnerTest, DefaultModeCountsOnlyBaselineMemo)
+{
+    const SystemConfig cfg = smallConfig();
+    ExperimentRunner runner(
+        ExperimentRunner::Options{/*workers=*/1,
+                                  /*memoizeBaseline=*/true});
+    const MixSpec mix = MixSpec::cpu(4, 1500);
+    // Non-baseline schemes bypass the cache entirely.
+    runner.run(cfg, SchemeSpec::cdcs(), mix);
+    runner.run(cfg, SchemeSpec::cdcs(), mix);
+    EXPECT_EQ(runner.cacheStats().hits, 0u);
+    EXPECT_EQ(runner.cacheStats().misses, 0u);
+    // S-NUCA baselines still memoize.
+    runner.run(cfg, SchemeSpec::snuca(), mix);
+    runner.run(cfg, SchemeSpec::snuca(), mix);
+    EXPECT_EQ(runner.cacheStats().misses, 1u);
+    EXPECT_EQ(runner.cacheStats().hits, 1u);
+}
+
 TEST(RunnerTest, JsonExportContainsPerMixAndAggregateData)
 {
     const SystemConfig cfg = smallConfig();

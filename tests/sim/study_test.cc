@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Tests for the declarative study API: the registry enumerates every
+ * converted harness, runStudy resolves config/knob precedence, text
+ * output is deterministic and byte-identical to a hand-written
+ * legacy-style rendering of the same experiment (the in-process
+ * equivalent of the CI check that diffs `cdcs_studies run fig11`
+ * against the legacy binary), and the JSON/CSV sinks produce
+ * well-formed summaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "sim/study.hh"
+
+namespace cdcs
+{
+namespace
+{
+
+/** Small, env-independent knobs shared by the output tests. */
+Overrides
+tinyOverrides()
+{
+    Overrides ov;
+    std::string err;
+    // Keep the 8x8 mesh (64-app mixes need the cores) but shrink
+    // the work; pin every env-controlled knob so the test is
+    // hermetic under any CDCS_* environment.
+    for (const char *kv :
+         {"epochAccesses=600", "epochs=2", "warmup=1", "mixes=1",
+          "chunkAccesses=1000", "seed=42"}) {
+        if (!ov.add(kv, &err))
+            ADD_FAILURE() << err;
+    }
+    return ov;
+}
+
+std::string
+runFig11(const Overrides &ov)
+{
+    const StudySpec *spec = StudyRegistry::instance().find("fig11");
+    if (spec == nullptr)
+        return "";
+    ExperimentRunner runner;
+    StringReportSink sink;
+    runStudy(*spec, ov, runner, sink);
+    return sink.str();
+}
+
+TEST(StudyRegistryTest, EnumeratesEveryConvertedHarness)
+{
+    const auto all = StudyRegistry::instance().all();
+    ASSERT_GE(all.size(), 17u);
+    const char *expected[] = {
+        "fig2",          "fig5",
+        "fig11",         "fig12",
+        "fig13",         "fig14",
+        "fig15",         "fig16",
+        "fig17",         "fig18",
+        "table1",        "table3",
+        "ablation_numa", "ablation_stability",
+        "vic_bankgrain", "vic_monitors",
+        "vic_placers",
+    };
+    for (const char *name : expected) {
+        EXPECT_NE(StudyRegistry::instance().find(name), nullptr)
+            << name;
+    }
+    EXPECT_EQ(StudyRegistry::instance().find("no_such_study"),
+              nullptr);
+    // all() is name-sorted.
+    for (std::size_t i = 1; i < all.size(); i++)
+        EXPECT_LT(all[i - 1]->name, all[i]->name);
+}
+
+TEST(StudyRegistryTest, SpecsCarryCategoryAndLineup)
+{
+    const StudySpec *fig11 = StudyRegistry::instance().find("fig11");
+    ASSERT_NE(fig11, nullptr);
+    EXPECT_EQ(fig11->category, "figure");
+    ASSERT_EQ(fig11->lineup.size(), 5u);
+    EXPECT_EQ(fig11->lineup.front(), "snuca");
+    EXPECT_EQ(fig11->lineup.back(), "cdcs");
+    // Every lineup name of every study resolves in the registry.
+    for (const StudySpec *spec : StudyRegistry::instance().all()) {
+        for (const std::string &name : spec->lineup) {
+            EXPECT_TRUE(SchemeRegistry::instance().contains(name))
+                << spec->name << ": " << name;
+        }
+    }
+    const StudySpec *table1 =
+        StudyRegistry::instance().find("table1");
+    ASSERT_NE(table1, nullptr);
+    EXPECT_EQ(table1->category, "table");
+}
+
+TEST(StudyTest, Fig11MatchesLegacyHarnessByteForByte)
+{
+    // The legacy bench_fig11_64app main(), transcribed: same
+    // seeds, lineup, section structure and printf formats.
+    Overrides ov = tinyOverrides();
+    SystemConfig cfg;
+    ov.apply(cfg);
+    const int mixes = 1;
+
+    ExperimentRunner runner;
+    StringReportSink legacy;
+    writeStudyHeader(legacy, "Fig. 11 (a-e)",
+                     "50 mixes of 64 apps in the paper", cfg, mixes);
+    const SweepResult sweep = runner.sweep(
+        cfg,
+        {SchemeSpec::snuca(), SchemeSpec::rnuca(),
+         SchemeSpec::jigsaw(InitialSched::Clustered),
+         SchemeSpec::jigsaw(InitialSched::Random),
+         SchemeSpec::cdcs()},
+        mixes, [](int m) { return MixSpec::cpu(64, 1000 + m); });
+    legacy.printf("-- Fig. 11a: weighted speedup inverse CDF --\n");
+    writeInverseCdf(legacy, sweep);
+    legacy.printf("\n");
+    writeWsSummary(legacy, sweep);
+    legacy.printf("\n-- Fig. 11b-e: latency, traffic and energy "
+                  "breakdowns (normalized to CDCS) --\n");
+    writeBreakdowns(legacy, sweep);
+
+    const std::string study_out = runFig11(ov);
+    ASSERT_FALSE(study_out.empty());
+    EXPECT_EQ(study_out, legacy.str());
+}
+
+TEST(StudyTest, OutputIsDeterministicAcrossRuns)
+{
+    const Overrides ov = tinyOverrides();
+    const std::string a = runFig11(ov);
+    const std::string b = runFig11(ov);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+}
+
+TEST(StudyTest, OverridesReachTheConfigAndHeader)
+{
+    Overrides ov = tinyOverrides();
+    std::string err;
+    ASSERT_TRUE(ov.add("meshWidth=4", &err)) << err;
+    ASSERT_TRUE(ov.add("meshHeight=4", &err)) << err;
+    const StudySpec *spec = StudyRegistry::instance().find("fig14");
+    ASSERT_NE(spec, nullptr);
+    ExperimentRunner runner;
+    StringReportSink sink;
+    ASSERT_EQ(runStudy(*spec, ov, runner, sink), 0);
+    EXPECT_NE(sink.str().find("mesh 4x4"), std::string::npos);
+    EXPECT_NE(sink.str().find("600 accesses/thread/epoch"),
+              std::string::npos);
+}
+
+TEST(StudyTest, ConfigureHookAppliesBeforeOverrides)
+{
+    // table1 configures a 6x6 mesh; a --set must still win (7x7
+    // keeps room for the case study's 36 threads).
+    Overrides ov = tinyOverrides();
+    std::string err;
+    ASSERT_TRUE(ov.add("meshWidth=7", &err)) << err;
+    ASSERT_TRUE(ov.add("meshHeight=7", &err)) << err;
+    const StudySpec *spec = StudyRegistry::instance().find("table1");
+    ASSERT_NE(spec, nullptr);
+    ExperimentRunner runner;
+    StringReportSink sink;
+    ASSERT_EQ(runStudy(*spec, ov, runner, sink), 0);
+    EXPECT_NE(sink.str().find("mesh 7x7"), std::string::npos);
+}
+
+TEST(StudyTest, JsonSinkProducesOneDocument)
+{
+    const Overrides ov = tinyOverrides();
+    const StudySpec *spec = StudyRegistry::instance().find("fig14");
+    ASSERT_NE(spec, nullptr);
+    ExperimentRunner runner;
+
+    std::FILE *stream = std::tmpfile();
+    ASSERT_NE(stream, nullptr);
+    JsonReportSink sink(stream);
+    ASSERT_EQ(runStudy(*spec, ov, runner, sink), 0);
+    sink.finish();
+    std::rewind(stream);
+    std::string doc(1 << 20, '\0');
+    doc.resize(std::fread(doc.data(), 1, doc.size(), stream));
+    std::fclose(stream);
+
+    EXPECT_NE(doc.find("\"name\": \"fig14\""), std::string::npos);
+    EXPECT_NE(doc.find("\"kind\": \"sweep\""), std::string::npos);
+    EXPECT_NE(doc.find("\"S-NUCA\""), std::string::npos);
+    int depth = 0;
+    for (char c : doc) {
+        depth += (c == '{' || c == '[');
+        depth -= (c == '}' || c == ']');
+    }
+    EXPECT_EQ(depth, 0) << "unbalanced JSON document";
+}
+
+TEST(StudyTest, CsvSinkProducesSummaryRows)
+{
+    const Overrides ov = tinyOverrides();
+    const StudySpec *spec = StudyRegistry::instance().find("fig14");
+    ASSERT_NE(spec, nullptr);
+    ExperimentRunner runner;
+
+    std::FILE *stream = std::tmpfile();
+    ASSERT_NE(stream, nullptr);
+    CsvReportSink sink(stream);
+    ASSERT_EQ(runStudy(*spec, ov, runner, sink), 0);
+    sink.finish();
+    std::rewind(stream);
+    std::string csv(1 << 16, '\0');
+    csv.resize(std::fread(csv.data(), 1, csv.size(), stream));
+    std::fclose(stream);
+
+    EXPECT_EQ(csv.rfind("study,sweep,scheme,", 0), 0u);
+    EXPECT_NE(csv.find("fig14,fig14_4app,S-NUCA,"),
+              std::string::npos);
+    EXPECT_NE(csv.find("fig14,fig14_4app,CDCS,"), std::string::npos);
+}
+
+TEST(StudyTest, CacheFooterAppearsOnlyWhenOptedIn)
+{
+    const Overrides ov = tinyOverrides();
+    const StudySpec *spec = StudyRegistry::instance().find("fig14");
+    ASSERT_NE(spec, nullptr);
+    {
+        ExperimentRunner runner;
+        StringReportSink sink;
+        runStudy(*spec, ov, runner, sink);
+        EXPECT_EQ(sink.str().find("[cache:"), std::string::npos);
+    }
+    {
+        ExperimentRunner::Options opts;
+        opts.cacheResults = true;
+        ExperimentRunner runner(opts);
+        StringReportSink sink;
+        runStudy(*spec, ov, runner, sink);
+        EXPECT_NE(sink.str().find("[cache:"), std::string::npos);
+    }
+}
+
+} // anonymous namespace
+} // namespace cdcs
