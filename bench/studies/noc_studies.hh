@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Shared constants of the NoC studies. noc_sensitivity and
+ * noc_heatmap deliberately draw their workloads from the same mix
+ * seeds (and the default config) so that running them in one
+ * `cdcs_studies` invocation serves the heatmap's runs from the
+ * sensitivity study's injection-scale-1 sweep via the result cache —
+ * one definition keeps that contract from silently drifting.
+ */
+
+#ifndef CDCS_BENCH_STUDIES_NOC_STUDIES_HH
+#define CDCS_BENCH_STUDIES_NOC_STUDIES_HH
+
+#include <cstdint>
+
+namespace cdcs
+{
+
+/** Mix seed base of the NoC studies (mix m uses base + m). */
+constexpr std::uint64_t nocMixSeedBase = 11000;
+
+} // namespace cdcs
+
+#endif // CDCS_BENCH_STUDIES_NOC_STUDIES_HH

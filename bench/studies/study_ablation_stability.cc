@@ -28,6 +28,7 @@ const StudyRegistrar registrar([] {
     spec.category = "ablation";
     spec.defaultMixes = 2;
     spec.lineup = {"snuca", "cdcs"};
+    spec.repeatedLineup = true; // Stable vs raw sweeps, same mixes.
     spec.run = [](StudyContext &ctx) {
         ctx.header();
 

@@ -12,7 +12,6 @@ Mesh::Mesh(int width, int height, NocConfig cfg, int num_mem_ctrls)
     : meshWidth(width), meshHeight(height), nocConfig(cfg)
 {
     cdcs_assert(width > 0 && height > 0, "mesh dimensions must be positive");
-    flitHops.fill(0);
 
     // Attach memory controllers to edge tiles, spread over the four
     // sides like the target CMP (Fig. 3): positions at roughly 1/3 and
@@ -72,12 +71,17 @@ Mesh::distanceToPoint(TileId tile, double x, double y) const
 }
 
 int
-Mesh::hopsToMemCtrl(TileId tile, LineAddr line) const
+Mesh::memCtrlOf(LineAddr line) const
 {
     const std::uint64_t page = line >> pageLineShift;
-    const std::size_t ctrl = mix64(page * 0x51ED2700 + 17) %
-        memCtrlTiles.size();
-    return hops(tile, memCtrlTiles[ctrl]) + 1;
+    return static_cast<int>(mix64(page * 0x51ED2700 + 17) %
+                            memCtrlTiles.size());
+}
+
+int
+Mesh::hopsToMemCtrl(TileId tile, LineAddr line) const
+{
+    return hopsToCtrl(tile, memCtrlOf(line));
 }
 
 double
@@ -102,21 +106,6 @@ Mesh::nearestMemCtrl(TileId tile) const
         }
     }
     return best;
-}
-
-std::uint64_t
-Mesh::totalFlitHops() const
-{
-    std::uint64_t sum = 0;
-    for (std::uint64_t f : flitHops)
-        sum += f;
-    return sum;
-}
-
-void
-Mesh::clearTraffic()
-{
-    flitHops.fill(0);
 }
 
 const std::vector<TileId> &

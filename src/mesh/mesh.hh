@@ -7,18 +7,19 @@
  * The model is analytic rather than flit-accurate: latency is
  * hops * (router + link) plus payload serialization, which matches the
  * zero-load latency of the 3-cycle-router / 1-cycle-link mesh in the
- * paper (Table 2). Traffic is accounted exactly, in flit-hops, split by
- * class so the Fig. 11d / 14 / 15b breakdowns can be regenerated.
+ * paper (Table 2). The Mesh is pure topology + latency math; traffic
+ * accounting (per-class flit-hops, per-link loads) lives in the
+ * pluggable network models under src/net/.
  */
 
 #ifndef CDCS_MESH_MESH_HH
 #define CDCS_MESH_MESH_HH
 
-#include <array>
 #include <cstdint>
 #include <cstdlib>
 #include <vector>
 
+#include "common/log.hh"
 #include "common/types.hh"
 
 namespace cdcs
@@ -64,8 +65,7 @@ struct NocConfig
  * A width x height mesh of tiles with memory controllers attached to
  * edge tiles (two per side, like the target CMP in Fig. 3).
  *
- * The class owns mutable traffic counters; all topology queries are
- * const and cheap (distances are precomputed).
+ * All queries are const and cheap (distances are precomputed).
  */
 class Mesh
 {
@@ -120,6 +120,12 @@ class Mesh
      */
     int hopsToMemCtrl(TileId tile, LineAddr line) const;
 
+    /**
+     * Controller index owning an address under the page-interleaved
+     * mapping (the interleaving behind hopsToMemCtrl).
+     */
+    int memCtrlOf(LineAddr line) const;
+
     /** Mean over controllers of hopsToMemCtrl from this tile. */
     double avgHopsToMemCtrl(TileId tile) const;
 
@@ -148,32 +154,18 @@ class Mesh
     Cycles
     latency(int h, std::uint32_t payload_flits) const
     {
+        // A message always carries at least one (header) flit; a
+        // zero-flit payload would wrap `payload_flits - 1` to a huge
+        // Cycles value, so clamp the serialization term defensively.
+        cdcs_assert(payload_flits > 0,
+                    "message must carry at least one flit");
+        const Cycles serialization =
+            payload_flits > 0 ? payload_flits - 1 : 0;
         if (h == 0)
-            return payload_flits - 1;
+            return serialization;
         const Cycles per_hop = nocConfig.routerCycles + nocConfig.linkCycles;
-        return static_cast<Cycles>(h) * per_hop + (payload_flits - 1);
+        return static_cast<Cycles>(h) * per_hop + serialization;
     }
-
-    /** Account flit-hops of one message of a given class. */
-    void
-    addTraffic(TrafficClass cls, int h, std::uint32_t flits)
-    {
-        flitHops[static_cast<std::size_t>(cls)] +=
-            static_cast<std::uint64_t>(h) * flits;
-    }
-
-    /** Accumulated flit-hops for a class. */
-    std::uint64_t
-    trafficFlitHops(TrafficClass cls) const
-    {
-        return flitHops[static_cast<std::size_t>(cls)];
-    }
-
-    /** Total accumulated flit-hops. */
-    std::uint64_t totalFlitHops() const;
-
-    /** Reset traffic counters. */
-    void clearTraffic();
 
     /**
      * Tiles sorted by distance from a given tile; used for compact
@@ -193,8 +185,6 @@ class Mesh
     int meshHeight;
     NocConfig nocConfig;
     std::vector<TileId> memCtrlTiles;
-    std::array<std::uint64_t,
-               static_cast<std::size_t>(TrafficClass::NumClasses)> flitHops;
     /// tilesByDistance cache, indexed by origin tile.
     std::vector<std::vector<TileId>> sortedTiles;
     /// Prefix-averaged distances from chip center (index = #banks).

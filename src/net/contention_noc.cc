@@ -1,0 +1,142 @@
+#include "net/contention_noc.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace cdcs
+{
+
+ContentionNoc::ContentionNoc(const Mesh &mesh, double inj_scale,
+                             double max_util)
+    : NocModel(mesh), injScale(inj_scale), maxUtil(max_util),
+      attachBase(static_cast<std::size_t>(mesh.numTiles()) * 4)
+{
+    cdcs_assert(injScale > 0.0, "injection scale must be positive");
+    cdcs_assert(maxUtil > 0.0 && maxUtil < 1.0,
+                "utilization clamp must be in (0, 1)");
+    const std::size_t links =
+        attachBase + static_cast<std::size_t>(mesh.numMemCtrls());
+    linkFlits.assign(links, 0);
+    prevFlits.assign(links, 0);
+    linkWait.assign(links, 0.0);
+    linkUtil.assign(links, 0.0);
+}
+
+double
+ContentionNoc::pathWait(TileId src, TileId dst) const
+{
+    double wait = 0.0;
+    walkRoute(src, dst,
+              [&](std::size_t link) { wait += linkWait[link]; });
+    return wait;
+}
+
+double
+ContentionNoc::latency(TileId src, TileId dst,
+                       std::uint32_t payload_flits) const
+{
+    return static_cast<double>(
+               topo.latency(topo.hops(src, dst), payload_flits)) +
+        pathWait(src, dst);
+}
+
+double
+ContentionNoc::memLatency(TileId tile, int ctrl,
+                          std::uint32_t payload_flits) const
+{
+    return static_cast<double>(
+               topo.latency(topo.hopsToCtrl(tile, ctrl),
+                            payload_flits)) +
+        pathWait(tile, topo.memCtrlTile(ctrl)) +
+        linkWait[attachLink(ctrl)];
+}
+
+void
+ContentionNoc::routeMsg(TileId src, TileId dst, std::uint32_t flits)
+{
+    walkRoute(src, dst,
+              [&](std::size_t link) { linkFlits[link] += flits; });
+}
+
+void
+ContentionNoc::routeMemMsg(TileId tile, int ctrl,
+                           std::uint32_t flits)
+{
+    routeMsg(tile, topo.memCtrlTile(ctrl), flits);
+    linkFlits[attachLink(ctrl)] += flits;
+}
+
+void
+ContentionNoc::epochUpdate(double elapsed_cycles)
+{
+    const double cycles = std::max(elapsed_cycles, 1.0);
+    const double service =
+        static_cast<double>(topo.config().linkCycles);
+    for (std::size_t l = 0; l < linkFlits.size(); l++) {
+        const double delta = static_cast<double>(
+            linkFlits[l] - prevFlits[l]);
+        prevFlits[l] = linkFlits[l];
+        // Link bandwidth is one flit per linkCycles: utilization is
+        // offered flits/cycle times the per-flit service time, scaled
+        // by the injection-rate knob and clamped below saturation.
+        const double rho = std::min(
+            maxUtil, injScale * (delta / cycles) * service);
+        // M/D/1 mean waiting time with deterministic service.
+        linkWait[l] = service * rho / (2.0 * (1.0 - rho));
+        linkUtil[l] = rho;
+    }
+}
+
+void
+ContentionNoc::clearTraffic()
+{
+    NocModel::clearTraffic();
+    // Reset the counters but keep the wait/utilization tables: at the
+    // warmup boundary the contention estimate from the last warmup
+    // epoch is the best predictor for the first measured epoch.
+    std::fill(linkFlits.begin(), linkFlits.end(), 0);
+    std::fill(prevFlits.begin(), prevFlits.end(), 0);
+}
+
+std::vector<NocLinkStat>
+ContentionNoc::linkStats() const
+{
+    std::vector<NocLinkStat> out;
+    out.reserve(linkFlits.size());
+    const int w = topo.width();
+    const int h = topo.height();
+    for (TileId t = 0; t < topo.numTiles(); t++) {
+        const MeshCoord c = topo.coordOf(t);
+        const int nx[4] = {c.x + 1, c.x - 1, c.x, c.x};
+        const int ny[4] = {c.y, c.y, c.y + 1, c.y - 1};
+        for (int dir = 0; dir < 4; dir++) {
+            if (nx[dir] < 0 || nx[dir] >= w || ny[dir] < 0 ||
+                ny[dir] >= h) {
+                continue; // Off-mesh: link doesn't exist.
+            }
+            NocLinkStat stat;
+            stat.src = t;
+            stat.dst = topo.tileAt(nx[dir], ny[dir]);
+            const std::size_t link = meshLink(t, dir);
+            stat.flits = linkFlits[link];
+            stat.util = linkUtil[link];
+            stat.waitCycles = linkWait[link];
+            out.push_back(stat);
+        }
+    }
+    for (int ctrl = 0; ctrl < topo.numMemCtrls(); ctrl++) {
+        NocLinkStat stat;
+        stat.src = topo.memCtrlTile(ctrl);
+        stat.dst = invalidTile;
+        stat.memCtrl = ctrl;
+        const std::size_t link = attachLink(ctrl);
+        stat.flits = linkFlits[link];
+        stat.util = linkUtil[link];
+        stat.waitCycles = linkWait[link];
+        out.push_back(stat);
+    }
+    return out;
+}
+
+} // namespace cdcs

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Contention-aware mesh network model. Every message is routed X-Y
+ * over explicit directed links (four per tile, plus one attach link
+ * per memory controller) with per-link flit counters; queueing delay
+ * is charged per link from an M/D/1-style waiting time computed at
+ * each epoch boundary from the previous epoch's measured link loads.
+ *
+ * The access path never simulates events: a latency query is the
+ * zero-load latency plus a per-link wait-table lookup along the
+ * route, so the hot path stays O(hops) table reads. The injection
+ * scale knob multiplies measured utilizations, letting studies sweep
+ * load without changing the workload (noc_sensitivity).
+ */
+
+#ifndef CDCS_NET_CONTENTION_NOC_HH
+#define CDCS_NET_CONTENTION_NOC_HH
+
+#include "net/noc_model.hh"
+
+namespace cdcs
+{
+
+/** Queueing/contention mesh model with per-link accounting. */
+class ContentionNoc final : public NocModel
+{
+  public:
+    /**
+     * @param inj_scale Multiplier on measured link utilization
+     *        (injection-rate scaling; 1.0 models the workload as-is).
+     * @param max_util Utilization clamp of the M/D/1 waiting time
+     *        (keeps the wait finite as links saturate).
+     */
+    ContentionNoc(const Mesh &mesh, double inj_scale,
+                  double max_util);
+
+    const char *name() const override { return "contention"; }
+
+    double latency(TileId src, TileId dst,
+                   std::uint32_t payload_flits) const override;
+    double memLatency(TileId tile, int ctrl,
+                      std::uint32_t payload_flits) const override;
+
+    void epochUpdate(double elapsed_cycles) override;
+    void clearTraffic() override;
+
+    std::vector<NocLinkStat> linkStats() const override;
+
+    /** Number of tracked links (mesh links + mem attach links). */
+    std::size_t numLinks() const { return linkFlits.size(); }
+
+  protected:
+    void routeMsg(TileId src, TileId dst,
+                  std::uint32_t flits) override;
+    void routeMemMsg(TileId tile, int ctrl,
+                     std::uint32_t flits) override;
+
+  private:
+    /** Directed link leaving a tile, in routing order. */
+    enum Dir : int
+    {
+        East = 0,
+        West,
+        South,
+        North
+    };
+
+    /** Link index of the `dir` link leaving `tile`. */
+    std::size_t
+    meshLink(TileId tile, int dir) const
+    {
+        return static_cast<std::size_t>(tile) * 4 +
+            static_cast<std::size_t>(dir);
+    }
+
+    /** Link index of controller `ctrl`'s attach link. */
+    std::size_t
+    attachLink(int ctrl) const
+    {
+        return attachBase + static_cast<std::size_t>(ctrl);
+    }
+
+    /**
+     * Walk the X-Y route src -> dst, applying `fn(link)` per link.
+     * The route is X-first (dimension-ordered), matching the hop
+     * count Mesh::hops reports.
+     */
+    template <typename Fn>
+    void
+    walkRoute(TileId src, TileId dst, Fn &&fn) const
+    {
+        const MeshCoord a = topo.coordOf(src);
+        const MeshCoord b = topo.coordOf(dst);
+        int x = a.x;
+        int y = a.y;
+        while (x != b.x) {
+            const int dir = b.x > x ? East : West;
+            fn(meshLink(topo.tileAt(x, y), dir));
+            x += b.x > x ? 1 : -1;
+        }
+        while (y != b.y) {
+            const int dir = b.y > y ? South : North;
+            fn(meshLink(topo.tileAt(x, y), dir));
+            y += b.y > y ? 1 : -1;
+        }
+    }
+
+    /** Sum of link waits along the X-Y route. */
+    double pathWait(TileId src, TileId dst) const;
+
+    double injScale;
+    double maxUtil;
+    std::size_t attachBase;  ///< First attach-link index.
+
+    // Per-link state, indexed by link id.
+    std::vector<std::uint64_t> linkFlits;  ///< Since clearTraffic.
+    std::vector<std::uint64_t> prevFlits;  ///< At last epochUpdate.
+    std::vector<double> linkWait;          ///< Cycles per traversal.
+    std::vector<double> linkUtil;          ///< Last measured (scaled).
+};
+
+} // namespace cdcs
+
+#endif // CDCS_NET_CONTENTION_NOC_HH

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Pluggable network-on-chip model interface. The simulation layers
+ * (AccessPath, EpochController) talk to a NocModel instead of doing
+ * Mesh latency arithmetic directly, so the network model can range
+ * from the paper's zero-load analytic mesh (Table 2) to a
+ * contention-aware queueing model without touching the access flow.
+ *
+ * A NocModel answers two hot-path queries — message latency between
+ * tiles and to a memory controller — and accounts each message's
+ * traffic (per-class flit-hops, and per-link flits for models that
+ * track links). Contention state is refreshed only at epoch
+ * boundaries (epochUpdate), never on the access path, so latency
+ * queries stay table lookups along the route.
+ */
+
+#ifndef CDCS_NET_NOC_MODEL_HH
+#define CDCS_NET_NOC_MODEL_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "mesh/mesh.hh"
+
+namespace cdcs
+{
+
+/** Accumulated load of one NoC link (post-warmup snapshot). */
+struct NocLinkStat
+{
+    /** Upstream tile of the link. */
+    TileId src = invalidTile;
+    /** Downstream tile; invalidTile for a memory-attach link. */
+    TileId dst = invalidTile;
+    /** Controller index for attach links, -1 for mesh links. */
+    int memCtrl = -1;
+    /** Flits that traversed the link since the warmup boundary. */
+    std::uint64_t flits = 0;
+    /** Utilization at the last epoch update (after injection scaling). */
+    double util = 0.0;
+    /** Queueing wait (cycles) currently charged per traversal. */
+    double waitCycles = 0.0;
+};
+
+/**
+ * Interface of a network model: latency queries + traffic accounting
+ * + epoch-boundary contention refresh + stats snapshots.
+ *
+ * The base class owns the per-class flit-hop counters every model
+ * reports (the Fig. 11d / 14 / 15b breakdowns); per-link accounting
+ * is delegated to the routeMsg/routeMemMsg hooks so zero-load models
+ * pay nothing for it.
+ */
+class NocModel
+{
+  public:
+    explicit NocModel(const Mesh &mesh) : topo(mesh) { flitHops.fill(0); }
+    virtual ~NocModel() = default;
+
+    NocModel(const NocModel &) = delete;
+    NocModel &operator=(const NocModel &) = delete;
+
+    /** Registry name of the model ("zero-load", "contention", ...). */
+    virtual const char *name() const = 0;
+
+    /** Latency of one message routed X-Y from src to dst. */
+    virtual double latency(TileId src, TileId dst,
+                           std::uint32_t payload_flits) const = 0;
+
+    /**
+     * Latency of one message between a tile and memory controller
+     * `ctrl`, including the controller's attach link (the +1 hop of
+     * Mesh::hopsToCtrl).
+     */
+    virtual double memLatency(TileId tile, int ctrl,
+                              std::uint32_t payload_flits) const = 0;
+
+    /** Account one tile-to-tile message of a given class. */
+    void
+    addTraffic(TrafficClass cls, TileId src, TileId dst,
+               std::uint32_t flits)
+    {
+        flitHops[static_cast<std::size_t>(cls)] +=
+            static_cast<std::uint64_t>(topo.hops(src, dst)) * flits;
+        routeMsg(src, dst, flits);
+    }
+
+    /** Account one tile-to-memory-controller message (incl. attach). */
+    void
+    addMemTraffic(TrafficClass cls, TileId tile, int ctrl,
+                  std::uint32_t flits)
+    {
+        flitHops[static_cast<std::size_t>(cls)] +=
+            static_cast<std::uint64_t>(topo.hopsToCtrl(tile, ctrl)) *
+            flits;
+        routeMemMsg(tile, ctrl, flits);
+    }
+
+    /**
+     * Epoch boundary: refresh contention state from the loads
+     * measured over the last `elapsed_cycles` mean active cycles.
+     * Zero-load models ignore it.
+     */
+    virtual void epochUpdate(double elapsed_cycles)
+    {
+        (void)elapsed_cycles;
+    }
+
+    /** Reset traffic counters (warmup boundary). */
+    virtual void clearTraffic() { flitHops.fill(0); }
+
+    /** Accumulated flit-hops for a class. */
+    std::uint64_t
+    trafficFlitHops(TrafficClass cls) const
+    {
+        return flitHops[static_cast<std::size_t>(cls)];
+    }
+
+    /** Total accumulated flit-hops. */
+    std::uint64_t
+    totalFlitHops() const
+    {
+        std::uint64_t sum = 0;
+        for (std::uint64_t f : flitHops)
+            sum += f;
+        return sum;
+    }
+
+    /** Per-link loads; empty for models that don't track links. */
+    virtual std::vector<NocLinkStat> linkStats() const { return {}; }
+
+    const Mesh &mesh() const { return topo; }
+
+  protected:
+    /** Per-link accounting hook for one X-Y routed message. */
+    virtual void
+    routeMsg(TileId src, TileId dst, std::uint32_t flits)
+    {
+        (void)src;
+        (void)dst;
+        (void)flits;
+    }
+
+    /** Per-link accounting hook for one memory leg (+ attach link). */
+    virtual void
+    routeMemMsg(TileId tile, int ctrl, std::uint32_t flits)
+    {
+        (void)tile;
+        (void)ctrl;
+        (void)flits;
+    }
+
+    const Mesh &topo;
+
+  private:
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(TrafficClass::NumClasses)>
+        flitHops;
+};
+
+} // namespace cdcs
+
+#endif // CDCS_NET_NOC_MODEL_HH

@@ -1,0 +1,73 @@
+#include "net/noc_registry.hh"
+
+#include "common/log.hh"
+#include "net/contention_noc.hh"
+#include "net/zero_load_noc.hh"
+
+namespace cdcs
+{
+
+NocRegistry::NocRegistry()
+{
+    add("zero-load",
+        [](const Mesh &mesh, const NocBuildParams &) {
+            return std::make_unique<ZeroLoadNoc>(mesh);
+        });
+    add("contention",
+        [](const Mesh &mesh, const NocBuildParams &params) {
+            return std::make_unique<ContentionNoc>(
+                mesh, params.injScale, params.maxUtil);
+        });
+}
+
+NocRegistry &
+NocRegistry::instance()
+{
+    static NocRegistry registry;
+    return registry;
+}
+
+void
+NocRegistry::add(const std::string &name, Factory make)
+{
+    cdcs_assert(!name.empty(), "noc model without a name");
+    cdcs_assert(make != nullptr, "noc model without a factory");
+    const auto inserted = makers.emplace(name, std::move(make));
+    cdcs_assert(inserted.second, "noc model already registered");
+}
+
+bool
+NocRegistry::contains(const std::string &name) const
+{
+    return makers.find(name) != makers.end();
+}
+
+std::vector<std::string>
+NocRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(makers.size());
+    for (const auto &[name, make] : makers)
+        out.push_back(name); // std::map iteration is name-sorted.
+    return out;
+}
+
+std::unique_ptr<NocModel>
+NocRegistry::build(const std::string &name, const Mesh &mesh,
+                   const NocBuildParams &params) const
+{
+    const auto it = makers.find(name);
+    if (it == makers.end()) {
+        std::string known;
+        for (const std::string &n : names()) {
+            if (!known.empty())
+                known += ", ";
+            known += n;
+        }
+        fatal("unknown noc model '%s' (registered: %s)",
+              name.c_str(), known.c_str());
+    }
+    return it->second(mesh, params);
+}
+
+} // namespace cdcs

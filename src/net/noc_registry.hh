@@ -1,0 +1,71 @@
+/**
+ * @file
+ * String-keyed registry of network models, mirroring the
+ * SchemeRegistry: the `noc=` override (SystemConfig::nocModel) names
+ * the model, Platform builds it here, and new models register a
+ * factory instead of patching Platform. "zero-load" (the default,
+ * byte-identical to the legacy Mesh arithmetic) and "contention" are
+ * pre-registered.
+ */
+
+#ifndef CDCS_NET_NOC_REGISTRY_HH
+#define CDCS_NET_NOC_REGISTRY_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/noc_model.hh"
+
+namespace cdcs
+{
+
+/** Model parameters a factory may consume (from SystemConfig). */
+struct NocBuildParams
+{
+    /** Injection-rate scale on measured link loads (contention). */
+    double injScale = 1.0;
+    /** Utilization clamp of the queueing delay (contention). */
+    double maxUtil = 0.95;
+};
+
+/** Process-wide name -> NocModel factory map. */
+class NocRegistry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<NocModel>(
+        const Mesh &, const NocBuildParams &)>;
+
+    /** The registry, with the built-in models pre-registered. */
+    static NocRegistry &instance();
+
+    /**
+     * Register a model under a unique key (conventionally lowercase
+     * CLI-friendly, e.g. "contention"). Panics on duplicates.
+     */
+    void add(const std::string &name, Factory make);
+
+    bool contains(const std::string &name) const;
+
+    /** Registered keys, sorted. */
+    std::vector<std::string> names() const;
+
+    /**
+     * Build the model registered under `name`; panics listing the
+     * registered models when nothing matches.
+     */
+    std::unique_ptr<NocModel> build(const std::string &name,
+                                    const Mesh &mesh,
+                                    const NocBuildParams &params) const;
+
+  private:
+    NocRegistry();
+
+    std::map<std::string, Factory> makers;
+};
+
+} // namespace cdcs
+
+#endif // CDCS_NET_NOC_REGISTRY_HH

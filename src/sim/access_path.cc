@@ -53,20 +53,21 @@ AccessPath::endChunk(double before, double after)
 }
 
 int
-AccessPath::memHops(TileId bank_tile, TileId core, LineAddr line)
+AccessPath::memCtrlFor(TileId core, LineAddr line)
 {
     if (!cfg.numaAwareMem)
-        return platform.mesh.hopsToMemCtrl(bank_tile, line);
+        return platform.mesh.memCtrlOf(line);
     const std::uint64_t page = line >> pageLineShift;
     const auto [it, inserted] =
         pageCtrl.try_emplace(page, platform.mesh.nearestMemCtrl(core));
-    return platform.mesh.hopsToCtrl(bank_tile, it->second);
+    return it->second;
 }
 
 void
 AccessPath::issueAccess(ThreadId t)
 {
-    Mesh &mesh = platform.mesh;
+    const Mesh &mesh = platform.mesh;
+    NocModel &noc = *platform.noc;
     auto &banks = platform.banks;
     NucaPolicy &policy = *platform.policy;
 
@@ -82,9 +83,8 @@ AccessPath::issueAccess(ThreadId t)
         if ((++monitorTrafficSampleCtr & 63) == 0) {
             const TileId mon_tile =
                 static_cast<TileId>(sample.vc % mesh.numTiles());
-            mesh.addTraffic(TrafficClass::Other,
-                            mesh.hops(core, mon_tile),
-                            cfg.noc.ctrlFlits());
+            noc.addTraffic(TrafficClass::Other, core, mon_tile,
+                           cfg.noc.ctrlFlits());
         }
     }
 
@@ -92,15 +92,15 @@ AccessPath::issueAccess(ThreadId t)
     const VcId tag = policy.partitionTag(sample.vc);
     const TileId bank_tile =
         static_cast<TileId>(mr.bank / cfg.banksPerTile);
-    const int h = mesh.hops(core, bank_tile);
     const std::uint32_t ctrl = cfg.noc.ctrlFlits();
     const std::uint32_t data = cfg.noc.dataFlits();
 
-    double lat = static_cast<double>(mesh.latency(h, ctrl)) +
-        cfg.bankLatency + mesh.latency(h, data);
+    double lat = noc.latency(core, bank_tile, ctrl) +
+        cfg.bankLatency + noc.latency(core, bank_tile, data);
     double onchip = lat - cfg.bankLatency;
     double offchip = 0.0;
-    mesh.addTraffic(TrafficClass::L2ToLLC, h, ctrl + data);
+    noc.addTraffic(TrafficClass::L2ToLLC, core, bank_tile,
+                   ctrl + data);
 
     stats.llcAccesses++;
     BankAccessResult fill_res;
@@ -112,46 +112,55 @@ AccessPath::issueAccess(ThreadId t)
         // Demand move (Fig. 10): chase the line in its old bank.
         const TileId old_tile =
             static_cast<TileId>(mr.oldBank / cfg.banksPerTile);
-        const int h2 = mesh.hops(bank_tile, old_tile);
-        lat += mesh.latency(h2, ctrl) + cfg.bankLatency;
-        onchip += mesh.latency(h2, ctrl);
-        mesh.addTraffic(TrafficClass::Other, h2, ctrl);
+        const double probe_lat =
+            noc.latency(bank_tile, old_tile, ctrl);
+        lat += probe_lat + cfg.bankLatency;
+        onchip += probe_lat;
+        noc.addTraffic(TrafficClass::Other, bank_tile, old_tile,
+                       ctrl);
         stats.moveProbes++;
         CacheLine moved;
         if (banks[mr.oldBank].extractForMove(sample.line, moved)) {
             // Old bank hit: line + coherence state move to the new
             // bank (Fig. 10a).
-            lat += mesh.latency(h2, data);
-            onchip += mesh.latency(h2, data);
-            mesh.addTraffic(TrafficClass::Other, h2, data);
+            const double move_lat =
+                noc.latency(bank_tile, old_tile, data);
+            lat += move_lat;
+            onchip += move_lat;
+            noc.addTraffic(TrafficClass::Other, bank_tile, old_tile,
+                           data);
             fill_res = banks[mr.bank].installMoved(moved, tag);
             filled = true;
             stats.demandMoves++;
         } else {
             // Old bank miss: forward to memory; the response fills
             // the new home (Fig. 10b).
-            const int hm = memHops(old_tile, core, sample.line);
-            const int hr = memHops(bank_tile, core, sample.line);
+            const int mc = memCtrlFor(core, sample.line);
             const double mem_leg =
-                static_cast<double>(mesh.latency(hm, ctrl)) +
-                cfg.memLatency + queueDelay + mesh.latency(hr, data);
+                noc.memLatency(old_tile, mc, ctrl) +
+                cfg.memLatency + queueDelay +
+                noc.memLatency(bank_tile, mc, data);
             lat += mem_leg;
             offchip += mem_leg;
-            mesh.addTraffic(TrafficClass::LLCToMem, hm, ctrl);
-            mesh.addTraffic(TrafficClass::LLCToMem, hr, data);
+            noc.addMemTraffic(TrafficClass::LLCToMem, old_tile, mc,
+                              ctrl);
+            noc.addMemTraffic(TrafficClass::LLCToMem, bank_tile, mc,
+                              data);
             stats.memAccesses++;
             chunkMisses++;
             fill_res = banks[mr.bank].fill(sample.line, tag, core);
             filled = true;
         }
     } else {
-        const int hm = memHops(bank_tile, core, sample.line);
+        const int mc = memCtrlFor(core, sample.line);
         const double mem_leg =
-            static_cast<double>(mesh.latency(hm, ctrl)) +
-            cfg.memLatency + queueDelay + mesh.latency(hm, data);
+            noc.memLatency(bank_tile, mc, ctrl) +
+            cfg.memLatency + queueDelay +
+            noc.memLatency(bank_tile, mc, data);
         lat += mem_leg;
         offchip += mem_leg;
-        mesh.addTraffic(TrafficClass::LLCToMem, hm, ctrl + data);
+        noc.addMemTraffic(TrafficClass::LLCToMem, bank_tile, mc,
+                          ctrl + data);
         stats.memAccesses++;
         chunkMisses++;
         fill_res = banks[mr.bank].fill(sample.line, tag, core);
@@ -165,10 +174,8 @@ AccessPath::issueAccess(ThreadId t)
             const int sharer = std::countr_zero(mask);
             mask &= mask - 1;
             if (sharer < mesh.numTiles()) {
-                mesh.addTraffic(TrafficClass::Other,
-                                mesh.hops(bank_tile,
-                                          static_cast<TileId>(sharer)),
-                                ctrl);
+                noc.addTraffic(TrafficClass::Other, bank_tile,
+                               static_cast<TileId>(sharer), ctrl);
             }
         }
     }
@@ -185,9 +192,12 @@ AccessPath::issueAccess(ThreadId t)
         if (flushed > 0) {
             const TileId old_tile = static_cast<TileId>(
                 mr.invalidateBank / cfg.banksPerTile);
-            mesh.addTraffic(TrafficClass::Other,
-                            mesh.hopsToMemCtrl(old_tile, sample.line),
-                            data * flushed);
+            // Flushes write back via the page-interleaved home
+            // controller, even under numaAwareMem (matches the
+            // legacy accounting).
+            noc.addMemTraffic(TrafficClass::Other, old_tile,
+                              mesh.memCtrlOf(sample.line),
+                              data * flushed);
         }
     }
 

@@ -59,8 +59,12 @@ class AccessPath
     std::vector<double> ipcBins;
 
   private:
-    /** Memory hops for a line accessed via `bank_tile` by `core`. */
-    int memHops(TileId bank_tile, TileId core, LineAddr line);
+    /**
+     * Memory controller serving `line` when accessed by `core`:
+     * page-interleaved by default, first-touch-nearest under
+     * numaAwareMem (keeps the page map).
+     */
+    int memCtrlFor(TileId core, LineAddr line);
 
     const SystemConfig &cfg;
     Platform &platform;

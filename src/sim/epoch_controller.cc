@@ -102,9 +102,10 @@ EpochController::runEpochs()
     for (int epoch = 0; epoch < cfg.epochs; epoch++) {
         if (epoch == cfg.warmupEpochs) {
             // Warmup boundary: reset measured statistics, keep all
-            // microarchitectural state warm.
+            // microarchitectural state warm (including the NoC's
+            // contention estimate).
             stats = RunStats{};
-            platform.mesh.clearTraffic();
+            platform.noc->clearTraffic();
             for (int t = 0; t < num_threads; t++) {
                 instrOffset[t] = path.clocks[t].instructions();
                 cycleOffset[t] = path.clocks[t].cycleCount();
@@ -134,6 +135,13 @@ EpochController::runEpochs()
         }
 
         if (epoch + 1 < cfg.epochs) {
+            // Refresh the network model's contention state from this
+            // epoch's measured link loads (no-op for zero-load).
+            const double epoch_mean = path.meanActiveCycles();
+            platform.noc->epochUpdate(epoch_mean -
+                                      nocEpochStartMean);
+            nocEpochStartMean = epoch_mean;
+
             RuntimeInput input = gatherRuntimeInput();
             const EpochDirective directive =
                 platform.policy->endEpoch(input, platform.banks);
@@ -198,8 +206,9 @@ EpochController::assemble() const
     res.offChipLatSum = stats.offChipLatSum;
     for (std::size_t c = 0; c < res.trafficFlitHops.size(); c++) {
         res.trafficFlitHops[c] =
-            platform.mesh.trafficFlitHops(static_cast<TrafficClass>(c));
+            platform.noc->trafficFlitHops(static_cast<TrafficClass>(c));
     }
+    res.nocLinks = platform.noc->linkStats();
 
     // Static energy accrues over the mean per-thread runtime: in the
     // fixed-work methodology threads retire their work at different
@@ -213,7 +222,7 @@ EpochController::assemble() const
     res.energy = energy_model.evaluate(
         res.totalInstrs,
         static_cast<double>(res.llcAccesses + res.moveProbes),
-        static_cast<double>(platform.mesh.totalFlitHops()),
+        static_cast<double>(platform.noc->totalFlitHops()),
         static_cast<double>(res.memAccesses), mean_cycles);
 
     if (cfg.traceIpc) {

@@ -59,6 +59,9 @@ class EpochController
 
     // Reconfiguration/walk timing.
     double reconfigStartMean = 0.0;
+
+    /// Mean active cycles at the last NoC contention refresh.
+    double nocEpochStartMean = 0.0;
 };
 
 } // namespace cdcs

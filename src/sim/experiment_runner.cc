@@ -1,5 +1,6 @@
 #include "sim/experiment_runner.hh"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
@@ -61,10 +62,27 @@ SweepResult::toJson() const
         appendF(out,
                 "      \"energyParts\": {\"static\": %.17g, "
                 "\"core\": %.17g, \"net\": %.17g, \"llc\": %.17g, "
-                "\"mem\": %.17g}\n",
+                "\"mem\": %.17g}",
                 energyParts[s][0], energyParts[s][1],
                 energyParts[s][2], energyParts[s][3],
                 energyParts[s][4]);
+        // Link-load summary, only under link-tracking noc models so
+        // zero-load sweep documents keep their legacy shape.
+        if (s < firstRun.size() && !firstRun[s].nocLinks.empty()) {
+            std::uint64_t peak = 0;
+            double max_util = 0.0;
+            for (const NocLinkStat &link : firstRun[s].nocLinks) {
+                peak = std::max(peak, link.flits);
+                max_util = std::max(max_util, link.util);
+            }
+            out += ",\n";
+            appendF(out,
+                    "      \"nocPeakLinkFlits\": %" PRIu64
+                    ",\n      \"nocMaxLinkUtil\": %.17g\n",
+                    peak, max_util);
+        } else {
+            out += "\n";
+        }
         appendF(out, "    }%s\n",
                 s + 1 < schemes.size() ? "," : "");
     }
@@ -115,6 +133,8 @@ ExperimentRunner::cacheKey(const SystemConfig &cfg,
             "mv:%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%.17g|",
             cfg.moveCfg.walkCyclesPerSet, cfg.moveCfg.walkDelay,
             cfg.moveCfg.bulkCyclesPerSet, cfg.moveCfg.allocHysteresis);
+    appendF(key, "noc:%s,%.17g,%.17g|", cfg.nocModel.c_str(),
+            cfg.nocInjScale, cfg.nocMaxUtil);
     // SchemeSpec (name excluded: it is a label, not behavior).
     appendF(key,
             "spec:%d,%d,%d,%d,%u,%u,%u,%d,%d,%d,%d,%d,%.17g,%.17g,"

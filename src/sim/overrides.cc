@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/log.hh"
+#include "net/noc_registry.hh"
 
 namespace cdcs
 {
@@ -141,6 +142,18 @@ const KeyDef configKeys[] = {
      [](SystemConfig &c, const Override &v) {
          c.numaAwareMem = v.b;
      }},
+    {"noc", "string",
+     [](SystemConfig &c, const Override &v) {
+         c.nocModel = v.value;
+     }},
+    {"nocInjScale", "double",
+     [](SystemConfig &c, const Override &v) {
+         c.nocInjScale = v.d;
+     }},
+    {"nocMaxUtil", "double",
+     [](SystemConfig &c, const Override &v) {
+         c.nocMaxUtil = v.d;
+     }},
     {"epochAccesses", "uint",
      [](SystemConfig &c, const Override &v) {
          c.accessesPerThreadEpoch = v.u;
@@ -252,6 +265,27 @@ Overrides::add(const std::string &kv, std::string *err)
             *err = "bad value '" + entry.value + "' for " +
                 entry.key + " (minimum " +
                 std::to_string(def->min) + ")";
+        return false;
+    }
+    // Keys with constraints the KeyDef table can't express.
+    if (entry.key == "noc" &&
+        !NocRegistry::instance().contains(entry.value)) {
+        if (err != nullptr) {
+            *err = "unknown noc model '" + entry.value +
+                "' (registered:";
+            for (const std::string &n :
+                 NocRegistry::instance().names())
+                *err += " " + n;
+            *err += ")";
+        }
+        return false;
+    }
+    if ((entry.key == "nocInjScale" && entry.d <= 0.0) ||
+        (entry.key == "nocMaxUtil" &&
+         (entry.d <= 0.0 || entry.d >= 1.0))) {
+        if (err != nullptr)
+            *err = "bad value '" + entry.value + "' for " +
+                entry.key + " (out of range)";
         return false;
     }
     entries.push_back(std::move(entry));

@@ -2,6 +2,7 @@
 
 #include "common/log.hh"
 #include "monitor/gmon.hh"
+#include "net/noc_registry.hh"
 #include "monitor/umon.hh"
 #include "nuca/rnuca.hh"
 #include "nuca/snuca.hh"
@@ -17,6 +18,12 @@ Platform::Platform(const SystemConfig &cfg, const SchemeSpec &spec,
                    const WorkloadMix &mix)
     : mesh(cfg.meshWidth, cfg.meshHeight, cfg.noc, cfg.memChannels)
 {
+    NocBuildParams noc_params;
+    noc_params.injScale = cfg.nocInjScale;
+    noc_params.maxUtil = cfg.nocMaxUtil;
+    noc = NocRegistry::instance().build(cfg.nocModel, mesh,
+                                        noc_params);
+
     const int num_banks = mesh.numTiles() * cfg.banksPerTile;
     cdcs_assert(mix.numThreads() <= mesh.numTiles(),
                 "mix has more threads than cores");

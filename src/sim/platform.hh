@@ -16,6 +16,7 @@
 #include "cache/partitioned_bank.hh"
 #include "mesh/mesh.hh"
 #include "monitor/sampled_monitor.hh"
+#include "net/noc_model.hh"
 #include "nuca/policy.hh"
 #include "runtime/cdcs_runtime.hh"
 #include "sim/system_config.hh"
@@ -47,6 +48,9 @@ class Platform
     }
 
     Mesh mesh;
+    /// Network model (cfg.nocModel via the NocRegistry); owns the
+    /// run's traffic counters and any contention state.
+    std::unique_ptr<NocModel> noc;
     std::vector<PartitionedBank> banks;
     /// Per-VC monitors; empty for schemes that don't want them.
     std::vector<std::unique_ptr<SampledMonitor>> monitors;

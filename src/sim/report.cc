@@ -1,5 +1,6 @@
 #include "sim/report.hh"
 
+#include <algorithm>
 #include <cstdarg>
 #include <vector>
 
@@ -177,6 +178,42 @@ captureChipMap(const System &system)
     return map;
 }
 
+// ------------------------------------------------------------------
+// NocHeatmap
+
+std::string
+NocHeatmap::toJson() const
+{
+    std::string out = "{";
+    appendF(out, "\"width\": %d, \"height\": %d, ", width, height);
+    out += "\"links\": [";
+    for (std::size_t l = 0; l < links.size(); l++) {
+        const NocLinkStat &link = links[l];
+        out += l > 0 ? "," : "";
+        appendF(out,
+                "{\"src\": %d, \"dst\": %d, \"memCtrl\": %d, "
+                "\"flits\": %llu, \"util\": %.17g, \"wait\": %.17g}",
+                static_cast<int>(link.src),
+                link.dst == invalidTile ? -1
+                                        : static_cast<int>(link.dst),
+                link.memCtrl,
+                static_cast<unsigned long long>(link.flits),
+                link.util, link.waitCycles);
+    }
+    out += "]}";
+    return out;
+}
+
+NocHeatmap
+makeNocHeatmap(int width, int height, const RunResult &run)
+{
+    NocHeatmap map;
+    map.width = width;
+    map.height = height;
+    map.links = run.nocLinks;
+    return map;
+}
+
 std::string
 traceToJson(const std::string &name, const RunResult &run)
 {
@@ -238,6 +275,14 @@ TextReportSink::trace(const std::string &name, const RunResult &run)
 
 void
 TextReportSink::chipMap(const std::string &name, const ChipMap &map)
+{
+    if (!jsonDir.empty())
+        exportArtifact(name, map.toJson() + "\n");
+}
+
+void
+TextReportSink::nocHeatmap(const std::string &name,
+                           const NocHeatmap &map)
 {
     if (!jsonDir.empty())
         exportArtifact(name, map.toJson() + "\n");
@@ -305,6 +350,18 @@ JsonReportSink::chipMap(const std::string &name, const ChipMap &map)
 }
 
 void
+JsonReportSink::nocHeatmap(const std::string &name,
+                           const NocHeatmap &map)
+{
+    const std::string json = map.toJson();
+    exportArtifactFile(jsonDir, name, json + "\n");
+    doc += anyArtifact ? ",\n" : "\n";
+    anyArtifact = true;
+    doc += "   {\"name\": " + jsonString(name) +
+        ", \"kind\": \"nocheatmap\", \"data\": " + json + "}";
+}
+
+void
 JsonReportSink::finish()
 {
     std::string full = "{\"studies\": [\n";
@@ -343,6 +400,14 @@ CsvReportSink::trace(const std::string &name, const RunResult &run)
 
 void
 CsvReportSink::chipMap(const std::string &name, const ChipMap &map)
+{
+    if (!jsonDir.empty())
+        exportArtifactFile(jsonDir, name, map.toJson() + "\n");
+}
+
+void
+CsvReportSink::nocHeatmap(const std::string &name,
+                          const NocHeatmap &map)
 {
     if (!jsonDir.empty())
         exportArtifactFile(jsonDir, name, map.toJson() + "\n");
@@ -471,6 +536,69 @@ writeChipMap(ReportSink &sink, const ChipMap &map)
             sink.printf(" %s",
                         map.dataLabel[y * map.width + x].c_str());
         sink.printf("\n");
+    }
+}
+
+void
+writeNocHeatmap(ReportSink &sink, const NocHeatmap &map)
+{
+    if (map.width <= 0 || map.height <= 0 || map.links.empty()) {
+        sink.printf("(no link loads: network model tracks no "
+                    "links)\n");
+        return;
+    }
+    // Per-tile outgoing load (mesh links only), as % of the hottest
+    // tile — the link-level analogue of the chip maps.
+    std::vector<std::uint64_t> tile_flits(
+        static_cast<std::size_t>(map.width) * map.height, 0);
+    for (const NocLinkStat &link : map.links) {
+        if (link.memCtrl < 0 && link.src < tile_flits.size())
+            tile_flits[link.src] += link.flits;
+    }
+    std::uint64_t peak = 0;
+    for (std::uint64_t f : tile_flits)
+        peak = std::max(peak, f);
+    sink.printf("link load per tile (outgoing flits, %% of hottest "
+                "tile)\n");
+    for (int y = 0; y < map.height; y++) {
+        for (int x = 0; x < map.width; x++) {
+            const std::uint64_t f =
+                tile_flits[static_cast<std::size_t>(y) * map.width +
+                           x];
+            sink.printf(" %3d",
+                        peak > 0
+                            ? static_cast<int>((f * 100) / peak)
+                            : 0);
+        }
+        sink.printf("\n");
+    }
+
+    // The hottest individual links (deterministic order: flits desc,
+    // then link endpoints).
+    std::vector<NocLinkStat> hottest = map.links;
+    std::stable_sort(hottest.begin(), hottest.end(),
+                     [](const NocLinkStat &a, const NocLinkStat &b) {
+                         if (a.flits != b.flits)
+                             return a.flits > b.flits;
+                         if (a.src != b.src)
+                             return a.src < b.src;
+                         return a.dst < b.dst;
+                     });
+    const std::size_t shown = std::min<std::size_t>(5, hottest.size());
+    sink.printf("hottest links (flits, util, wait cycles):\n");
+    for (std::size_t i = 0; i < shown; i++) {
+        const NocLinkStat &link = hottest[i];
+        const int sx = link.src % map.width;
+        const int sy = link.src / map.width;
+        if (link.memCtrl >= 0) {
+            sink.printf("  mem[%d]@(%d,%d)", link.memCtrl, sx, sy);
+        } else {
+            sink.printf("  (%d,%d)->(%d,%d)", sx, sy,
+                        link.dst % map.width, link.dst / map.width);
+        }
+        sink.printf("  %llu  %.3f  %.3f\n",
+                    static_cast<unsigned long long>(link.flits),
+                    link.util, link.waitCycles);
     }
 }
 

@@ -45,6 +45,23 @@ struct ChipMap
 /** Capture the placement map of a finished run. */
 ChipMap captureChipMap(const System &system);
 
+/**
+ * A captured link-load heatmap: the per-link NoC traffic of one run
+ * under a link-tracking network model (noc=contention), rendered like
+ * the chip maps and exported for tools/plot_noc_heatmap.py.
+ */
+struct NocHeatmap
+{
+    int width = 0;
+    int height = 0;
+    std::vector<NocLinkStat> links;
+
+    std::string toJson() const;
+};
+
+/** Build the heatmap of a finished run (empty under zero-load). */
+NocHeatmap makeNocHeatmap(int width, int height, const RunResult &run);
+
 /** Where study output goes; default implementations discard. */
 class ReportSink
 {
@@ -88,6 +105,14 @@ class ReportSink
         (void)name;
         (void)map;
     }
+
+    /** A captured link-load heatmap (noc_heatmap). */
+    virtual void
+    nocHeatmap(const std::string &name, const NocHeatmap &map)
+    {
+        (void)name;
+        (void)map;
+    }
 };
 
 /**
@@ -111,6 +136,8 @@ class TextReportSink : public ReportSink
                const RunResult &run) override;
     void chipMap(const std::string &name,
                  const ChipMap &map) override;
+    void nocHeatmap(const std::string &name,
+                    const NocHeatmap &map) override;
 
   private:
     void exportArtifact(const std::string &name,
@@ -152,6 +179,8 @@ class JsonReportSink : public ReportSink
                const RunResult &run) override;
     void chipMap(const std::string &name,
                  const ChipMap &map) override;
+    void nocHeatmap(const std::string &name,
+                    const NocHeatmap &map) override;
     void finish() override;
 
   private:
@@ -181,6 +210,8 @@ class CsvReportSink : public ReportSink
                const RunResult &run) override;
     void chipMap(const std::string &name,
                  const ChipMap &map) override;
+    void nocHeatmap(const std::string &name,
+                    const NocHeatmap &map) override;
     void finish() override;
 
   private:
@@ -207,6 +238,12 @@ void writeBreakdowns(ReportSink &sink, const SweepResult &sweep);
 
 /** The ASCII chip-map rendering (Fig. 1 / Fig. 16b). */
 void writeChipMap(ReportSink &sink, const ChipMap &map);
+
+/**
+ * The ASCII link-load rendering: per-tile outgoing load as % of the
+ * hottest tile, plus the hottest individual links.
+ */
+void writeNocHeatmap(ReportSink &sink, const NocHeatmap &map);
 
 /** The reproducibility header every study emits. */
 void writeStudyHeader(ReportSink &sink, const char *title,

@@ -13,6 +13,7 @@
 
 #include "common/types.hh"
 #include "mesh/mesh.hh"
+#include "net/noc_model.hh"
 #include "runtime/cdcs_runtime.hh"
 #include "sim/energy.hh"
 
@@ -47,6 +48,12 @@ struct RunResult
     double offChipLatSum = 0.0; ///< Memory + LLC<->mem network cycles.
 
     std::array<std::uint64_t, 3> trafficFlitHops = {0, 0, 0};
+
+    /**
+     * Per-link loads (post-warmup); empty under network models that
+     * don't track links (zero-load). Feeds the link-load heatmaps.
+     */
+    std::vector<NocLinkStat> nocLinks;
 
     EnergyBreakdown energy;
 

@@ -71,13 +71,14 @@ StudyRegistrar::StudyRegistrar(StudySpec spec)
 }
 
 ExperimentRunner::Options
-runnerOptions(const Overrides &overrides)
+runnerOptions(const Overrides &overrides, bool default_cache)
 {
     ExperimentRunner::Options opts;
     opts.workers = static_cast<unsigned>(
         overrides.knob("workers", "CDCS_WORKERS", 0));
     opts.cacheResults =
-        overrides.knob("cache", "CDCS_CACHE", 0) != 0;
+        overrides.knob("cache", "CDCS_CACHE",
+                       default_cache ? 1 : 0) != 0;
     opts.cacheBudget = static_cast<std::size_t>(
         overrides.knob("cacheBudget", "CDCS_CACHE_BUDGET", 1024));
     return opts;
@@ -103,17 +104,22 @@ runStudy(const StudySpec &spec, const Overrides &overrides,
     if (runner.options().cacheResults) {
         // The runner (and cache) is shared across the studies of one
         // invocation; report this study's delta, not the lifetime
-        // totals.
+        // totals. A study that got no hits stays silent, so the
+        // cache-by-default for repeated-lineup studies cannot change
+        // default text output.
         const ExperimentRunner::CacheStats now = runner.cacheStats();
-        sink.printf("[cache: %llu hits, %llu misses, %llu "
-                    "evictions, %llu entries]\n",
-                    static_cast<unsigned long long>(now.hits -
-                                                    before.hits),
-                    static_cast<unsigned long long>(now.misses -
-                                                    before.misses),
-                    static_cast<unsigned long long>(now.evictions -
-                                                    before.evictions),
-                    static_cast<unsigned long long>(now.entries));
+        if (now.hits > before.hits) {
+            sink.printf(
+                "[cache: %llu hits, %llu misses, %llu "
+                "evictions, %llu entries]\n",
+                static_cast<unsigned long long>(now.hits -
+                                                before.hits),
+                static_cast<unsigned long long>(now.misses -
+                                                before.misses),
+                static_cast<unsigned long long>(now.evictions -
+                                                before.evictions),
+                static_cast<unsigned long long>(now.entries));
+        }
     }
     sink.endStudy(spec);
     sink.flush();
@@ -129,7 +135,8 @@ studyMain(const char *name)
         return 1;
     }
     const Overrides none;
-    ExperimentRunner runner(runnerOptions(none));
+    ExperimentRunner runner(
+        runnerOptions(none, spec->repeatedLineup));
     TextReportSink sink(
         stdout, none.strKnob("jsonDir", "CDCS_JSON_DIR", ""));
     const int rc = runStudy(*spec, none, runner, sink);
@@ -294,7 +301,12 @@ studiesCliMain(int argc, char **argv)
         return 2;
     }
 
-    ExperimentRunner runner(runnerOptions(overrides));
+    // Repeated-lineup studies opt the shared runner into the result
+    // cache unless the user said otherwise.
+    bool any_repeated = false;
+    for (const StudySpec *spec : specs)
+        any_repeated = any_repeated || spec->repeatedLineup;
+    ExperimentRunner runner(runnerOptions(overrides, any_repeated));
     int rc = 0;
     for (const StudySpec *spec : specs)
         rc |= runStudy(*spec, overrides, runner, *sink);

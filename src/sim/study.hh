@@ -44,6 +44,15 @@ struct StudySpec
     /** CDCS_MIXES / `--set mixes=` fallback. */
     int defaultMixes = 4;
     /**
+     * Declares that the study re-runs its lineup several times
+     * (derived variants, scaling loops), so identical (cfg, scheme,
+     * mix) runs can recur within one invocation. Such studies get
+     * the general result cache enabled by default (`--set cache=0`
+     * still wins); the cache footer is only printed when hits
+     * actually occur, so default text output is unchanged.
+     */
+    bool repeatedLineup = false;
+    /**
      * The registered base schemes the study builds from, by
      * SchemeRegistry name (what ctx.lineup() resolves). Bodies may
      * derive further variants (fig17's move schemes, vic_monitors'
@@ -118,10 +127,12 @@ struct StudyRegistrar
 
 /**
  * Runner options resolved from overrides/env: workers, result-cache
- * opt-in (`--set cache=1` / CDCS_CACHE) and budget.
+ * opt-in (`--set cache=1` / CDCS_CACHE) and budget. `default_cache`
+ * is the fallback when neither `--set cache` nor CDCS_CACHE is given
+ * (true when any study of the batch declares a repeated lineup).
  */
 ExperimentRunner::Options
-runnerOptions(const Overrides &overrides);
+runnerOptions(const Overrides &overrides, bool default_cache = false);
 
 /**
  * Run one study: resolve its config (defaults < CDCS_* env <

@@ -100,6 +100,20 @@ struct SystemConfig
     Cycles memLatency = 120;
     NocConfig noc;
 
+    /**
+     * Network model, by NocRegistry name: "zero-load" (the paper's
+     * Table 2 analytic mesh, the default) or "contention" (per-link
+     * queueing delays from measured loads).
+     */
+    std::string nocModel = "zero-load";
+    /**
+     * Contention model: injection-rate scale applied to measured
+     * link utilizations (sweep load without changing the workload).
+     */
+    double nocInjScale = 1.0;
+    /** Contention model: utilization clamp of the queueing delay. */
+    double nocMaxUtil = 0.95;
+
     bool modelMemBandwidth = true;
     double memLinesPerCycle = 0.8;      ///< Aggregate service rate.
     int memChannels = 8;

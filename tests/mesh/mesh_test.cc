@@ -75,24 +75,23 @@ TEST(MeshTest, ZeroLoadLatency)
     EXPECT_EQ(mesh.latency(0, 5), 4u);
 }
 
+TEST(MeshTest, LatencyRejectsZeroFlitMessages)
+{
+    Mesh mesh(8, 8);
+    // A 1-flit message has no serialization term...
+    EXPECT_EQ(mesh.latency(3, 1), 12u);
+    // ...and an (invalid) 0-flit message must not wrap
+    // `payload_flits - 1` around to a huge Cycles value.
+    EXPECT_DEATH(mesh.latency(3, 0), "payload_flits > 0");
+    EXPECT_DEATH(mesh.latency(0, 0), "payload_flits > 0");
+}
+
 TEST(MeshTest, DataMessageIsFiveFlits)
 {
     NocConfig noc;
     // 64-byte line + header over 128-bit flits.
     EXPECT_EQ(noc.dataFlits(), 5u);
     EXPECT_EQ(noc.ctrlFlits(), 1u);
-}
-
-TEST(MeshTest, TrafficAccounting)
-{
-    Mesh mesh(4, 4);
-    mesh.addTraffic(TrafficClass::L2ToLLC, 3, 5);
-    mesh.addTraffic(TrafficClass::LLCToMem, 2, 1);
-    EXPECT_EQ(mesh.trafficFlitHops(TrafficClass::L2ToLLC), 15u);
-    EXPECT_EQ(mesh.trafficFlitHops(TrafficClass::LLCToMem), 2u);
-    EXPECT_EQ(mesh.totalFlitHops(), 17u);
-    mesh.clearTraffic();
-    EXPECT_EQ(mesh.totalFlitHops(), 0u);
 }
 
 TEST(MeshTest, TilesByDistanceSorted)

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the pluggable NoC layer: zero-load parity with the legacy
+ * Mesh arithmetic, contention-model monotonicity and clamping,
+ * per-link accounting conservation (link flits sum to flit-hops), and
+ * the model registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "net/contention_noc.hh"
+#include "net/noc_registry.hh"
+#include "net/zero_load_noc.hh"
+
+namespace cdcs
+{
+namespace
+{
+
+TEST(ZeroLoadNocTest, LatencyMatchesLegacyMeshArithmetic)
+{
+    const Mesh mesh(6, 6);
+    const ZeroLoadNoc noc(mesh);
+    for (TileId a = 0; a < mesh.numTiles(); a++) {
+        for (TileId b = 0; b < mesh.numTiles(); b++) {
+            for (std::uint32_t flits : {1u, 5u}) {
+                EXPECT_EQ(noc.latency(a, b, flits),
+                          static_cast<double>(mesh.latency(
+                              mesh.hops(a, b), flits)));
+            }
+        }
+    }
+}
+
+TEST(ZeroLoadNocTest, MemLatencyMatchesLegacyMeshArithmetic)
+{
+    const Mesh mesh(8, 8);
+    const ZeroLoadNoc noc(mesh);
+    for (TileId t = 0; t < mesh.numTiles(); t++) {
+        for (int c = 0; c < mesh.numMemCtrls(); c++) {
+            EXPECT_EQ(noc.memLatency(t, c, 5),
+                      static_cast<double>(mesh.latency(
+                          mesh.hopsToCtrl(t, c), 5)));
+        }
+    }
+}
+
+TEST(ZeroLoadNocTest, TrafficAccountingMatchesMeshCounters)
+{
+    const Mesh mesh(4, 4);
+    ZeroLoadNoc noc(mesh);
+    const TileId a = mesh.tileAt(0, 0);
+    const TileId b = mesh.tileAt(3, 0); // 3 hops.
+    noc.addTraffic(TrafficClass::L2ToLLC, a, b, 5);
+    noc.addMemTraffic(TrafficClass::LLCToMem, a, 2, 1);
+    EXPECT_EQ(noc.trafficFlitHops(TrafficClass::L2ToLLC), 15u);
+    EXPECT_EQ(noc.trafficFlitHops(TrafficClass::LLCToMem),
+              static_cast<std::uint64_t>(mesh.hopsToCtrl(a, 2)));
+    EXPECT_EQ(noc.totalFlitHops(),
+              15u + static_cast<std::uint64_t>(mesh.hopsToCtrl(a, 2)));
+    noc.clearTraffic();
+    EXPECT_EQ(noc.totalFlitHops(), 0u);
+    EXPECT_TRUE(noc.linkStats().empty());
+}
+
+TEST(ContentionNocTest, ZeroTrafficMatchesZeroLoad)
+{
+    const Mesh mesh(6, 6);
+    const ZeroLoadNoc zero(mesh);
+    ContentionNoc cont(mesh, 1.0, 0.95);
+    cont.epochUpdate(1e6);
+    for (TileId a = 0; a < mesh.numTiles(); a += 5) {
+        for (TileId b = 0; b < mesh.numTiles(); b += 3) {
+            EXPECT_DOUBLE_EQ(cont.latency(a, b, 5),
+                             zero.latency(a, b, 5));
+        }
+    }
+}
+
+TEST(ContentionNocTest, LinkAccountingConservesFlitHops)
+{
+    const Mesh mesh(6, 6);
+    ContentionNoc noc(mesh, 1.0, 0.95);
+    Rng rng(123);
+    for (int i = 0; i < 2000; i++) {
+        const auto a = static_cast<TileId>(
+            rng.next() % mesh.numTiles());
+        const auto b = static_cast<TileId>(
+            rng.next() % mesh.numTiles());
+        const auto flits =
+            static_cast<std::uint32_t>(1 + rng.next() % 5);
+        if (i % 3 == 0) {
+            const int ctrl = static_cast<int>(
+                rng.next() % mesh.numMemCtrls());
+            noc.addMemTraffic(TrafficClass::LLCToMem, a, ctrl,
+                              flits);
+        } else {
+            noc.addTraffic(TrafficClass::L2ToLLC, a, b, flits);
+        }
+    }
+    std::uint64_t link_sum = 0;
+    for (const NocLinkStat &link : noc.linkStats())
+        link_sum += link.flits;
+    EXPECT_EQ(link_sum, noc.totalFlitHops());
+}
+
+TEST(ContentionNocTest, WaitMonotonicInLoad)
+{
+    const Mesh mesh(8, 8);
+    const TileId src = mesh.tileAt(0, 3);
+    const TileId dst = mesh.tileAt(7, 3);
+    double prev = 0.0;
+    for (std::uint32_t load : {0u, 100u, 1000u, 10000u, 100000u}) {
+        ContentionNoc noc(mesh, 1.0, 0.95);
+        if (load > 0)
+            noc.addTraffic(TrafficClass::L2ToLLC, src, dst, load);
+        noc.epochUpdate(10000.0);
+        const double lat = noc.latency(src, dst, 1);
+        EXPECT_GE(lat, prev);
+        prev = lat;
+    }
+}
+
+TEST(ContentionNocTest, WaitMonotonicInInjectionScale)
+{
+    const Mesh mesh(8, 8);
+    const TileId src = mesh.tileAt(0, 0);
+    const TileId dst = mesh.tileAt(7, 7);
+    double prev = 0.0;
+    for (double scale : {1.0, 2.0, 4.0, 8.0, 64.0}) {
+        ContentionNoc noc(mesh, scale, 0.95);
+        noc.addTraffic(TrafficClass::L2ToLLC, src, dst, 500);
+        noc.epochUpdate(10000.0);
+        const double lat = noc.latency(src, dst, 5);
+        EXPECT_GE(lat, prev);
+        prev = lat;
+    }
+}
+
+TEST(ContentionNocTest, UtilizationClampBoundsTheWait)
+{
+    const Mesh mesh(4, 4);
+    ContentionNoc noc(mesh, 1.0, 0.9);
+    const TileId src = mesh.tileAt(0, 0);
+    const TileId dst = mesh.tileAt(1, 0);
+    // Offered load far beyond link bandwidth.
+    noc.addTraffic(TrafficClass::L2ToLLC, src, dst, 1000000);
+    noc.epochUpdate(10.0);
+    for (const NocLinkStat &link : noc.linkStats()) {
+        EXPECT_LE(link.util, 0.9 + 1e-12);
+        // M/D/1 at the clamp: S * rho / (2 (1 - rho)) = 4.5 cycles.
+        EXPECT_LE(link.waitCycles, 4.5 + 1e-12);
+    }
+    EXPECT_LE(noc.latency(src, dst, 1) -
+                  static_cast<double>(mesh.latency(1, 1)),
+              4.5 + 1e-12);
+}
+
+TEST(ContentionNocTest, ClearTrafficKeepsTheContentionEstimate)
+{
+    const Mesh mesh(4, 4);
+    ContentionNoc noc(mesh, 1.0, 0.95);
+    const TileId src = mesh.tileAt(0, 0);
+    const TileId dst = mesh.tileAt(3, 0);
+    noc.addTraffic(TrafficClass::L2ToLLC, src, dst, 5000);
+    noc.epochUpdate(1000.0);
+    const double loaded = noc.latency(src, dst, 1);
+    EXPECT_GT(loaded,
+              static_cast<double>(
+                  mesh.latency(mesh.hops(src, dst), 1)));
+
+    noc.clearTraffic();
+    EXPECT_EQ(noc.totalFlitHops(), 0u);
+    // Counters reset, wait table preserved (warmup boundary).
+    EXPECT_DOUBLE_EQ(noc.latency(src, dst, 1), loaded);
+    // The next epoch sees no traffic and relaxes back to zero-load.
+    noc.epochUpdate(1000.0);
+    EXPECT_DOUBLE_EQ(noc.latency(src, dst, 1),
+                     static_cast<double>(
+                         mesh.latency(mesh.hops(src, dst), 1)));
+}
+
+TEST(NocRegistryTest, BuiltInModelsRegistered)
+{
+    NocRegistry &registry = NocRegistry::instance();
+    EXPECT_TRUE(registry.contains("zero-load"));
+    EXPECT_TRUE(registry.contains("contention"));
+    EXPECT_FALSE(registry.contains("no-such-model"));
+
+    const Mesh mesh(4, 4);
+    NocBuildParams params;
+    params.injScale = 2.0;
+    const auto zero = registry.build("zero-load", mesh, params);
+    EXPECT_STREQ(zero->name(), "zero-load");
+    const auto cont = registry.build("contention", mesh, params);
+    EXPECT_STREQ(cont->name(), "contention");
+    // Names are sorted and include both built-ins.
+    const auto names = registry.names();
+    ASSERT_GE(names.size(), 2u);
+    for (std::size_t i = 1; i < names.size(); i++)
+        EXPECT_LT(names[i - 1], names[i]);
+}
+
+} // anonymous namespace
+} // namespace cdcs

@@ -52,7 +52,7 @@ runFig11(const Overrides &ov)
 TEST(StudyRegistryTest, EnumeratesEveryConvertedHarness)
 {
     const auto all = StudyRegistry::instance().all();
-    ASSERT_GE(all.size(), 17u);
+    ASSERT_GE(all.size(), 19u);
     const char *expected[] = {
         "fig2",          "fig5",
         "fig11",         "fig12",
@@ -62,7 +62,8 @@ TEST(StudyRegistryTest, EnumeratesEveryConvertedHarness)
         "table1",        "table3",
         "ablation_numa", "ablation_stability",
         "vic_bankgrain", "vic_monitors",
-        "vic_placers",
+        "vic_placers",   "noc_sensitivity",
+        "noc_heatmap",
     };
     for (const char *name : expected) {
         EXPECT_NE(StudyRegistry::instance().find(name), nullptr)
@@ -221,24 +222,147 @@ TEST(StudyTest, CsvSinkProducesSummaryRows)
     EXPECT_NE(csv.find("fig14,fig14_4app,CDCS,"), std::string::npos);
 }
 
-TEST(StudyTest, CacheFooterAppearsOnlyWhenOptedIn)
+TEST(StudyTest, CacheFooterAppearsOnlyWhenHitsOccur)
 {
     const Overrides ov = tinyOverrides();
     const StudySpec *spec = StudyRegistry::instance().find("fig14");
     ASSERT_NE(spec, nullptr);
     {
+        // Cache off: no footer ever.
         ExperimentRunner runner;
         StringReportSink sink;
         runStudy(*spec, ov, runner, sink);
         EXPECT_EQ(sink.str().find("[cache:"), std::string::npos);
     }
     {
+        // Cache on, all misses: still no footer (this is what keeps
+        // the repeated-lineup cache default byte-identical), but the
+        // second identical study on the same runner hits and reports.
         ExperimentRunner::Options opts;
         opts.cacheResults = true;
         ExperimentRunner runner(opts);
-        StringReportSink sink;
-        runStudy(*spec, ov, runner, sink);
-        EXPECT_NE(sink.str().find("[cache:"), std::string::npos);
+        StringReportSink first;
+        runStudy(*spec, ov, runner, first);
+        EXPECT_EQ(first.str().find("[cache:"), std::string::npos);
+        StringReportSink second;
+        runStudy(*spec, ov, runner, second);
+        EXPECT_NE(second.str().find("[cache:"), std::string::npos);
+    }
+}
+
+TEST(StudyTest, RepeatedLineupStudiesEnableTheCacheByDefault)
+{
+    // Multi-sweep studies declare the repeated lineup...
+    for (const char *name :
+         {"fig12", "fig13", "fig18", "ablation_stability",
+          "vic_bankgrain", "noc_sensitivity", "noc_heatmap"}) {
+        const StudySpec *spec =
+            StudyRegistry::instance().find(name);
+        ASSERT_NE(spec, nullptr) << name;
+        EXPECT_TRUE(spec->repeatedLineup) << name;
+    }
+    // ...single-sweep studies don't.
+    for (const char *name : {"fig11", "fig14", "table1"}) {
+        const StudySpec *spec =
+            StudyRegistry::instance().find(name);
+        ASSERT_NE(spec, nullptr) << name;
+        EXPECT_FALSE(spec->repeatedLineup) << name;
+    }
+
+    // runnerOptions: off by default, on for repeated-lineup batches,
+    // and an explicit --set cache=0 still wins.
+    const Overrides none;
+    EXPECT_FALSE(runnerOptions(none).cacheResults);
+    EXPECT_TRUE(runnerOptions(none, true).cacheResults);
+    Overrides off;
+    std::string err;
+    ASSERT_TRUE(off.add("cache=0", &err)) << err;
+    EXPECT_FALSE(runnerOptions(off, true).cacheResults);
+}
+
+std::string
+runStudyWithWorkers(const char *name, const Overrides &ov,
+                    unsigned workers)
+{
+    const StudySpec *spec = StudyRegistry::instance().find(name);
+    if (spec == nullptr)
+        return "";
+    ExperimentRunner::Options opts;
+    opts.workers = workers;
+    ExperimentRunner runner(opts);
+    StringReportSink sink;
+    runStudy(*spec, ov, runner, sink);
+    return sink.str();
+}
+
+TEST(NocStudyTest, DefaultOutputByteIdenticalToExplicitZeroLoad)
+{
+    // The default network model is the zero-load adapter; naming it
+    // explicitly must not change a study's bytes (the in-process
+    // version of the CI diff).
+    const std::string default_out = runFig11(tinyOverrides());
+    Overrides explicit_ov = tinyOverrides();
+    std::string err;
+    ASSERT_TRUE(explicit_ov.add("noc=zero-load", &err)) << err;
+    const std::string explicit_out = runFig11(explicit_ov);
+    ASSERT_FALSE(default_out.empty());
+    EXPECT_EQ(default_out, explicit_out);
+}
+
+TEST(NocStudyTest, SensitivityDeterministicAcrossWorkerCounts)
+{
+    const Overrides ov = tinyOverrides();
+    const std::string serial =
+        runStudyWithWorkers("noc_sensitivity", ov, 1);
+    const std::string parallel =
+        runStudyWithWorkers("noc_sensitivity", ov, 4);
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(NocStudyTest, HeatmapDeterministicAcrossWorkerCounts)
+{
+    const Overrides ov = tinyOverrides();
+    const std::string serial =
+        runStudyWithWorkers("noc_heatmap", ov, 1);
+    const std::string parallel =
+        runStudyWithWorkers("noc_heatmap", ov, 4);
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(NocStudyTest, ContentionLatencyMonotoneInInjectionScale)
+{
+    // The noc_sensitivity acceptance shape: per-scheme average
+    // on-chip latency is non-decreasing in the injection-rate scale
+    // (zero-load bounds the chain from below). Uses the study's
+    // lineup and mix seed at an epoch length long enough for the
+    // closed-loop dynamics (walker advance, memory queueing) to
+    // settle.
+    SystemConfig cfg;
+    cfg.accessesPerThreadEpoch = 4000;
+    cfg.epochs = 4;
+    cfg.warmupEpochs = 2;
+    const std::vector<SchemeSpec> schemes =
+        schemesByName({"snuca", "rnuca", "jigsaw-r", "cdcs"});
+    const auto mix_of = [](int) { return MixSpec::cpu(64, 11000); };
+
+    ExperimentRunner runner;
+    SystemConfig zero_load = cfg;
+    zero_load.nocModel = "zero-load";
+    std::vector<double> prev =
+        runner.sweep(zero_load, schemes, 1, mix_of).onChipLat;
+    for (double scale : {1.0, 4.0, 8.0}) {
+        SystemConfig contended = cfg;
+        contended.nocModel = "contention";
+        contended.nocInjScale = scale;
+        const std::vector<double> lat =
+            runner.sweep(contended, schemes, 1, mix_of).onChipLat;
+        for (std::size_t s = 0; s < schemes.size(); s++) {
+            EXPECT_GE(lat[s] + 1e-9, prev[s])
+                << schemes[s].name << " at x" << scale;
+        }
+        prev = lat;
     }
 }
 

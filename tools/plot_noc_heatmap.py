@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Plot a NoC link-load heatmap exported by the noc_heatmap study.
+
+Consumes the ``noc_heatmap_<scheme>.json`` artifacts that
+``cdcs_studies run noc_heatmap --set jsonDir=DIR`` writes (schema:
+``{"width": W, "height": H, "links": [{"src", "dst", "memCtrl",
+"flits", "util", "wait"}, ...]}``) and renders each directed mesh link
+as a segment colored by its flit count, with memory-attach links drawn
+as squares on their edge tiles.
+
+This is the first piece of the plotting pipeline consuming the
+simulator's JSON exports; matplotlib is imported lazily so the
+``--check`` mode (schema validation, used by CI) runs anywhere.
+
+Usage:
+    plot_noc_heatmap.py heatmap.json [-o out.png] [--metric util]
+    plot_noc_heatmap.py --check heatmap.json...
+"""
+
+import argparse
+import json
+import sys
+
+LINK_KEYS = {"src", "dst", "memCtrl", "flits", "util", "wait"}
+
+
+def load_heatmap(path):
+    """Parse and validate one heatmap artifact; exits on bad schema."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    for key in ("width", "height", "links"):
+        if key not in doc:
+            sys.exit(f"{path}: missing key '{key}'")
+    if doc["width"] <= 0 or doc["height"] <= 0:
+        sys.exit(f"{path}: non-positive mesh dimensions")
+    tiles = doc["width"] * doc["height"]
+    for link in doc["links"]:
+        missing = LINK_KEYS - link.keys()
+        if missing:
+            sys.exit(f"{path}: link missing keys {sorted(missing)}")
+        if not 0 <= link["src"] < tiles:
+            sys.exit(f"{path}: link src {link['src']} off-mesh")
+        if link["memCtrl"] < 0 and not 0 <= link["dst"] < tiles:
+            sys.exit(f"{path}: link dst {link['dst']} off-mesh")
+        if link["flits"] < 0 or link["util"] < 0 or link["wait"] < 0:
+            sys.exit(f"{path}: negative link load")
+    return doc
+
+
+def check(paths):
+    for path in paths:
+        doc = load_heatmap(path)
+        mesh_links = sum(1 for l in doc["links"] if l["memCtrl"] < 0)
+        mem_links = len(doc["links"]) - mesh_links
+        peak = max((l["flits"] for l in doc["links"]), default=0)
+        print(
+            f"{path}: {doc['width']}x{doc['height']} mesh, "
+            f"{mesh_links} mesh links, {mem_links} mem links, "
+            f"peak {peak} flits"
+        )
+    print(f"{len(paths)} artifact(s) OK")
+
+
+def plot(path, out, metric):
+    try:
+        import matplotlib
+    except ImportError:
+        sys.exit(
+            "matplotlib is required for plotting; install it or use "
+            "--check for schema validation only"
+        )
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+    from matplotlib.collections import LineCollection
+
+    doc = load_heatmap(path)
+    width, height = doc["width"], doc["height"]
+    if not doc["links"]:
+        sys.exit(
+            f"{path}: no links to plot (was the run made with a "
+            "link-tracking model, e.g. noc=contention?)"
+        )
+
+    segments, values = [], []
+    mem_x, mem_y, mem_v = [], [], []
+    for link in doc["links"]:
+        value = link[metric]
+        sx, sy = link["src"] % width, link["src"] // width
+        if link["memCtrl"] >= 0:
+            mem_x.append(sx)
+            mem_y.append(sy)
+            mem_v.append(value)
+            continue
+        dx, dy = link["dst"] % width, link["dst"] // width
+        # Offset the two directions of a link so both stay visible.
+        off = 0.08
+        ox, oy = (dy - sy) * off, (sx - dx) * off
+        segments.append(
+            [(sx + ox, sy + oy), (dx + ox, dy + oy)]
+        )
+        values.append(value)
+
+    fig, ax = plt.subplots(
+        figsize=(1.0 + 0.8 * width, 1.0 + 0.8 * height)
+    )
+    vmax = max(values + mem_v) or 1
+    lines = LineCollection(
+        segments,
+        array=values,
+        cmap="inferno",
+        norm=plt.Normalize(0, vmax),
+        linewidths=3,
+    )
+    ax.add_collection(lines)
+    if mem_x:
+        ax.scatter(
+            mem_x,
+            mem_y,
+            c=mem_v,
+            cmap="inferno",
+            vmin=0,
+            vmax=vmax,
+            marker="s",
+            s=120,
+            edgecolors="grey",
+            zorder=3,
+        )
+    ax.scatter(
+        [t % width for t in range(width * height)],
+        [t // width for t in range(width * height)],
+        c="lightgrey",
+        s=10,
+        zorder=2,
+    )
+    ax.set_xlim(-0.7, width - 0.3)
+    ax.set_ylim(height - 0.3, -0.7)  # Row 0 on top, like the maps.
+    ax.set_aspect("equal")
+    ax.set_title(f"{path} ({metric})")
+    fig.colorbar(lines, ax=ax, label=metric)
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("artifacts", nargs="+", help="heatmap JSON")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="validate the artifact schema and exit (no matplotlib)",
+    )
+    parser.add_argument(
+        "-o", "--output", help="output image (default: <input>.png)"
+    )
+    parser.add_argument(
+        "--metric",
+        choices=["flits", "util", "wait"],
+        default="flits",
+        help="link metric to color by",
+    )
+    args = parser.parse_args()
+
+    if args.check:
+        check(args.artifacts)
+        return
+    for path in args.artifacts:
+        out = args.output or path.rsplit(".", 1)[0] + ".png"
+        plot(path, out, args.metric)
+
+
+if __name__ == "__main__":
+    main()
