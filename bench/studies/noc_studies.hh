@@ -1,11 +1,11 @@
 /**
  * @file
- * Shared constants of the NoC studies. noc_sensitivity and
- * noc_heatmap deliberately draw their workloads from the same mix
- * seeds (and the default config) so that running them in one
- * `cdcs_studies` invocation serves the heatmap's runs from the
- * sensitivity study's injection-scale-1 sweep via the result cache —
- * one definition keeps that contract from silently drifting.
+ * Shared pieces of the NoC studies. noc_sensitivity, noc_heatmap and
+ * placement_contention deliberately draw their workloads from the
+ * same mix seeds (and the default config) so that running them in one
+ * `cdcs_studies` invocation shares runs via the result cache — one
+ * definition keeps that contract (and the link-wait metric the
+ * studies report under the same label) from silently drifting.
  */
 
 #ifndef CDCS_BENCH_STUDIES_NOC_STUDIES_HH
@@ -13,11 +13,31 @@
 
 #include <cstdint>
 
+#include "sim/run_result.hh"
+
 namespace cdcs
 {
 
 /** Mix seed base of the NoC studies (mix m uses base + m). */
 constexpr std::uint64_t nocMixSeedBase = 11000;
+
+/**
+ * Flit-weighted mean link wait of one run (cycles): the queueing
+ * delay the average flit pays per traversed link, over every link
+ * the model tracks (zero for models that track none).
+ */
+inline double
+flitWeightedMeanLinkWait(const RunResult &run)
+{
+    double wait_flits = 0.0;
+    double flits = 0.0;
+    for (const NocLinkStat &link : run.nocLinks) {
+        wait_flits += link.waitCycles *
+            static_cast<double>(link.flits);
+        flits += static_cast<double>(link.flits);
+    }
+    return flits > 0.0 ? wait_flits / flits : 0.0;
+}
 
 } // namespace cdcs
 

@@ -42,14 +42,20 @@ ContentionNoc::latency(TileId src, TileId dst,
 }
 
 double
+ContentionNoc::memPathWait(TileId tile, int ctrl) const
+{
+    return pathWait(tile, topo.memCtrlTile(ctrl)) +
+        linkWait[attachLink(ctrl)];
+}
+
+double
 ContentionNoc::memLatency(TileId tile, int ctrl,
                           std::uint32_t payload_flits) const
 {
     return static_cast<double>(
                topo.latency(topo.hopsToCtrl(tile, ctrl),
                             payload_flits)) +
-        pathWait(tile, topo.memCtrlTile(ctrl)) +
-        linkWait[attachLink(ctrl)];
+        memPathWait(tile, ctrl);
 }
 
 void

@@ -41,6 +41,11 @@ class ContentionNoc final : public NocModel
     double memLatency(TileId tile, int ctrl,
                       std::uint32_t payload_flits) const override;
 
+    /** Sum of link waits along the X-Y route. */
+    double pathWait(TileId src, TileId dst) const override;
+    /** Route wait to a controller, including its attach link. */
+    double memPathWait(TileId tile, int ctrl) const override;
+
     void epochUpdate(double elapsed_cycles) override;
     void clearTraffic() override;
 
@@ -104,9 +109,6 @@ class ContentionNoc final : public NocModel
             y += b.y > y ? 1 : -1;
         }
     }
-
-    /** Sum of link waits along the X-Y route. */
-    double pathWait(TileId src, TileId dst) const;
 
     double injScale;
     double maxUtil;

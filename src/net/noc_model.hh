@@ -99,6 +99,34 @@ class NocModel
     }
 
     /**
+     * Queueing wait (cycles) currently charged on top of the
+     * zero-load latency along the X-Y route src -> dst. This is the
+     * query the reconfiguration runtime's PlacementCostModel snapshots
+     * each epoch, so placement sees the same contention the access
+     * path pays. Zero-load models answer 0.
+     */
+    virtual double
+    pathWait(TileId src, TileId dst) const
+    {
+        (void)src;
+        (void)dst;
+        return 0.0;
+    }
+
+    /**
+     * Queueing wait (cycles) on the route from a tile to memory
+     * controller `ctrl`, including the attach link. Zero-load models
+     * answer 0.
+     */
+    virtual double
+    memPathWait(TileId tile, int ctrl) const
+    {
+        (void)tile;
+        (void)ctrl;
+        return 0.0;
+    }
+
+    /**
      * Epoch boundary: refresh contention state from the loads
      * measured over the last `elapsed_cycles` mean active cycles.
      * Zero-load models ignore it.

@@ -19,6 +19,8 @@
 namespace cdcs
 {
 
+class PlacementCostModel;
+
 /** Bank mapping result for one access. */
 struct MapResult
 {
@@ -76,8 +78,24 @@ struct RuntimeInput
     /** Current thread-to-core assignment. */
     std::vector<TileId> threadCore;
 
-    /** Timing constants mirrored from the system configuration. */
-    double hopCycles = 4.0;        ///< Per-hop router+link latency.
+    /**
+     * Effective-distance snapshot from the live network model
+     * (runtime/placement_cost.hh), gathered by the EpochController
+     * each epoch. Null (tests, direct runtime invocations) means the
+     * zero-load hop arithmetic, which is also what a non-contended
+     * snapshot computes.
+     */
+    const PlacementCostModel *costModel = nullptr;
+
+    /**
+     * Timing constants mirrored from the system configuration. The
+     * per-hop default derives from NocConfig so it cannot silently
+     * diverge from the platform's router+link timing (the config is
+     * the single source of truth; Platform asserts agreement).
+     */
+    double hopCycles =
+        static_cast<double>(NocConfig{}.routerCycles +
+                            NocConfig{}.linkCycles);
     double bankAccessCycles = 9.0;
     double memAccessCycles = 120.0;
 };

@@ -187,7 +187,7 @@ AnnealingRuntime::reconfigure(const RuntimeInput &input)
         static_cast<double>(input.bankLines) * input.banksPerTile;
     const auto refined =
         refinePlace(sizes, input.access, out.threadCore, *input.mesh,
-                    tile_capacity, place_cfg);
+                    tile_capacity, place_cfg, input.costModel);
     out.alloc = tilesToBanks(refined, input.banksPerTile,
                              input.bankLines);
     return out;

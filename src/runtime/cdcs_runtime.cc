@@ -50,7 +50,8 @@ CdcsRuntime::allocate(const RuntimeInput &input)
     for (std::size_t d = 0; d < num_vcs; d++) {
         cost.push_back(totalLatencyCurve(
             input.missCurves[d], vc_access[d], *input.mesh,
-            tile_capacity, lat, options.latencyAwareAlloc));
+            tile_capacity, lat, options.latencyAwareAlloc,
+            input.costModel));
     }
 
     // Reserve a small floor for every active VC so its data maps
@@ -165,9 +166,10 @@ CdcsRuntime::reconfigure(const RuntimeInput &input)
             input.access, input.threadCore, *input.mesh, sizes.size());
         const OptimisticPlacement optimistic =
             optimisticPlace(sizes, *input.mesh, tile_capacity,
-                            anchors.x, anchors.y);
+                            anchors.x, anchors.y, input.costModel);
         cores = placeThreads(optimistic, input.access, sizes,
-                             *input.mesh, input.threadCore);
+                             *input.mesh, input.threadCore,
+                             input.costModel);
     }
     out.times.threadPlaceUs = microsSince(t0);
 
@@ -179,7 +181,7 @@ CdcsRuntime::reconfigure(const RuntimeInput &input)
     place_cfg.trades = options.refineTrades;
     const auto tile_alloc =
         refinePlace(sizes, input.access, cores, *input.mesh,
-                    tile_capacity, place_cfg);
+                    tile_capacity, place_cfg, input.costModel);
     out.times.dataPlaceUs = microsSince(t0);
 
     out.alloc = tilesToBanks(tile_alloc, input.banksPerTile,

@@ -8,14 +8,18 @@ namespace cdcs
 Curve
 totalLatencyCurve(const Curve &miss_curve, double accesses,
                   const Mesh &mesh, double tile_capacity_lines,
-                  const LatencyModel &lat, bool latency_aware)
+                  const LatencyModel &lat, bool latency_aware,
+                  const PlacementCostModel *cost)
 {
     // Average memory-network distance is placement-independent in the
     // page-interleaved controller scheme (Sec. III): use the chip-wide
-    // mean.
+    // mean. Under a contended cost oracle each tile's term includes
+    // the measured route waits to the controllers.
     double mem_net = 0.0;
-    for (TileId t = 0; t < mesh.numTiles(); t++)
-        mem_net += mesh.avgHopsToMemCtrl(t);
+    for (TileId t = 0; t < mesh.numTiles(); t++) {
+        mem_net += cost != nullptr ? cost->avgMemDist(t)
+                                   : mesh.avgHopsToMemCtrl(t);
+    }
     mem_net = lat.onChipRoundTrip(mem_net / mesh.numTiles());
     const double miss_cost = lat.memAccessCycles + mem_net;
 
@@ -25,9 +29,14 @@ totalLatencyCurve(const Curve &miss_curve, double accesses,
     for (const auto &p : miss_curve.samples())
         xs.insert(p.x);
     if (latency_aware) {
+        // Boundaries as integer multiples: accumulating `x +=
+        // tile_capacity_lines` drifts for fractional capacities and
+        // can skip the last boundary at max_x.
         const double max_x = miss_curve.maxX();
-        for (double x = tile_capacity_lines; x <= max_x;
-             x += tile_capacity_lines) {
+        for (double k = 1.0;; k += 1.0) {
+            const double x = k * tile_capacity_lines;
+            if (x > max_x)
+                break;
             xs.insert(x);
         }
     }
@@ -40,8 +49,10 @@ totalLatencyCurve(const Curve &miss_curve, double accesses,
         // change the allocation.
         double y = misses * miss_cost;
         if (latency_aware) {
-            const double dist =
-                mesh.optimisticDistance(x / tile_capacity_lines);
+            const double banks = x / tile_capacity_lines;
+            const double dist = cost != nullptr
+                ? cost->optimisticDistance(banks)
+                : mesh.optimisticDistance(banks);
             y += accesses * lat.onChipRoundTrip(dist);
         }
         out.addPoint(x, y);

@@ -11,6 +11,7 @@
 
 #include "common/curve.hh"
 #include "mesh/mesh.hh"
+#include "runtime/placement_cost.hh"
 
 namespace cdcs
 {
@@ -18,7 +19,11 @@ namespace cdcs
 /** Latency constants used to turn misses/accesses into cycles. */
 struct LatencyModel
 {
-    double hopCycles = 4.0;         ///< Router + link, one direction.
+    /** Router + link, one direction (default mirrors NocConfig: the
+     *  config is the single source of truth for hop timing). */
+    double hopCycles =
+        static_cast<double>(NocConfig{}.routerCycles +
+                            NocConfig{}.linkCycles);
     double bankAccessCycles = 9.0;
     double memAccessCycles = 120.0;
 
@@ -44,10 +49,13 @@ struct LatencyModel
  * @param lat Latency constants.
  * @param latency_aware When false, only the off-chip term is used
  *        (Jigsaw-style, miss-curve-driven allocation).
+ * @param cost Effective-distance oracle; null (or a non-contended
+ *        snapshot) reproduces the zero-load Mesh arithmetic exactly.
  */
 Curve totalLatencyCurve(const Curve &miss_curve, double accesses,
                         const Mesh &mesh, double tile_capacity_lines,
-                        const LatencyModel &lat, bool latency_aware);
+                        const LatencyModel &lat, bool latency_aware,
+                        const PlacementCostModel *cost = nullptr);
 
 } // namespace cdcs
 

@@ -14,8 +14,21 @@ OptimisticPlacement
 optimisticPlace(const std::vector<double> &sizes, const Mesh &mesh,
                 double tile_capacity_lines,
                 const std::vector<double> &prefer_x,
-                const std::vector<double> &prefer_y)
+                const std::vector<double> &prefer_y,
+                const PlacementCostModel *cost)
 {
+    // Effective distances: zero-load hops unless a contended cost
+    // oracle is supplied (then footprint spread and anchor affinity
+    // are charged the measured route waits as extra hops).
+    const auto tile_dist = [&](TileId a, TileId b) {
+        return cost != nullptr
+            ? cost->tileDist(a, b)
+            : static_cast<double>(mesh.hops(a, b));
+    };
+    const auto point_dist = [&](TileId t, double x, double y) {
+        return cost != nullptr ? cost->distanceToPoint(t, x, y)
+                               : mesh.distanceToPoint(t, x, y);
+    };
     const std::size_t num_vcs = sizes.size();
     const int num_tiles = mesh.numTiles();
     OptimisticPlacement out;
@@ -64,10 +77,10 @@ optimisticPlace(const std::vector<double> &sizes, const Mesh &mesh,
             double spread = 0.0;
             for (int i = 0; i < footprint; i++) {
                 contention += claimed[near[i]];
-                spread += mesh.hops(center, near[i]);
+                spread += tile_dist(center, near[i]);
             }
             contention = std::floor(contention / quantum);
-            const double affinity = mesh.distanceToPoint(center, px, py);
+            const double affinity = point_dist(center, px, py);
             const double centrality =
                 mesh.distanceToPoint(center, chip_cx, chip_cy);
             const bool better = contention < best_contention ||

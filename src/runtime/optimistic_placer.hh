@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "mesh/mesh.hh"
+#include "runtime/placement_cost.hh"
 
 namespace cdcs
 {
@@ -38,6 +39,10 @@ struct OptimisticPlacement
  * @param tile_capacity_lines LLC lines per tile.
  * @param prefer_x Per-VC preferred x anchor (empty: chip center).
  * @param prefer_y Per-VC preferred y anchor (empty: chip center).
+ * @param cost Effective-distance oracle: footprint spread and anchor
+ *        affinity are scored in effective hops, steering VCs away
+ *        from saturated regions. Null (or a non-contended snapshot)
+ *        is the zero-load hop arithmetic.
  * @return Per-VC centers of mass.
  */
 OptimisticPlacement optimisticPlace(const std::vector<double> &sizes,
@@ -46,7 +51,9 @@ OptimisticPlacement optimisticPlace(const std::vector<double> &sizes,
                                     const std::vector<double> &prefer_x =
                                         {},
                                     const std::vector<double> &prefer_y =
-                                        {});
+                                        {},
+                                    const PlacementCostModel *cost =
+                                        nullptr);
 
 } // namespace cdcs
 

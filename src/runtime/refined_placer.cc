@@ -48,13 +48,21 @@ computeVcAnchors(const std::vector<std::vector<double>> &access,
 namespace
 {
 
-/** dist[d][tile]: access-weighted hops from VC d's accessors. */
+/** dist[d][tile]: access-weighted effective hops from VC d's
+ *  accessors (zero-load hops unless a contended cost oracle is
+ *  supplied). */
 std::vector<std::vector<double>>
 computeVcDistances(const std::vector<std::vector<double>> &access,
                    const std::vector<TileId> &thread_core,
                    const Mesh &mesh, std::size_t num_vcs,
-                   const std::vector<double> &total_access)
+                   const std::vector<double> &total_access,
+                   const PlacementCostModel *cost)
 {
+    const auto tile_dist = [&](TileId a, TileId b) {
+        return cost != nullptr
+            ? cost->tileDist(a, b)
+            : static_cast<double>(mesh.hops(a, b));
+    };
     std::vector<std::vector<double>> dist(
         num_vcs, std::vector<double>(mesh.numTiles(), 0.0));
     for (std::size_t t = 0; t < access.size(); t++) {
@@ -63,7 +71,7 @@ computeVcDistances(const std::vector<std::vector<double>> &access,
             if (a <= 0.0)
                 continue;
             for (TileId b = 0; b < mesh.numTiles(); b++)
-                dist[d][b] += a * mesh.hops(thread_core[t], b);
+                dist[d][b] += a * tile_dist(thread_core[t], b);
         }
     }
     for (std::size_t d = 0; d < num_vcs; d++) {
@@ -81,7 +89,8 @@ std::vector<std::vector<double>>
 refinePlace(const std::vector<double> &sizes,
             const std::vector<std::vector<double>> &access,
             const std::vector<TileId> &thread_core, const Mesh &mesh,
-            double tile_capacity_lines, const RefinedPlacerConfig &cfg)
+            double tile_capacity_lines, const RefinedPlacerConfig &cfg,
+            const PlacementCostModel *cost)
 {
     const std::size_t num_vcs = sizes.size();
     const int num_tiles = mesh.numTiles();
@@ -91,7 +100,7 @@ refinePlace(const std::vector<double> &sizes,
     const std::vector<double> &total_access = anchors.totalAccess;
     const auto dist =
         computeVcDistances(access, thread_core, mesh, num_vcs,
-                           total_access);
+                           total_access, cost);
 
     // Per-VC tile visit order: ascending distance from the anchor.
     std::vector<std::vector<TileId>> visit(num_vcs);

@@ -20,6 +20,7 @@
 
 #include "common/types.hh"
 #include "mesh/mesh.hh"
+#include "runtime/placement_cost.hh"
 
 namespace cdcs
 {
@@ -69,6 +70,11 @@ VcAnchors computeVcAnchors(const std::vector<std::vector<double>>
  * @param mesh Topology.
  * @param tile_capacity_lines LLC lines per tile.
  * @param cfg Tunables.
+ * @param cost Effective-distance oracle: the per-VC tile distances
+ *        that drive visit order, greedy fill and trades are computed
+ *        in effective hops (zero-load hops + measured route waits).
+ *        Null (or a non-contended snapshot) is the zero-load
+ *        arithmetic.
  * @return alloc[d][tile] lines (callers split tiles into banks).
  */
 std::vector<std::vector<double>>
@@ -76,7 +82,8 @@ refinePlace(const std::vector<double> &sizes,
             const std::vector<std::vector<double>> &access,
             const std::vector<TileId> &thread_core, const Mesh &mesh,
             double tile_capacity_lines,
-            const RefinedPlacerConfig &cfg = {});
+            const RefinedPlacerConfig &cfg = {},
+            const PlacementCostModel *cost = nullptr);
 
 /**
  * Estimated total on-chip latency (hop-weighted accesses, Eq. 2) of an

@@ -15,12 +15,22 @@ std::vector<TileId>
 placeThreads(const OptimisticPlacement &placement,
              const std::vector<std::vector<double>> &access,
              const std::vector<double> &sizes, const Mesh &mesh,
-             const std::vector<TileId> &current)
+             const std::vector<TileId> &current,
+             const PlacementCostModel *cost_model)
 {
     const std::size_t num_threads = access.size();
     const std::size_t num_vcs = sizes.size();
     cdcs_assert(num_threads <= static_cast<std::size_t>(mesh.numTiles()),
                 "more threads than cores");
+
+    // Effective distance to a VC's center of mass: zero-load unless a
+    // contended cost oracle is supplied (then routes through
+    // saturated links price their measured waits as extra hops).
+    const auto point_dist = [&](TileId core, double x, double y) {
+        return cost_model != nullptr
+            ? cost_model->distanceToPoint(core, x, y)
+            : mesh.distanceToPoint(core, x, y);
+    };
 
     // Order threads by descending intensity-capacity product.
     std::vector<double> priority(num_threads, 0.0);
@@ -49,15 +59,21 @@ placeThreads(const OptimisticPlacement &placement,
                 if (access[t][d] <= 0.0)
                     continue;
                 cost += access[t][d] *
-                    mesh.distanceToPoint(core, placement.comX[d],
-                                         placement.comY[d]);
+                    point_dist(core, placement.comX[d],
+                               placement.comY[d]);
             }
             // Hysteresis: keep the thread's current core unless the
             // move wins by a few percent; placements (and therefore
-            // VC descriptors) must not churn on monitor noise.
-            if (t < current.size() && current[t] == core)
+            // VC descriptors) must not churn on monitor noise. The
+            // discount cannot break exact ties (0.95 * 0 is still 0,
+            // so an idle thread's cost ties at zero on every free
+            // core), so ties break toward the current core
+            // explicitly.
+            const bool is_current =
+                t < current.size() && current[t] == core;
+            if (is_current)
                 cost *= 0.95;
-            if (cost < best_cost) {
+            if (cost < best_cost || (is_current && cost == best_cost)) {
                 best_cost = cost;
                 best_core = core;
             }
@@ -79,9 +95,8 @@ placeThreads(const OptimisticPlacement &placement,
                     if (access[t][d] <= 0.0)
                         continue;
                     cost += access[t][d] *
-                        mesh.distanceToPoint(cores[t],
-                                             placement.comX[d],
-                                             placement.comY[d]);
+                        point_dist(cores[t], placement.comX[d],
+                                   placement.comY[d]);
                 }
             }
             return cost;

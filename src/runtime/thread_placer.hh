@@ -15,6 +15,7 @@
 #include "common/types.hh"
 #include "mesh/mesh.hh"
 #include "runtime/optimistic_placer.hh"
+#include "runtime/placement_cost.hh"
 
 namespace cdcs
 {
@@ -27,7 +28,12 @@ namespace cdcs
  * @param sizes Per-VC allocation in lines.
  * @param mesh Topology (one core per tile).
  * @param current Current thread-to-core map (used as a mild
- *        tie-breaking hysteresis to avoid pointless migrations).
+ *        tie-breaking hysteresis to avoid pointless migrations; exact
+ *        ties — e.g. idle threads, whose cost is zero everywhere —
+ *        break toward the current core so they never churn).
+ * @param cost Effective-distance oracle: core costs are charged the
+ *        measured route waits toward each VC's center of mass. Null
+ *        (or a non-contended snapshot) is the zero-load arithmetic.
  * @return New thread-to-core assignment (a permutation into cores).
  */
 std::vector<TileId> placeThreads(const OptimisticPlacement &placement,
@@ -35,7 +41,9 @@ std::vector<TileId> placeThreads(const OptimisticPlacement &placement,
                                      &access,
                                  const std::vector<double> &sizes,
                                  const Mesh &mesh,
-                                 const std::vector<TileId> &current);
+                                 const std::vector<TileId> &current,
+                                 const PlacementCostModel *cost =
+                                     nullptr);
 
 } // namespace cdcs
 

@@ -72,6 +72,18 @@ EpochController::gatherRuntimeInput()
                                        cfg.noc.linkCycles);
     in.bankAccessCycles = static_cast<double>(cfg.bankLatency);
     in.memAccessCycles = static_cast<double>(cfg.memLatency);
+
+    // Placement cost oracle: snapshot the network model's current
+    // per-route waits, EWMA-damped like the other runtime inputs
+    // (placement feeds back into the waits it is priced on).
+    // placementCost=zero-load pins the flat hop arithmetic instead —
+    // the contention studies' control arm.
+    placementCost = cfg.placementCost == "zero-load"
+        ? PlacementCostModel(platform.mesh, in.hopCycles)
+        : PlacementCostModel::fromNoc(*platform.noc, in.hopCycles,
+                                      &placementCost,
+                                      cfg.monitorSmoothing);
+    in.costModel = &placementCost;
     return in;
 }
 

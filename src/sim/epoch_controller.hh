@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/curve.hh"
+#include "runtime/placement_cost.hh"
 #include "sim/access_path.hh"
 #include "sim/platform.hh"
 #include "sim/run_result.hh"
@@ -56,6 +57,12 @@ class EpochController
     // EWMA-smoothed runtime inputs.
     std::vector<Curve> smoothedCurves;
     std::vector<std::vector<double>> smoothedAccess;
+
+    /// Effective-distance snapshot the gathered RuntimeInput points
+    /// at; rebuilt from the live NocModel at each gather (after the
+    /// NoC's contention refresh, so placement prices the same waits
+    /// the access path will pay).
+    PlacementCostModel placementCost;
 
     // Reconfiguration/walk timing.
     double reconfigStartMean = 0.0;

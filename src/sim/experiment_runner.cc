@@ -135,6 +135,7 @@ ExperimentRunner::cacheKey(const SystemConfig &cfg,
             cfg.moveCfg.bulkCyclesPerSet, cfg.moveCfg.allocHysteresis);
     appendF(key, "noc:%s,%.17g,%.17g|", cfg.nocModel.c_str(),
             cfg.nocInjScale, cfg.nocMaxUtil);
+    appendF(key, "pcost:%s|", cfg.placementCost.c_str());
     // SchemeSpec (name excluded: it is a label, not behavior).
     appendF(key,
             "spec:%d,%d,%d,%d,%u,%u,%u,%d,%d,%d,%d,%d,%.17g,%.17g,"

@@ -154,6 +154,10 @@ const KeyDef configKeys[] = {
      [](SystemConfig &c, const Override &v) {
          c.nocMaxUtil = v.d;
      }},
+    {"placementCost", "string",
+     [](SystemConfig &c, const Override &v) {
+         c.placementCost = v.value;
+     }},
     {"epochAccesses", "uint",
      [](SystemConfig &c, const Override &v) {
          c.accessesPerThreadEpoch = v.u;
@@ -278,6 +282,13 @@ Overrides::add(const std::string &kv, std::string *err)
                 *err += " " + n;
             *err += ")";
         }
+        return false;
+    }
+    if (entry.key == "placementCost" && entry.value != "noc" &&
+        entry.value != "zero-load") {
+        if (err != nullptr)
+            *err = "unknown placement cost oracle '" + entry.value +
+                "' (expected noc or zero-load)";
         return false;
     }
     if ((entry.key == "nocInjScale" && entry.d <= 0.0) ||

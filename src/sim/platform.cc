@@ -27,6 +27,20 @@ Platform::Platform(const SystemConfig &cfg, const SchemeSpec &spec,
     const int num_banks = mesh.numTiles() * cfg.banksPerTile;
     cdcs_assert(mix.numThreads() <= mesh.numTiles(),
                 "mix has more threads than cores");
+    // The runtime's placement cost model mirrors cfg.noc's hop timing
+    // (RuntimeInput::hopCycles); the mesh the NocModel answers latency
+    // queries from must agree, or placement would price a different
+    // network than the access path pays.
+    cdcs_assert(mesh.config().routerCycles == cfg.noc.routerCycles &&
+                    mesh.config().linkCycles == cfg.noc.linkCycles,
+                "mesh NoC timing diverged from SystemConfig.noc");
+    // Overrides::add validates the `placementCost=` key, but configs
+    // built programmatically bypass it; an unknown oracle name must
+    // fail loudly here, not silently run the contention-priced arm.
+    cdcs_assert(cfg.placementCost == "noc" ||
+                    cfg.placementCost == "zero-load",
+                "unknown placement cost oracle (expected noc or "
+                "zero-load)");
 
     banks.reserve(num_banks);
     for (int b = 0; b < num_banks; b++) {

@@ -114,6 +114,18 @@ struct SystemConfig
     /** Contention model: utilization clamp of the queueing delay. */
     double nocMaxUtil = 0.95;
 
+    /**
+     * Distance oracle the reconfiguration runtime prices placements
+     * with: "noc" (default) snapshots the live network model's
+     * per-route queueing waits each epoch, so placement steers VCs
+     * and threads away from saturated links under `noc=contention`
+     * (under the zero-load model the snapshot carries no waits and
+     * reduces exactly to the flat hop arithmetic); "zero-load" forces
+     * the flat hop arithmetic regardless of the network model (the
+     * placement_contention study's control arm).
+     */
+    std::string placementCost = "noc";
+
     bool modelMemBandwidth = true;
     double memLinesPerCycle = 0.8;      ///< Aggregate service rate.
     int memChannels = 8;

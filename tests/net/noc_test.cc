@@ -181,6 +181,61 @@ TEST(ContentionNocTest, ClearTrafficKeepsTheContentionEstimate)
                          mesh.latency(mesh.hops(src, dst), 1)));
 }
 
+TEST(ZeroLoadNocTest, PathWaitQueriesAnswerZero)
+{
+    // The placement cost oracle's query: the zero-load model answers
+    // 0 everywhere, which is what keeps the default runtime cost
+    // model byte-identical to the legacy hop arithmetic.
+    const Mesh mesh(6, 6);
+    const ZeroLoadNoc noc(mesh);
+    for (TileId a = 0; a < mesh.numTiles(); a++) {
+        for (TileId b = 0; b < mesh.numTiles(); b++)
+            EXPECT_EQ(noc.pathWait(a, b), 0.0);
+        for (int c = 0; c < mesh.numMemCtrls(); c++)
+            EXPECT_EQ(noc.memPathWait(a, c), 0.0);
+    }
+}
+
+TEST(ContentionNocTest, LatencyDecomposesIntoZeroLoadPlusPathWait)
+{
+    // pathWait/memPathWait expose exactly the contention surcharge
+    // the latency queries charge: latency == Mesh zero-load + wait.
+    const Mesh mesh(6, 6);
+    ContentionNoc noc(mesh, 2.0, 0.95);
+    Rng rng(99);
+    for (int i = 0; i < 3000; i++) {
+        const auto a = static_cast<TileId>(
+            rng.next() % mesh.numTiles());
+        const auto b = static_cast<TileId>(
+            rng.next() % mesh.numTiles());
+        if (i % 4 == 0) {
+            noc.addMemTraffic(
+                TrafficClass::LLCToMem, a,
+                static_cast<int>(rng.next() % mesh.numMemCtrls()),
+                5);
+        } else {
+            noc.addTraffic(TrafficClass::L2ToLLC, a, b, 5);
+        }
+    }
+    noc.epochUpdate(5000.0);
+    for (TileId a = 0; a < mesh.numTiles(); a += 2) {
+        for (TileId b = 1; b < mesh.numTiles(); b += 3) {
+            EXPECT_DOUBLE_EQ(
+                noc.latency(a, b, 5),
+                static_cast<double>(
+                    mesh.latency(mesh.hops(a, b), 5)) +
+                    noc.pathWait(a, b));
+        }
+        for (int c = 0; c < mesh.numMemCtrls(); c++) {
+            EXPECT_DOUBLE_EQ(
+                noc.memLatency(a, c, 5),
+                static_cast<double>(
+                    mesh.latency(mesh.hopsToCtrl(a, c), 5)) +
+                    noc.memPathWait(a, c));
+        }
+    }
+}
+
 TEST(NocRegistryTest, BuiltInModelsRegistered)
 {
     NocRegistry &registry = NocRegistry::instance();

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "net/contention_noc.hh"
 #include "runtime/optimistic_placer.hh"
 #include "runtime/refined_placer.hh"
 #include "runtime/thread_placer.hh"
@@ -118,6 +119,95 @@ TEST(ThreadPlacerTest, HysteresisKeepsEquivalentPlacement)
     // hysteresis must keep the thread there.
     const auto cores = placeThreads(p, access, sizes, mesh, {5});
     EXPECT_EQ(cores[0], 5);
+}
+
+TEST(ThreadPlacerTest, IdleThreadsKeepTheirCores)
+{
+    // Regression: a zero-traffic thread costs 0.0 on every free core,
+    // and the multiplicative hysteresis (cost *= 0.95) cannot win the
+    // strict less-than comparison at zero — idle threads used to
+    // churn to the lowest free core id every epoch. Ties must break
+    // toward the current core.
+    Mesh mesh(4, 4);
+    OptimisticPlacement p;
+    p.comX = {1.5};
+    p.comY = {1.5};
+    std::vector<std::vector<double>> access{{0.0}, {0.0}, {0.0}};
+    std::vector<double> sizes{tileCap};
+    const std::vector<TileId> current{9, 14, 3};
+    const auto cores = placeThreads(p, access, sizes, mesh, current);
+    EXPECT_EQ(cores, current);
+}
+
+TEST(ThreadPlacerTest, IdleThreadAmongActiveOnesStaysPut)
+{
+    // One active thread placed first, idle threads keep their cores
+    // (none of which the active thread wants).
+    Mesh mesh(4, 4);
+    OptimisticPlacement p;
+    p.comX = {0.0};
+    p.comY = {0.0};
+    std::vector<std::vector<double>> access{{0.0}, {1000.0}, {0.0}};
+    std::vector<double> sizes{4 * tileCap};
+    const std::vector<TileId> current{10, 0, 7};
+    const auto cores = placeThreads(p, access, sizes, mesh, current);
+    EXPECT_EQ(cores[0], 10);
+    EXPECT_EQ(cores[2], 7);
+}
+
+TEST(ThreadPlacerTest, ZeroWaitOracleMatchesMeshChoice)
+{
+    // A zero-wait oracle must not change any placement decision.
+    Mesh mesh(4, 4);
+    const PlacementCostModel cost(mesh, 4.0);
+    OptimisticPlacement p;
+    p.comX = {3.0, 0.5};
+    p.comY = {3.0, 2.5};
+    std::vector<std::vector<double>> access{{1000.0, 0.0},
+                                            {10.0, 500.0}};
+    std::vector<double> sizes{tileCap, 2 * tileCap};
+    const std::vector<TileId> current{0, 5};
+    const auto baseline =
+        placeThreads(p, access, sizes, mesh, current, nullptr);
+    const auto oracle =
+        placeThreads(p, access, sizes, mesh, current, &cost);
+    EXPECT_EQ(baseline, oracle);
+}
+
+TEST(ThreadPlacerTest, ContendedRouteRepelsThread)
+{
+    // Two threads want the data at (1,1): the heavy one takes the
+    // center tile, and the light one must choose among the
+    // equidistant neighbors. When the south link of (1,0) is
+    // saturated, every candidate routing through it inflates, so the
+    // thread lands on the quiet (0,1) core instead of the
+    // lowest-id (1,0).
+    Mesh mesh(4, 4);
+    OptimisticPlacement p;
+    p.comX = {1.0};
+    p.comY = {1.0};
+    std::vector<std::vector<double>> access{{100000.0}, {1000.0}};
+    std::vector<double> sizes{tileCap};
+    const std::vector<TileId> current{15, 14};
+
+    const auto baseline =
+        placeThreads(p, access, sizes, mesh, current, nullptr);
+    EXPECT_EQ(baseline[0], mesh.tileAt(1, 1));
+    EXPECT_EQ(baseline[1], mesh.tileAt(1, 0));
+
+    ContentionNoc noc(mesh, 1.0, 0.95);
+    for (int i = 0; i < 4000; i++) {
+        noc.addTraffic(TrafficClass::L2ToLLC, mesh.tileAt(1, 0),
+                       mesh.tileAt(1, 1), 4);
+    }
+    noc.epochUpdate(4000.0);
+    const PlacementCostModel cost =
+        PlacementCostModel::fromNoc(noc, 4.0);
+    ASSERT_TRUE(cost.contended());
+    const auto steered =
+        placeThreads(p, access, sizes, mesh, current, &cost);
+    EXPECT_EQ(steered[0], mesh.tileAt(1, 1));
+    EXPECT_EQ(steered[1], mesh.tileAt(0, 1));
 }
 
 TEST(RefinedPlacerTest, GreedyFillsNearestTiles)

@@ -52,7 +52,7 @@ runFig11(const Overrides &ov)
 TEST(StudyRegistryTest, EnumeratesEveryConvertedHarness)
 {
     const auto all = StudyRegistry::instance().all();
-    ASSERT_GE(all.size(), 19u);
+    ASSERT_GE(all.size(), 20u);
     const char *expected[] = {
         "fig2",          "fig5",
         "fig11",         "fig12",
@@ -63,7 +63,7 @@ TEST(StudyRegistryTest, EnumeratesEveryConvertedHarness)
         "ablation_numa", "ablation_stability",
         "vic_bankgrain", "vic_monitors",
         "vic_placers",   "noc_sensitivity",
-        "noc_heatmap",
+        "noc_heatmap",   "placement_contention",
     };
     for (const char *name : expected) {
         EXPECT_NE(StudyRegistry::instance().find(name), nullptr)
@@ -255,7 +255,8 @@ TEST(StudyTest, RepeatedLineupStudiesEnableTheCacheByDefault)
     // Multi-sweep studies declare the repeated lineup...
     for (const char *name :
          {"fig12", "fig13", "fig18", "ablation_stability",
-          "vic_bankgrain", "noc_sensitivity", "noc_heatmap"}) {
+          "vic_bankgrain", "noc_sensitivity", "noc_heatmap",
+          "placement_contention"}) {
         const StudySpec *spec =
             StudyRegistry::instance().find(name);
         ASSERT_NE(spec, nullptr) << name;
@@ -331,18 +332,88 @@ TEST(NocStudyTest, HeatmapDeterministicAcrossWorkerCounts)
     EXPECT_EQ(serial, parallel);
 }
 
+TEST(NocStudyTest, DefaultOutputByteIdenticalToZeroLoadPlacementCost)
+{
+    // Under the default zero-load network model the contention-aware
+    // placement cost oracle carries no waits, so pinning the flat hop
+    // arithmetic explicitly must not change a study's bytes (the
+    // in-process version of the CI oracle-refactor diff).
+    const std::string default_out = runFig11(tinyOverrides());
+    Overrides pinned_ov = tinyOverrides();
+    std::string err;
+    ASSERT_TRUE(pinned_ov.add("placementCost=zero-load", &err)) << err;
+    const std::string pinned_out = runFig11(pinned_ov);
+    ASSERT_FALSE(default_out.empty());
+    EXPECT_EQ(default_out, pinned_out);
+}
+
+TEST(NocStudyTest, PlacementContentionDeterministicAcrossWorkerCounts)
+{
+    const Overrides ov = tinyOverrides();
+    const std::string serial =
+        runStudyWithWorkers("placement_contention", ov, 1);
+    const std::string parallel =
+        runStudyWithWorkers("placement_contention", ov, 4);
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(NocStudyTest, ContentionCostPlacementRelievesLoadedLinks)
+{
+    // The placement_contention acceptance shape: at a high injection
+    // scale, pricing placement on the measured waits must not leave
+    // flits waiting longer than the flat hop oracle does — the
+    // runtime steers VCs and threads off the saturated routes.
+    SystemConfig cfg;
+    cfg.accessesPerThreadEpoch = 8000;
+    cfg.epochs = 6;
+    cfg.warmupEpochs = 2;
+    cfg.nocModel = "contention";
+    cfg.nocInjScale = 8.0;
+    const SchemeSpec cdcs_scheme = schemesByName({"cdcs"})[0];
+    const MixSpec mix = MixSpec::cpu(64, 11000);
+
+    const auto mean_wait = [](const RunResult &run) {
+        double wait_flits = 0.0, flits = 0.0;
+        for (const NocLinkStat &link : run.nocLinks) {
+            wait_flits +=
+                link.waitCycles * static_cast<double>(link.flits);
+            flits += static_cast<double>(link.flits);
+        }
+        return flits > 0.0 ? wait_flits / flits : 0.0;
+    };
+
+    ExperimentRunner runner;
+    SystemConfig pinned = cfg;
+    pinned.placementCost = "zero-load";
+    const double pinned_wait =
+        mean_wait(runner.run(pinned, cdcs_scheme, mix));
+    SystemConfig adaptive = cfg;
+    adaptive.placementCost = "noc";
+    const double adaptive_wait =
+        mean_wait(runner.run(adaptive, cdcs_scheme, mix));
+    EXPECT_GT(pinned_wait, 0.0);
+    EXPECT_LE(adaptive_wait, pinned_wait * 1.005);
+}
+
 TEST(NocStudyTest, ContentionLatencyMonotoneInInjectionScale)
 {
     // The noc_sensitivity acceptance shape: per-scheme average
     // on-chip latency is non-decreasing in the injection-rate scale
-    // (zero-load bounds the chain from below). Uses the study's
-    // lineup and mix seed at an epoch length long enough for the
-    // closed-loop dynamics (walker advance, memory queueing) to
+    // (zero-load bounds the chain from below). Placement is pinned to
+    // the flat hop oracle so the chain isolates the *network model's*
+    // monotonicity: with the default contention-aware placement cost
+    // the runtime steers traffic off loaded links and can beat the
+    // zero-load-placement latency, which is the adaptation the
+    // placement_contention study (and its tests) measure. Uses the
+    // study's lineup and mix seed at an epoch length long enough for
+    // the closed-loop dynamics (walker advance, memory queueing) to
     // settle.
     SystemConfig cfg;
     cfg.accessesPerThreadEpoch = 4000;
     cfg.epochs = 4;
     cfg.warmupEpochs = 2;
+    cfg.placementCost = "zero-load";
     const std::vector<SchemeSpec> schemes =
         schemesByName({"snuca", "rnuca", "jigsaw-r", "cdcs"});
     const auto mix_of = [](int) { return MixSpec::cpu(64, 11000); };
