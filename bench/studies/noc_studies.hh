@@ -39,6 +39,28 @@ flitWeightedMeanLinkWait(const RunResult &run)
     return flits > 0.0 ? wait_flits / flits : 0.0;
 }
 
+/**
+ * Flit-weighted mean memory-route wait of one run (cycles): the
+ * queueing delay the average flit pays on a memory controller's
+ * attach link — the controller-port share of the LLC-to-memory
+ * route, the signal a memory placement policy can redistribute.
+ * Zero for models that track no links.
+ */
+inline double
+flitWeightedMeanMemWait(const RunResult &run)
+{
+    double wait_flits = 0.0;
+    double flits = 0.0;
+    for (const NocLinkStat &link : run.nocLinks) {
+        if (link.memCtrl < 0)
+            continue;
+        wait_flits += link.waitCycles *
+            static_cast<double>(link.flits);
+        flits += static_cast<double>(link.flits);
+    }
+    return flits > 0.0 ? wait_flits / flits : 0.0;
+}
+
 } // namespace cdcs
 
 #endif // CDCS_BENCH_STUDIES_NOC_STUDIES_HH

@@ -1,0 +1,161 @@
+#include "mem/mem_placement.hh"
+
+#include <algorithm>
+
+namespace cdcs
+{
+
+ContentionMemPlacement::ContentionMemPlacement(
+    const Mesh &mesh, ContentionMemPlacementParams params)
+    : MemPlacementPolicy(mesh), cfg(params)
+{
+    // monitorSmoothing is a free-range user knob; keep the blend
+    // factor usable whatever it is set to.
+    cfg.smoothing = std::clamp(cfg.smoothing, 0.05, 1.0);
+    const auto ctrls =
+        static_cast<std::size_t>(mesh.numMemCtrls());
+    ctrlLoad.assign(ctrls, 0.0);
+    epochAccesses.assign(ctrls, 0);
+    totalAccesses.assign(ctrls, 0);
+}
+
+int
+ContentionMemPlacement::controllerFor(TileId core, LineAddr line)
+{
+    const std::uint64_t page = line >> pageLineShift;
+    const auto [it, inserted] = pages.try_emplace(page);
+    PageInfo &info = it->second;
+    if (inserted)
+        info.ctrl = topo.nearestMemCtrl(core);
+    info.lastCore = core;
+    info.epochAccesses++;
+    const auto c = static_cast<std::size_t>(info.ctrl);
+    epochAccesses[c]++;
+    totalAccesses[c]++;
+    return info.ctrl;
+}
+
+void
+ContentionMemPlacement::epochUpdate(NocModel &noc,
+                                    double elapsed_cycles)
+{
+    (void)elapsed_cycles;
+    const std::size_t ctrls = ctrlLoad.size();
+
+    // Blend this epoch's measured loads into the scored loads.
+    const double alpha = seeded ? cfg.smoothing : 1.0;
+    double total = 0.0;
+    for (std::size_t c = 0; c < ctrls; c++) {
+        ctrlLoad[c] = alpha * static_cast<double>(epochAccesses[c]) +
+            (1.0 - alpha) * ctrlLoad[c];
+        total += ctrlLoad[c];
+        epochAccesses[c] = 0;
+    }
+    seeded = true;
+
+    const double mean = total / static_cast<double>(ctrls);
+    if (mean <= 0.0) {
+        for (auto &[page, info] : pages)
+            info.epochAccesses = 0;
+        return;
+    }
+
+    // Hottest pages currently pinned to an overloaded controller,
+    // hottest first; page id breaks ties so the rebalance is
+    // deterministic regardless of hash-map iteration order.
+    const double overload = cfg.overloadFactor * mean;
+    std::vector<std::pair<std::uint64_t, PageInfo *>> hot;
+    for (auto &[page, info] : pages) {
+        if (info.epochAccesses > 0 &&
+            ctrlLoad[static_cast<std::size_t>(info.ctrl)] > overload &&
+            (info.lastMoveEpoch < 0 ||
+             epochCount - info.lastMoveEpoch >= cfg.cooldownEpochs))
+            hot.push_back({page, &info});
+    }
+    std::sort(hot.begin(), hot.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second->epochAccesses !=
+                      b.second->epochAccesses)
+                      return a.second->epochAccesses >
+                          b.second->epochAccesses;
+                  return a.first < b.first;
+              });
+    if (hot.size() > static_cast<std::size_t>(cfg.topPages))
+        hot.resize(static_cast<std::size_t>(cfg.topPages));
+
+    const std::uint32_t page_flits =
+        linesPerPage * topo.config().dataFlits();
+    const double ctrl_flits =
+        static_cast<double>(topo.config().ctrlFlits());
+    const double data_flits =
+        static_cast<double>(topo.config().dataFlits());
+    const double msg_flits = ctrl_flits + data_flits;
+    for (const auto &[page, info] : hot) {
+        const TileId anchor = info->lastCore;
+        // Per-flit cost of serving the page's accesses from
+        // controller c: zero-load distance, the measured route waits
+        // (blended over the request/response directions by their
+        // flit shares, like the runtime's cost oracle), and the
+        // relative-load projection. Everything but the projection is
+        // a cost the access path actually pays.
+        const auto route_wait = [&](int c) {
+            return (ctrl_flits * noc.memPathWait(anchor, c) +
+                    data_flits * noc.memResponsePathWait(c, anchor)) /
+                msg_flits;
+        };
+        const auto score = [&](int c) {
+            return cfg.hopCycles *
+                static_cast<double>(topo.hopsToCtrl(anchor, c)) +
+                route_wait(c) +
+                cfg.loadPenalty *
+                ctrlLoad[static_cast<std::size_t>(c)] / mean;
+        };
+        int best = info->ctrl;
+        double best_score = score(best);
+        for (std::size_t c = 0; c < ctrls; c++) {
+            const double s = score(static_cast<int>(c));
+            if (s < best_score) {
+                best_score = s;
+                best = static_cast<int>(c);
+            }
+        }
+        // Move only when the score gain clears the hysteresis margin
+        // AND some of it is measured congestion relief: count
+        // imbalance alone (e.g. under a zero-load network) is not
+        // worth the copy traffic.
+        if (best == info->ctrl ||
+            score(info->ctrl) - best_score < cfg.migrateMargin ||
+            route_wait(info->ctrl) <= route_wait(best))
+            continue;
+
+        // Shift the page's load to the destination before scoring
+        // the next candidate, so one epoch's migrations spread over
+        // controllers instead of stampeding the single best one. The
+        // blend weighted this epoch's counts by alpha, so the shift
+        // must too (and never below zero), or a hot page could drive
+        // the vacated controller's scored load negative.
+        const double load =
+            alpha * static_cast<double>(info->epochAccesses);
+        auto &src_load = ctrlLoad[static_cast<std::size_t>(info->ctrl)];
+        src_load = std::max(0.0, src_load - load);
+        ctrlLoad[static_cast<std::size_t>(best)] += load;
+
+        // The page's lines stream out of the old controller, cross
+        // the mesh to the new controller's tile, and enter through
+        // its attach link.
+        const TileId dst_tile = topo.memCtrlTile(best);
+        noc.addMemResponse(TrafficClass::Other, info->ctrl, dst_tile,
+                           page_flits);
+        noc.addMemTraffic(TrafficClass::Other, dst_tile, best,
+                          page_flits);
+        info->ctrl = best;
+        info->lastMoveEpoch = epochCount;
+        migrated++;
+    }
+
+    epochCount++;
+    for (auto &[page, info] : pages)
+        info.epochAccesses = 0;
+}
+
+} // namespace cdcs

@@ -1,0 +1,79 @@
+#include "mem/mem_placement_registry.hh"
+
+#include "common/log.hh"
+
+namespace cdcs
+{
+
+MemPlacementRegistry::MemPlacementRegistry()
+{
+    add("interleave",
+        [](const Mesh &mesh, const MemPlacementBuildParams &) {
+            return std::make_unique<InterleaveMemPlacement>(mesh);
+        });
+    add("first-touch",
+        [](const Mesh &mesh, const MemPlacementBuildParams &) {
+            return std::make_unique<FirstTouchMemPlacement>(mesh);
+        });
+    add("contention",
+        [](const Mesh &mesh, const MemPlacementBuildParams &params) {
+            ContentionMemPlacementParams p;
+            p.hopCycles = params.hopCycles;
+            p.smoothing = params.smoothing;
+            return std::make_unique<ContentionMemPlacement>(mesh, p);
+        });
+}
+
+MemPlacementRegistry &
+MemPlacementRegistry::instance()
+{
+    static MemPlacementRegistry registry;
+    return registry;
+}
+
+void
+MemPlacementRegistry::add(const std::string &name, Factory make)
+{
+    cdcs_assert(!name.empty(), "mem placement policy without a name");
+    cdcs_assert(make != nullptr,
+                "mem placement policy without a factory");
+    const auto inserted = makers.emplace(name, std::move(make));
+    cdcs_assert(inserted.second,
+                "mem placement policy already registered");
+}
+
+bool
+MemPlacementRegistry::contains(const std::string &name) const
+{
+    return makers.find(name) != makers.end();
+}
+
+std::vector<std::string>
+MemPlacementRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(makers.size());
+    for (const auto &[name, make] : makers)
+        out.push_back(name); // std::map iteration is name-sorted.
+    return out;
+}
+
+std::unique_ptr<MemPlacementPolicy>
+MemPlacementRegistry::build(const std::string &name, const Mesh &mesh,
+                            const MemPlacementBuildParams &params) const
+{
+    const auto it = makers.find(name);
+    if (it == makers.end()) {
+        std::string known;
+        for (const std::string &n : names()) {
+            if (!known.empty())
+                known += ", ";
+            known += n;
+        }
+        fatal("unknown mem placement policy '%s' (registered: %s)",
+              name.c_str(), known.c_str());
+    }
+    return it->second(mesh, params);
+}
+
+} // namespace cdcs

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Memory-channel queueing model behind the access path's bandwidth
+ * model (AccessPath::endChunk).
+ *
+ * The channels form an M/D/m station: misses arrive roughly Poisson,
+ * every channel serves a fixed-size line transfer (deterministic
+ * service), and the aggregate service rate is memLinesPerCycle split
+ * evenly over memChannels servers. The mean wait uses the
+ * Allen-Cunneen approximation, which is exact for m = 1 (M/D/1) and
+ * non-increasing in the channel count at a fixed aggregate rate —
+ * adding channels at the same total bandwidth reduces queueing, it
+ * never inflates it.
+ */
+
+#ifndef CDCS_MEM_MEM_QUEUE_HH
+#define CDCS_MEM_MEM_QUEUE_HH
+
+#include <cmath>
+
+namespace cdcs
+{
+
+/**
+ * Mean M/D/m queueing wait (cycles) of a memory station.
+ *
+ * @param rho Offered utilization of the aggregate service rate,
+ *        in [0, 1); callers clamp below saturation.
+ * @param channels Number of channels (servers), >= 1.
+ * @param lines_per_cycle Aggregate service rate over all channels.
+ *
+ * Allen-Cunneen: Wq ~= (Ca^2 + Cs^2) / 2 *
+ * rho^(sqrt(2 (m + 1)) - 1) / (m (1 - rho)) * s, with Poisson
+ * arrivals (Ca^2 = 1), deterministic service (Cs^2 = 0) and
+ * per-channel service time s = m / lines_per_cycle; the m cancels,
+ * leaving the exponent as the only channel-count dependence. At
+ * m = 1 this is the exact M/D/1 wait s * rho / (2 (1 - rho)).
+ */
+inline double
+memQueueWait(double rho, int channels, double lines_per_cycle)
+{
+    if (rho <= 0.0 || lines_per_cycle <= 0.0)
+        return 0.0;
+    const double m = static_cast<double>(channels < 1 ? 1 : channels);
+    const double exponent = std::sqrt(2.0 * (m + 1.0)) - 1.0;
+    return std::pow(rho, exponent) / (2.0 * (1.0 - rho)) /
+        lines_per_cycle;
+}
+
+} // namespace cdcs
+
+#endif // CDCS_MEM_MEM_QUEUE_HH

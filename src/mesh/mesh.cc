@@ -23,13 +23,63 @@ Mesh::Mesh(int width, int height, NocConfig cfg, int num_mem_ctrls)
         // k-th of `of` positions along an edge of `extent` tiles.
         return ((2 * k + 1) * extent) / (2 * of);
     };
+    // On small meshes the computed corner positions of two edges can
+    // coincide (e.g. 4x4 with 8 controllers puts the bottom and right
+    // k=1 controllers both on tile (3,3)); stacking two controllers
+    // on one tile silently halves the spread the interleave hash
+    // assumes. Slide a colliding controller along its own edge to the
+    // nearest free tile (preferring the higher position first, so
+    // collision-free layouts — including the default 8x8 — keep their
+    // exact historical tiles).
+    auto take_edge_tile = [this](int px, int py, bool vary_x) {
+        auto taken = [this](TileId t) {
+            return std::find(memCtrlTiles.begin(), memCtrlTiles.end(),
+                             t) != memCtrlTiles.end();
+        };
+        const int extent = vary_x ? meshWidth : meshHeight;
+        const int pos = vary_x ? px : py;
+        for (int d = 0; d < extent; d++) {
+            for (const int sign : {1, -1}) {
+                const int cand = pos + sign * d;
+                if (cand < 0 || cand >= extent)
+                    continue;
+                const TileId t = vary_x ? tileAt(cand, py)
+                                        : tileAt(px, cand);
+                if (!taken(t)) {
+                    memCtrlTiles.push_back(t);
+                    return;
+                }
+                if (d == 0)
+                    break; // +0 and -0 are the same candidate.
+            }
+        }
+        // This edge is full (tiny mesh): take the first free
+        // perimeter tile in row-major order, so the pick stays
+        // deterministic.
+        for (int y = 0; y < meshHeight; y++) {
+            for (int x = 0; x < meshWidth; x++) {
+                if (x != 0 && x != meshWidth - 1 && y != 0 &&
+                    y != meshHeight - 1)
+                    continue; // Interior tile.
+                const TileId t = tileAt(x, y);
+                if (!taken(t)) {
+                    memCtrlTiles.push_back(t);
+                    return;
+                }
+            }
+        }
+        // More controllers than perimeter tiles: stack on the
+        // requested tile like the pre-dedup layout did.
+        memCtrlTiles.push_back(vary_x ? tileAt(pos, py)
+                                      : tileAt(px, pos));
+    };
     for (int k = 0; k < per_side; k++) {
         const int px = edge_pos(width, k, per_side);
         const int py = edge_pos(height, k, per_side);
-        memCtrlTiles.push_back(tileAt(px, 0));               // top
-        memCtrlTiles.push_back(tileAt(px, height - 1));      // bottom
-        memCtrlTiles.push_back(tileAt(0, py));               // left
-        memCtrlTiles.push_back(tileAt(width - 1, py));       // right
+        take_edge_tile(px, 0, /*vary_x=*/true);           // top
+        take_edge_tile(px, height - 1, /*vary_x=*/true);  // bottom
+        take_edge_tile(0, py, /*vary_x=*/false);          // left
+        take_edge_tile(width - 1, py, /*vary_x=*/false);  // right
     }
 
     // Precompute distance-sorted tile lists for every origin.

@@ -49,6 +49,13 @@ ContentionNoc::memPathWait(TileId tile, int ctrl) const
 }
 
 double
+ContentionNoc::memResponsePathWait(int ctrl, TileId tile) const
+{
+    return linkWait[attachLink(ctrl)] +
+        pathWait(topo.memCtrlTile(ctrl), tile);
+}
+
+double
 ContentionNoc::memLatency(TileId tile, int ctrl,
                           std::uint32_t payload_flits) const
 {
@@ -56,6 +63,18 @@ ContentionNoc::memLatency(TileId tile, int ctrl,
                topo.latency(topo.hopsToCtrl(tile, ctrl),
                             payload_flits)) +
         memPathWait(tile, ctrl);
+}
+
+double
+ContentionNoc::memResponseLatency(int ctrl, TileId tile,
+                                  std::uint32_t payload_flits) const
+{
+    // Response direction: attach link, then the X-Y route from the
+    // controller's tile — the links routeMemResponse charges.
+    return static_cast<double>(
+               topo.latency(topo.hopsToCtrl(tile, ctrl),
+                            payload_flits)) +
+        memResponsePathWait(ctrl, tile);
 }
 
 void
@@ -71,6 +90,17 @@ ContentionNoc::routeMemMsg(TileId tile, int ctrl,
 {
     routeMsg(tile, topo.memCtrlTile(ctrl), flits);
     linkFlits[attachLink(ctrl)] += flits;
+}
+
+void
+ContentionNoc::routeMemResponse(int ctrl, TileId tile,
+                                std::uint32_t flits)
+{
+    // The attach link models the controller port and carries both
+    // directions; the mesh legs of the response use the
+    // reverse-direction links of the request route.
+    linkFlits[attachLink(ctrl)] += flits;
+    routeMsg(topo.memCtrlTile(ctrl), tile, flits);
 }
 
 void

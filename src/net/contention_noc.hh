@@ -40,11 +40,16 @@ class ContentionNoc final : public NocModel
                    std::uint32_t payload_flits) const override;
     double memLatency(TileId tile, int ctrl,
                       std::uint32_t payload_flits) const override;
+    double memResponseLatency(int ctrl, TileId tile,
+                              std::uint32_t payload_flits)
+        const override;
 
     /** Sum of link waits along the X-Y route. */
     double pathWait(TileId src, TileId dst) const override;
     /** Route wait to a controller, including its attach link. */
     double memPathWait(TileId tile, int ctrl) const override;
+    /** Response-route wait from a controller (attach + mesh legs). */
+    double memResponsePathWait(int ctrl, TileId tile) const override;
 
     void epochUpdate(double elapsed_cycles) override;
     void clearTraffic() override;
@@ -59,6 +64,8 @@ class ContentionNoc final : public NocModel
                   std::uint32_t flits) override;
     void routeMemMsg(TileId tile, int ctrl,
                      std::uint32_t flits) override;
+    void routeMemResponse(int ctrl, TileId tile,
+                          std::uint32_t flits) override;
 
   private:
     /** Directed link leaving a tile, in routing order. */

@@ -77,6 +77,19 @@ class NocModel
     virtual double memLatency(TileId tile, int ctrl,
                               std::uint32_t payload_flits) const = 0;
 
+    /**
+     * Latency of one response from memory controller `ctrl` to a
+     * tile (incl. attach). Zero-load latency is direction-symmetric,
+     * so the default forwards to memLatency; contention models charge
+     * the response-direction link waits instead.
+     */
+    virtual double
+    memResponseLatency(int ctrl, TileId tile,
+                       std::uint32_t payload_flits) const
+    {
+        return memLatency(tile, ctrl, payload_flits);
+    }
+
     /** Account one tile-to-tile message of a given class. */
     void
     addTraffic(TrafficClass cls, TileId src, TileId dst,
@@ -96,6 +109,22 @@ class NocModel
             static_cast<std::uint64_t>(topo.hopsToCtrl(tile, ctrl)) *
             flits;
         routeMemMsg(tile, ctrl, flits);
+    }
+
+    /**
+     * Account one controller-to-tile response (incl. attach). Routes
+     * are X-Y symmetric in hop count, so the per-class flit-hop
+     * totals match addMemTraffic; models with directed per-link
+     * accounting charge the reverse-direction links instead.
+     */
+    void
+    addMemResponse(TrafficClass cls, int ctrl, TileId tile,
+                   std::uint32_t flits)
+    {
+        flitHops[static_cast<std::size_t>(cls)] +=
+            static_cast<std::uint64_t>(topo.hopsToCtrl(tile, ctrl)) *
+            flits;
+        routeMemResponse(ctrl, tile, flits);
     }
 
     /**
@@ -123,6 +152,19 @@ class NocModel
     {
         (void)tile;
         (void)ctrl;
+        return 0.0;
+    }
+
+    /**
+     * Queueing wait (cycles) on the response route from memory
+     * controller `ctrl` back to a tile (attach link + the
+     * reverse-direction mesh links). Zero-load models answer 0.
+     */
+    virtual double
+    memResponsePathWait(int ctrl, TileId tile) const
+    {
+        (void)ctrl;
+        (void)tile;
         return 0.0;
     }
 
@@ -177,6 +219,15 @@ class NocModel
     {
         (void)tile;
         (void)ctrl;
+        (void)flits;
+    }
+
+    /** Per-link hook for one memory response (attach link + route). */
+    virtual void
+    routeMemResponse(int ctrl, TileId tile, std::uint32_t flits)
+    {
+        (void)ctrl;
+        (void)tile;
         (void)flits;
     }
 

@@ -52,13 +52,25 @@ PlacementCostModel::fromNoc(const NocModel &noc, double hop_cycles,
     const Mesh &mesh = noc.mesh();
     PlacementCostModel cost(mesh, hop_cycles);
 
+    // An access charges its control flit on the request route and
+    // its data flits on the response route (the NoC's links are
+    // directed), so the per-flit wait of a (src, dst) pair blends
+    // both directions by their flit shares.
+    const double ctrl_flits =
+        static_cast<double>(mesh.config().ctrlFlits());
+    const double data_flits =
+        static_cast<double>(mesh.config().dataFlits());
+    const double msg_flits = ctrl_flits + data_flits;
+
     const auto num_tiles = static_cast<std::size_t>(mesh.numTiles());
     std::vector<double> pair_waits(num_tiles * num_tiles, 0.0);
     for (TileId a = 0; a < mesh.numTiles(); a++) {
         for (TileId b = 0; b < mesh.numTiles(); b++) {
             pair_waits[static_cast<std::size_t>(a) * num_tiles +
                        static_cast<std::size_t>(b)] =
-                noc.pathWait(a, b) / hop_cycles;
+                (ctrl_flits * noc.pathWait(a, b) +
+                 data_flits * noc.pathWait(b, a)) /
+                (msg_flits * hop_cycles);
         }
     }
 
@@ -66,8 +78,11 @@ PlacementCostModel::fromNoc(const NocModel &noc, double hop_cycles,
     const int ctrls = mesh.numMemCtrls();
     for (TileId t = 0; t < mesh.numTiles(); t++) {
         double sum = 0.0;
-        for (int c = 0; c < ctrls; c++)
-            sum += noc.memPathWait(t, c);
+        for (int c = 0; c < ctrls; c++) {
+            sum += (ctrl_flits * noc.memPathWait(t, c) +
+                    data_flits * noc.memResponsePathWait(c, t)) /
+                msg_flits;
+        }
         mem_waits[static_cast<std::size_t>(t)] =
             sum / (hop_cycles * static_cast<double>(ctrls));
     }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "mem/mem_queue.hh"
+
 namespace cdcs
 {
 
@@ -48,19 +50,14 @@ AccessPath::endChunk(double before, double after)
     const double rho = std::min(
         0.95, (static_cast<double>(chunkMisses) / dt) /
             cfg.memLinesPerCycle);
-    const double service_cycles = cfg.memChannels / cfg.memLinesPerCycle;
-    queueDelay = service_cycles * rho / (2.0 * (1.0 - rho));
+    queueDelay = memQueueWait(rho, cfg.memChannels,
+                              cfg.memLinesPerCycle);
 }
 
 int
 AccessPath::memCtrlFor(TileId core, LineAddr line)
 {
-    if (!cfg.numaAwareMem)
-        return platform.mesh.memCtrlOf(line);
-    const std::uint64_t page = line >> pageLineShift;
-    const auto [it, inserted] =
-        pageCtrl.try_emplace(page, platform.mesh.nearestMemCtrl(core));
-    return it->second;
+    return platform.memPlacement->controllerFor(core, line);
 }
 
 void
@@ -95,12 +92,16 @@ AccessPath::issueAccess(ThreadId t)
     const std::uint32_t ctrl = cfg.noc.ctrlFlits();
     const std::uint32_t data = cfg.noc.dataFlits();
 
+    // Request leg core -> bank, data response bank -> core: the NoC's
+    // links are directed, so the two legs are charged (and priced)
+    // separately. Zero-load latency and hop counts are symmetric, so
+    // this only redistributes per-link load, never per-class totals.
     double lat = noc.latency(core, bank_tile, ctrl) +
-        cfg.bankLatency + noc.latency(core, bank_tile, data);
+        cfg.bankLatency + noc.latency(bank_tile, core, data);
     double onchip = lat - cfg.bankLatency;
     double offchip = 0.0;
-    noc.addTraffic(TrafficClass::L2ToLLC, core, bank_tile,
-                   ctrl + data);
+    noc.addTraffic(TrafficClass::L2ToLLC, core, bank_tile, ctrl);
+    noc.addTraffic(TrafficClass::L2ToLLC, bank_tile, core, data);
 
     stats.llcAccesses++;
     BankAccessResult fill_res;
@@ -122,12 +123,12 @@ AccessPath::issueAccess(ThreadId t)
         CacheLine moved;
         if (banks[mr.oldBank].extractForMove(sample.line, moved)) {
             // Old bank hit: line + coherence state move to the new
-            // bank (Fig. 10a).
+            // bank (Fig. 10a) — the data leg travels old -> new.
             const double move_lat =
-                noc.latency(bank_tile, old_tile, data);
+                noc.latency(old_tile, bank_tile, data);
             lat += move_lat;
             onchip += move_lat;
-            noc.addTraffic(TrafficClass::Other, bank_tile, old_tile,
+            noc.addTraffic(TrafficClass::Other, old_tile, bank_tile,
                            data);
             fill_res = banks[mr.bank].installMoved(moved, tag);
             filled = true;
@@ -139,13 +140,13 @@ AccessPath::issueAccess(ThreadId t)
             const double mem_leg =
                 noc.memLatency(old_tile, mc, ctrl) +
                 cfg.memLatency + queueDelay +
-                noc.memLatency(bank_tile, mc, data);
+                noc.memResponseLatency(mc, bank_tile, data);
             lat += mem_leg;
             offchip += mem_leg;
             noc.addMemTraffic(TrafficClass::LLCToMem, old_tile, mc,
                               ctrl);
-            noc.addMemTraffic(TrafficClass::LLCToMem, bank_tile, mc,
-                              data);
+            noc.addMemResponse(TrafficClass::LLCToMem, mc, bank_tile,
+                               data);
             stats.memAccesses++;
             chunkMisses++;
             fill_res = banks[mr.bank].fill(sample.line, tag, core);
@@ -156,11 +157,13 @@ AccessPath::issueAccess(ThreadId t)
         const double mem_leg =
             noc.memLatency(bank_tile, mc, ctrl) +
             cfg.memLatency + queueDelay +
-            noc.memLatency(bank_tile, mc, data);
+            noc.memResponseLatency(mc, bank_tile, data);
         lat += mem_leg;
         offchip += mem_leg;
         noc.addMemTraffic(TrafficClass::LLCToMem, bank_tile, mc,
-                          ctrl + data);
+                          ctrl);
+        noc.addMemResponse(TrafficClass::LLCToMem, mc, bank_tile,
+                           data);
         stats.memAccesses++;
         chunkMisses++;
         fill_res = banks[mr.bank].fill(sample.line, tag, core);

@@ -11,7 +11,6 @@
 #ifndef CDCS_SIM_ACCESS_PATH_HH
 #define CDCS_SIM_ACCESS_PATH_HH
 
-#include <unordered_map>
 #include <vector>
 
 #include "sim/core_model.hh"
@@ -61,8 +60,9 @@ class AccessPath
   private:
     /**
      * Memory controller serving `line` when accessed by `core`:
-     * page-interleaved by default, first-touch-nearest under
-     * numaAwareMem (keeps the page map).
+     * delegated to the platform's MemPlacementPolicy (interleave by
+     * default; first-touch and contention-rebalanced policies keep
+     * their own page maps).
      */
     int memCtrlFor(TileId core, LineAddr line);
 
@@ -75,9 +75,6 @@ class AccessPath
     // Memory-bandwidth queueing state.
     double queueDelay = 0.0;
     std::uint64_t chunkMisses = 0;
-
-    /** First-touch page-to-controller map (numaAwareMem). */
-    std::unordered_map<std::uint64_t, int> pageCtrl;
 
     std::uint64_t monitorTrafficSampleCtr = 0;
 };

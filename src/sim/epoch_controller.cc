@@ -75,14 +75,20 @@ EpochController::gatherRuntimeInput()
 
     // Placement cost oracle: snapshot the network model's current
     // per-route waits, EWMA-damped like the other runtime inputs
-    // (placement feeds back into the waits it is priced on).
+    // (placement feeds back into the waits it is priced on). The
+    // wait snapshot is damped at half the monitor smoothing: with
+    // request/response legs split over directed links each direction
+    // carries half the flits, so per-epoch utilization estimates are
+    // noisier than the monitor inputs, and the thread- and
+    // data-placement steps react to the same signal — measured, the
+    // loop oscillates at the monitor alpha and converges at half.
     // placementCost=zero-load pins the flat hop arithmetic instead —
     // the contention studies' control arm.
     placementCost = cfg.placementCost == "zero-load"
         ? PlacementCostModel(platform.mesh, in.hopCycles)
         : PlacementCostModel::fromNoc(*platform.noc, in.hopCycles,
                                       &placementCost,
-                                      cfg.monitorSmoothing);
+                                      0.5 * cfg.monitorSmoothing);
     in.costModel = &placementCost;
     return in;
 }
@@ -148,10 +154,14 @@ EpochController::runEpochs()
 
         if (epoch + 1 < cfg.epochs) {
             // Refresh the network model's contention state from this
-            // epoch's measured link loads (no-op for zero-load).
+            // epoch's measured link loads (no-op for zero-load),
+            // then let the memory placement policy rebalance pages
+            // on the fresh waits (no-op for the static policies).
             const double epoch_mean = path.meanActiveCycles();
             platform.noc->epochUpdate(epoch_mean -
                                       nocEpochStartMean);
+            platform.memPlacement->epochUpdate(
+                *platform.noc, epoch_mean - nocEpochStartMean);
             nocEpochStartMean = epoch_mean;
 
             RuntimeInput input = gatherRuntimeInput();
@@ -221,6 +231,7 @@ EpochController::assemble() const
             platform.noc->trafficFlitHops(static_cast<TrafficClass>(c));
     }
     res.nocLinks = platform.noc->linkStats();
+    res.memMigratedPages = platform.memPlacement->migratedPages();
 
     // Static energy accrues over the mean per-thread runtime: in the
     // fixed-work methodology threads retire their work at different

@@ -117,14 +117,14 @@ ExperimentRunner::cacheKey(const SystemConfig &cfg,
     // SystemConfig.
     appendF(key,
             "cfg:%d,%d,%d,%" PRIu64 ",%u,%" PRIu64 ",%" PRIu64
-            ",%" PRIu64 ",%" PRIu64 ",%u,%u,%d,%.17g,%d,%d,%" PRIu64
+            ",%" PRIu64 ",%" PRIu64 ",%u,%u,%d,%.17g,%d,%" PRIu64
             ",%d,%d,%u,%d,%" PRIu64 ",%d,%" PRIu64 ",%.17g,%.17g|",
             cfg.meshWidth, cfg.meshHeight, cfg.banksPerTile,
             cfg.bankLines, cfg.bankWays, cfg.bankLatency,
             cfg.memLatency, cfg.noc.routerCycles, cfg.noc.linkCycles,
             cfg.noc.flitBits, cfg.noc.headerBits,
             cfg.modelMemBandwidth ? 1 : 0, cfg.memLinesPerCycle,
-            cfg.memChannels, cfg.numaAwareMem ? 1 : 0,
+            cfg.memChannels,
             cfg.accessesPerThreadEpoch, cfg.epochs, cfg.warmupEpochs,
             cfg.chunkAccesses, cfg.traceIpc ? 1 : 0,
             cfg.traceBinCycles, static_cast<int>(cfg.moveCfg.moves),
@@ -136,6 +136,9 @@ ExperimentRunner::cacheKey(const SystemConfig &cfg,
     appendF(key, "noc:%s,%.17g,%.17g|", cfg.nocModel.c_str(),
             cfg.nocInjScale, cfg.nocMaxUtil);
     appendF(key, "pcost:%s|", cfg.placementCost.c_str());
+    // The effective policy, so the numaAwareMem alias and an explicit
+    // first-touch share entries.
+    appendF(key, "memp:%s|", cfg.effectiveMemPlacement().c_str());
     // SchemeSpec (name excluded: it is a label, not behavior).
     appendF(key,
             "spec:%d,%d,%d,%d,%u,%u,%u,%d,%d,%d,%d,%d,%.17g,%.17g,"

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/log.hh"
+#include "mem/mem_placement_registry.hh"
 #include "net/noc_registry.hh"
 
 namespace cdcs
@@ -141,6 +142,10 @@ const KeyDef configKeys[] = {
     {"numaAwareMem", "bool",
      [](SystemConfig &c, const Override &v) {
          c.numaAwareMem = v.b;
+     }},
+    {"memPlacement", "string",
+     [](SystemConfig &c, const Override &v) {
+         c.memPlacement = v.value;
      }},
     {"noc", "string",
      [](SystemConfig &c, const Override &v) {
@@ -279,6 +284,18 @@ Overrides::add(const std::string &kv, std::string *err)
                 "' (registered:";
             for (const std::string &n :
                  NocRegistry::instance().names())
+                *err += " " + n;
+            *err += ")";
+        }
+        return false;
+    }
+    if (entry.key == "memPlacement" &&
+        !MemPlacementRegistry::instance().contains(entry.value)) {
+        if (err != nullptr) {
+            *err = "unknown mem placement policy '" + entry.value +
+                "' (registered:";
+            for (const std::string &n :
+                 MemPlacementRegistry::instance().names())
                 *err += " " + n;
             *err += ")";
         }

@@ -1,6 +1,7 @@
 #include "sim/platform.hh"
 
 #include "common/log.hh"
+#include "mem/mem_placement_registry.hh"
 #include "monitor/gmon.hh"
 #include "net/noc_registry.hh"
 #include "monitor/umon.hh"
@@ -23,6 +24,13 @@ Platform::Platform(const SystemConfig &cfg, const SchemeSpec &spec,
     noc_params.maxUtil = cfg.nocMaxUtil;
     noc = NocRegistry::instance().build(cfg.nocModel, mesh,
                                         noc_params);
+
+    MemPlacementBuildParams mem_params;
+    mem_params.hopCycles = static_cast<double>(
+        cfg.noc.routerCycles + cfg.noc.linkCycles);
+    mem_params.smoothing = cfg.monitorSmoothing;
+    memPlacement = MemPlacementRegistry::instance().build(
+        cfg.effectiveMemPlacement(), mesh, mem_params);
 
     const int num_banks = mesh.numTiles() * cfg.banksPerTile;
     cdcs_assert(mix.numThreads() <= mesh.numTiles(),

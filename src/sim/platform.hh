@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cache/partitioned_bank.hh"
+#include "mem/mem_placement.hh"
 #include "mesh/mesh.hh"
 #include "monitor/sampled_monitor.hh"
 #include "net/noc_model.hh"
@@ -51,6 +52,10 @@ class Platform
     /// Network model (cfg.nocModel via the NocRegistry); owns the
     /// run's traffic counters and any contention state.
     std::unique_ptr<NocModel> noc;
+    /// Page-to-controller placement (cfg.effectiveMemPlacement() via
+    /// the MemPlacementRegistry); owns the page map and any
+    /// per-controller load accounting.
+    std::unique_ptr<MemPlacementPolicy> memPlacement;
     std::vector<PartitionedBank> banks;
     /// Per-VC monitors; empty for schemes that don't want them.
     std::vector<std::unique_ptr<SampledMonitor>> monitors;

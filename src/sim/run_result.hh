@@ -55,6 +55,12 @@ struct RunResult
      */
     std::vector<NocLinkStat> nocLinks;
 
+    /**
+     * Pages re-pinned by the memory placement policy over the whole
+     * run (warmup included; 0 for the static policies).
+     */
+    std::uint64_t memMigratedPages = 0;
+
     EnergyBreakdown energy;
 
     /** Aggregate-IPC trace (whole run, no warmup trim). */

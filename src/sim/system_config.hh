@@ -135,8 +135,35 @@ struct SystemConfig
      * future work, cf. the Fig. 11d discussion): pages are served by
      * the controller nearest their first-touching thread's core
      * instead of being page-interleaved across all controllers.
+     * Legacy alias for memPlacement = "first-touch".
      */
     bool numaAwareMem = false;
+
+    /**
+     * Page-to-memory-controller placement policy, by
+     * MemPlacementRegistry name: "interleave" (the page hash, the
+     * default), "first-touch" (pin to the first toucher's nearest
+     * controller; what numaAwareMem aliases) or "contention"
+     * (first-touch plus an epoch rebalance that re-pins hot pages
+     * away from saturated controllers, scored on measured NoC route
+     * waits and per-controller queue load).
+     */
+    std::string memPlacement = "interleave";
+
+    /**
+     * The policy Platform actually builds. The legacy numaAwareMem
+     * alias asks for first-touch whenever memPlacement is left at
+     * "interleave" (the two flags are contradictory in that
+     * combination, and the alias wins); any other memPlacement value
+     * takes precedence over the alias.
+     */
+    std::string
+    effectiveMemPlacement() const
+    {
+        if (memPlacement == "interleave" && numaAwareMem)
+            return "first-touch";
+        return memPlacement;
+    }
 
     std::uint64_t accessesPerThreadEpoch = 50000;
     int epochs = 6;

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "mesh/mesh.hh"
 
 namespace cdcs
@@ -42,6 +44,57 @@ TEST(MeshTest, HopsAreSymmetric)
 TEST(MeshTest, EightMemCtrlsOnEdges)
 {
     Mesh mesh(8, 8);
+    EXPECT_EQ(mesh.numMemCtrls(), 8);
+}
+
+TEST(MeshTest, DefaultEightByEightCtrlLayoutUnchanged)
+{
+    // The corner-collision fix must not move any controller of the
+    // default (collision-free) target CMP: two per side at 1/3 and
+    // 2/3, in top/bottom/left/right registration order.
+    Mesh mesh(8, 8);
+    ASSERT_EQ(mesh.numMemCtrls(), 8);
+    const TileId expected[] = {
+        mesh.tileAt(2, 0), mesh.tileAt(2, 7), mesh.tileAt(0, 2),
+        mesh.tileAt(7, 2), mesh.tileAt(6, 0), mesh.tileAt(6, 7),
+        mesh.tileAt(0, 6), mesh.tileAt(7, 6),
+    };
+    for (int c = 0; c < 8; c++)
+        EXPECT_EQ(mesh.memCtrlTile(c), expected[c]) << c;
+}
+
+TEST(MeshTest, SmallMeshCtrlTilesAreDistinct)
+{
+    // 4x4 with 8 controllers used to stack the bottom and right k=1
+    // controllers on tile (3,3); corner collisions now slide along
+    // the edge. Check a range of shapes for duplicate tiles.
+    // Every shape keeps ctrls <= perimeter tiles, so distinct
+    // placement is feasible.
+    const int shapes[][3] = {
+        {4, 4, 8}, {4, 4, 12}, {5, 4, 8}, {6, 6, 8},
+        {8, 8, 8}, {8, 8, 16}, {3, 3, 4}, {8, 4, 12},
+    };
+    for (const auto &[w, h, ctrls] : shapes) {
+        Mesh mesh(w, h, NocConfig{}, ctrls);
+        std::vector<TileId> tiles;
+        for (int c = 0; c < mesh.numMemCtrls(); c++) {
+            const TileId t = mesh.memCtrlTile(c);
+            EXPECT_EQ(std::count(tiles.begin(), tiles.end(), t), 0)
+                << w << "x" << h << "/" << ctrls << " ctrl " << c;
+            tiles.push_back(t);
+            // Still an edge tile.
+            const MeshCoord coord = mesh.coordOf(t);
+            EXPECT_TRUE(coord.x == 0 || coord.x == w - 1 ||
+                        coord.y == 0 || coord.y == h - 1);
+        }
+    }
+}
+
+TEST(MeshTest, TinyMeshFallsBackToStackingWhenPerimeterFull)
+{
+    // 2x2 has a 4-tile perimeter; 8 controllers cannot be distinct,
+    // but construction must still succeed (the pre-dedup behavior).
+    Mesh mesh(2, 2, NocConfig{}, 8);
     EXPECT_EQ(mesh.numMemCtrls(), 8);
 }
 

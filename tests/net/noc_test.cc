@@ -105,6 +105,110 @@ TEST(ContentionNocTest, LinkAccountingConservesFlitHops)
     EXPECT_EQ(link_sum, noc.totalFlitHops());
 }
 
+TEST(ContentionNocTest, RequestAndResponseChargeOppositeLinks)
+{
+    // A request/response pair split into two directed calls loads
+    // the forward and reverse links separately; the old single-call
+    // accounting left reverse links idle and double-counted forward.
+    const Mesh mesh(4, 4);
+    ContentionNoc noc(mesh, 1.0, 0.95);
+    const TileId a = mesh.tileAt(0, 1);
+    const TileId b = mesh.tileAt(3, 1);
+    noc.addTraffic(TrafficClass::L2ToLLC, a, b, 1);  // Request.
+    noc.addTraffic(TrafficClass::L2ToLLC, b, a, 5);  // Response.
+
+    std::uint64_t east = 0, west = 0;
+    for (const NocLinkStat &link : noc.linkStats()) {
+        if (link.memCtrl >= 0 || link.flits == 0)
+            continue;
+        const MeshCoord s = mesh.coordOf(link.src);
+        const MeshCoord d = mesh.coordOf(link.dst);
+        if (d.x > s.x)
+            east += link.flits;
+        else if (d.x < s.x)
+            west += link.flits;
+    }
+    EXPECT_EQ(east, 3u);  // 1 ctrl flit x 3 hops.
+    EXPECT_EQ(west, 15u); // 5 data flits x 3 hops.
+    // Per-class totals still see the symmetric sum.
+    EXPECT_EQ(noc.trafficFlitHops(TrafficClass::L2ToLLC), 18u);
+}
+
+TEST(ContentionNocTest, MemResponseChargesReverseRouteAndAttach)
+{
+    const Mesh mesh(6, 6);
+    ContentionNoc noc(mesh, 1.0, 0.95);
+    const int ctrl = 0;
+    const TileId ctrl_tile = mesh.memCtrlTile(ctrl);
+    const TileId far = mesh.tileAt(5, 5);
+    noc.addMemTraffic(TrafficClass::LLCToMem, far, ctrl, 1);
+    noc.addMemResponse(TrafficClass::LLCToMem, ctrl, far, 5);
+
+    // Flit-hop totals are direction-symmetric.
+    const auto hops =
+        static_cast<std::uint64_t>(mesh.hopsToCtrl(far, ctrl));
+    EXPECT_EQ(noc.trafficFlitHops(TrafficClass::LLCToMem),
+              hops * 6);
+    // The attach link carries both directions; mesh links split.
+    std::uint64_t attach = 0, from_ctrl = 0, to_ctrl = 0;
+    for (const NocLinkStat &link : noc.linkStats()) {
+        if (link.memCtrl == ctrl)
+            attach = link.flits;
+        else if (link.src == ctrl_tile && link.flits > 0)
+            from_ctrl += link.flits;
+        else if (link.dst == ctrl_tile && link.flits > 0)
+            to_ctrl += link.flits;
+    }
+    EXPECT_EQ(attach, 6u);
+    EXPECT_EQ(from_ctrl, 5u); // First hop of the response route.
+    EXPECT_EQ(to_ctrl, 1u);   // Last hop of the request route.
+    // Conservation: per-direction link flits sum to flit-hops.
+    std::uint64_t link_sum = 0;
+    for (const NocLinkStat &link : noc.linkStats())
+        link_sum += link.flits;
+    EXPECT_EQ(link_sum, noc.totalFlitHops());
+}
+
+TEST(ContentionNocTest, ResponseLatencyReadsResponseDirectionWaits)
+{
+    // Load only the response direction of a memory route: the
+    // response latency must see the wait, the request latency must
+    // not (beyond the shared attach link).
+    const Mesh mesh(6, 6);
+    ContentionNoc noc(mesh, 1.0, 0.95);
+    const int ctrl = 0;
+    const TileId ctrl_tile = mesh.memCtrlTile(ctrl);
+    const TileId far = mesh.tileAt(5, 5);
+    // Saturate the mesh route leaving the controller tile, not the
+    // attach link.
+    noc.addTraffic(TrafficClass::Other, ctrl_tile, far, 50000);
+    noc.epochUpdate(10000.0);
+
+    EXPECT_GT(noc.memResponsePathWait(ctrl, far), 0.0);
+    EXPECT_EQ(noc.memPathWait(far, ctrl), 0.0);
+    EXPECT_EQ(noc.memLatency(far, ctrl, 1),
+              static_cast<double>(
+                  mesh.latency(mesh.hopsToCtrl(far, ctrl), 1)));
+    EXPECT_EQ(noc.memResponseLatency(ctrl, far, 5),
+              static_cast<double>(
+                  mesh.latency(mesh.hopsToCtrl(far, ctrl), 5)) +
+                  noc.memResponsePathWait(ctrl, far));
+}
+
+TEST(ZeroLoadNocTest, MemResponseLatencyIsSymmetric)
+{
+    // The default memResponseLatency forwards to memLatency: under
+    // zero load the response leg costs exactly the request leg.
+    const Mesh mesh(6, 6);
+    const ZeroLoadNoc noc(mesh);
+    for (TileId t = 0; t < mesh.numTiles(); t += 5) {
+        for (int c = 0; c < mesh.numMemCtrls(); c++) {
+            EXPECT_EQ(noc.memResponseLatency(c, t, 5),
+                      noc.memLatency(t, c, 5));
+        }
+    }
+}
+
 TEST(ContentionNocTest, WaitMonotonicInLoad)
 {
     const Mesh mesh(8, 8);

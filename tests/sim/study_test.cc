@@ -256,7 +256,7 @@ TEST(StudyTest, RepeatedLineupStudiesEnableTheCacheByDefault)
     for (const char *name :
          {"fig12", "fig13", "fig18", "ablation_stability",
           "vic_bankgrain", "noc_sensitivity", "noc_heatmap",
-          "placement_contention"}) {
+          "placement_contention", "mem_placement"}) {
         const StudySpec *spec =
             StudyRegistry::instance().find(name);
         ASSERT_NE(spec, nullptr) << name;
