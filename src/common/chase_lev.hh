@@ -1,0 +1,182 @@
+/**
+ * @file
+ * A Chase-Lev work-stealing deque [Chase & Lev, SPAA'05] with the C11
+ * memory orderings of Le et al. (PPoPP'13, "Correct and Efficient
+ * Work-Stealing for Weak Memory Models"). One owner pushes and takes
+ * at the bottom without locks; any number of thieves steal from the
+ * top with a single CAS. Elements are raw task pointers — the deque
+ * never owns what it stores, so the element lifetime is the caller's
+ * contract (WorkStealingPool keeps its batch vector alive until every
+ * task completed).
+ *
+ * The circular array grows on demand; retired arrays are kept until
+ * destruction because a concurrent thief may still be reading the old
+ * buffer (the classic Chase-Lev reclamation problem, solved here by
+ * retention — growth is geometric, so the waste is bounded by 2x the
+ * peak footprint).
+ */
+
+#ifndef CDCS_COMMON_CHASE_LEV_HH
+#define CDCS_COMMON_CHASE_LEV_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace cdcs
+{
+
+/** Lock-free single-owner, multi-thief deque of task pointers. */
+class ChaseLevDeque
+{
+  public:
+    using Task = std::function<void()>;
+
+    explicit ChaseLevDeque(std::int64_t initial_capacity = 64)
+    {
+        rings.push_back(std::make_unique<Ring>(initial_capacity));
+        ring.store(rings.back().get(), std::memory_order_relaxed);
+    }
+
+    ChaseLevDeque(const ChaseLevDeque &) = delete;
+    ChaseLevDeque &operator=(const ChaseLevDeque &) = delete;
+
+    /** Owner only: push one task at the bottom. */
+    void
+    push(Task *task)
+    {
+        const std::int64_t b = bottom.load(std::memory_order_relaxed);
+        const std::int64_t t = top.load(std::memory_order_acquire);
+        Ring *r = ring.load(std::memory_order_relaxed);
+        if (b - t > r->capacity - 1)
+            r = grow(r, t, b);
+        r->put(b, task);
+        // Publish the slot before the new bottom becomes visible to
+        // thieves.
+        std::atomic_thread_fence(std::memory_order_release);
+        bottom.store(b + 1, std::memory_order_relaxed);
+    }
+
+    /**
+     * Owner only: pop the newest task (LIFO). Returns nullptr when
+     * the deque is empty or a thief won the race for the last task.
+     */
+    Task *
+    take()
+    {
+        const std::int64_t b =
+            bottom.load(std::memory_order_relaxed) - 1;
+        Ring *r = ring.load(std::memory_order_relaxed);
+        bottom.store(b, std::memory_order_relaxed);
+        // The store to bottom must be ordered before the load of top
+        // (the Dekker pattern racing against steal()).
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        std::int64_t t = top.load(std::memory_order_relaxed);
+        Task *task = nullptr;
+        if (t <= b) {
+            task = r->get(b);
+            if (t == b) {
+                // Last element: race thieves for it.
+                if (!top.compare_exchange_strong(
+                        t, t + 1, std::memory_order_seq_cst,
+                        std::memory_order_relaxed)) {
+                    task = nullptr;
+                }
+                bottom.store(b + 1, std::memory_order_relaxed);
+            }
+        } else {
+            bottom.store(b + 1, std::memory_order_relaxed);
+        }
+        return task;
+    }
+
+    /**
+     * Any thread: steal the oldest task (FIFO). Returns nullptr when
+     * the deque looks empty or another thief won the CAS — callers
+     * treat both as "try elsewhere" (the pool re-checks its global
+     * queued counter before sleeping, so a lost race never strands a
+     * task).
+     */
+    Task *
+    steal()
+    {
+        std::int64_t t = top.load(std::memory_order_acquire);
+        // Order the load of top before the load of bottom (pairs with
+        // the fence in take()).
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        const std::int64_t b =
+            bottom.load(std::memory_order_acquire);
+        if (t >= b)
+            return nullptr;
+        Ring *r = ring.load(std::memory_order_acquire);
+        Task *task = r->get(t);
+        if (!top.compare_exchange_strong(
+                t, t + 1, std::memory_order_seq_cst,
+                std::memory_order_relaxed)) {
+            return nullptr;
+        }
+        return task;
+    }
+
+    /** Approximate (racy) emptiness, for tests and diagnostics. */
+    bool
+    empty() const
+    {
+        return top.load(std::memory_order_acquire) >=
+            bottom.load(std::memory_order_acquire);
+    }
+
+  private:
+    /** Power-of-two circular array of task-pointer slots. */
+    struct Ring
+    {
+        explicit Ring(std::int64_t cap)
+            : capacity(cap), mask(cap - 1),
+              slots(std::make_unique<std::atomic<Task *>[]>(
+                  static_cast<std::size_t>(cap)))
+        {
+        }
+
+        Task *
+        get(std::int64_t i) const
+        {
+            return slots[static_cast<std::size_t>(i & mask)].load(
+                std::memory_order_relaxed);
+        }
+
+        void
+        put(std::int64_t i, Task *task)
+        {
+            slots[static_cast<std::size_t>(i & mask)].store(
+                task, std::memory_order_relaxed);
+        }
+
+        std::int64_t capacity;
+        std::int64_t mask;
+        std::unique_ptr<std::atomic<Task *>[]> slots;
+    };
+
+    /** Owner only: double the ring, copying the live [t, b) window. */
+    Ring *
+    grow(Ring *old, std::int64_t t, std::int64_t b)
+    {
+        rings.push_back(std::make_unique<Ring>(old->capacity * 2));
+        Ring *bigger = rings.back().get();
+        for (std::int64_t i = t; i < b; i++)
+            bigger->put(i, old->get(i));
+        ring.store(bigger, std::memory_order_release);
+        return bigger;
+    }
+
+    std::atomic<std::int64_t> top{0};
+    std::atomic<std::int64_t> bottom{0};
+    std::atomic<Ring *> ring{nullptr};
+    /** Every ring ever allocated (owner-only; see file comment). */
+    std::vector<std::unique_ptr<Ring>> rings;
+};
+
+} // namespace cdcs
+
+#endif // CDCS_COMMON_CHASE_LEV_HH

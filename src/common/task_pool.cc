@@ -34,9 +34,9 @@ WorkStealingPool::WorkStealingPool(unsigned workers)
 {
     if (numWorkers <= 1)
         return;
-    queues.reserve(numWorkers);
+    deques.reserve(numWorkers);
     for (unsigned w = 0; w < numWorkers; w++)
-        queues.push_back(std::make_unique<WorkerQueue>());
+        deques.push_back(std::make_unique<ChaseLevDeque>());
     threads.reserve(numWorkers);
     for (unsigned w = 0; w < numWorkers; w++)
         threads.emplace_back([this, w]() { workerLoop(w); });
@@ -58,35 +58,19 @@ WorkStealingPool::~WorkStealingPool()
 bool
 WorkStealingPool::runOneTask(unsigned self)
 {
-    std::function<void()> task;
-
-    // Own deque first, newest task (LIFO keeps caches warm)...
-    {
-        WorkerQueue &own = *queues[self];
-        std::lock_guard<std::mutex> lock(own.mu);
-        if (!own.tasks.empty()) {
-            task = std::move(own.tasks.back());
-            own.tasks.pop_back();
-            queued.fetch_sub(1);
-        }
-    }
-    // ...then steal the oldest task from a victim (FIFO spreads the
-    // big, early-submitted work items across thieves).
-    if (!task) {
-        for (unsigned i = 1; i < numWorkers && !task; i++) {
-            WorkerQueue &victim = *queues[(self + i) % numWorkers];
-            std::lock_guard<std::mutex> lock(victim.mu);
-            if (!victim.tasks.empty()) {
-                task = std::move(victim.tasks.front());
-                victim.tasks.pop_front();
-                queued.fetch_sub(1);
-            }
-        }
-    }
-    if (!task)
+    // Drain the own share first (FIFO, like every steal: Chase-Lev
+    // thieves take the oldest task, spreading the big, early-
+    // submitted work items), then sweep the victims. A steal() that
+    // loses a CAS race reports nullptr like an empty deque; that is
+    // fine, because the worker re-checks `queued` before sleeping.
+    ChaseLevDeque::Task *task = nullptr;
+    for (unsigned i = 0; i < numWorkers && task == nullptr; i++)
+        task = deques[(self + i) % numWorkers]->steal();
+    if (task == nullptr)
         return false;
 
-    task();
+    queued.fetch_sub(1);
+    (*task)();
     if (pending.fetch_sub(1) == 1) {
         std::lock_guard<std::mutex> lock(sleepMu);
         doneCv.notify_all();
@@ -102,9 +86,15 @@ WorkStealingPool::workerLoop(unsigned self)
         if (runOneTask(self))
             continue;
         std::unique_lock<std::mutex> lock(sleepMu);
+        // Publish idleness before re-checking for work: paired with
+        // the submitter's queued-then-idle order (both seq_cst), a
+        // worker either sees the new tasks in its predicate or is
+        // counted idle and gets a notify.
+        idleCount.fetch_add(1);
         workCv.wait(lock, [this]() {
             return stopping.load() || queued.load() > 0;
         });
+        idleCount.fetch_sub(1);
         if (stopping.load())
             return;
     }
@@ -129,27 +119,46 @@ WorkStealingPool::run(std::vector<std::function<void()>> tasks)
     }
 
     pending.fetch_add(tasks.size());
-    // Round-robin across worker deques so stealing starts from a
-    // balanced distribution. `queued` is bumped under the same queue
-    // lock as the push, so a concurrent pop always sees a matching
-    // increment.
-    for (auto &task : tasks) {
-        const unsigned w = nextQueue.fetch_add(1) % numWorkers;
-        WorkerQueue &queue = *queues[w];
-        std::lock_guard<std::mutex> lock(queue.mu);
-        queue.tasks.push_back(std::move(task));
-        queued.fetch_add(1);
-    }
     {
-        // Empty critical section: a worker between its predicate
-        // check and its sleep holds sleepMu, so this acquisition
-        // orders the notify after it is actually waiting.
-        std::lock_guard<std::mutex> lock(sleepMu);
+        // One owner at a time per deque bottom: submitters serialize
+        // here, workers only steal. `queued` is raised before the
+        // pushes so a worker that steals early never underflows it;
+        // a worker that wakes early at worst spins on its predicate
+        // until the push lands.
+        std::lock_guard<std::mutex> lock(submitMu);
+        queued.fetch_add(tasks.size());
+        for (auto &task : tasks) {
+            const unsigned w = nextQueue.fetch_add(1) % numWorkers;
+            deques[w]->push(&task);
+        }
     }
-    workCv.notify_all();
+    // Wake sleepers only if there are any: a submit into a fully-busy
+    // pool stays notification-free (running workers sweep the deques
+    // before parking). The seq_cst queued increment above is ordered
+    // before this idle load; a worker increments idleCount before its
+    // predicate reads queued, so either it sees the tasks or we see
+    // it idle here.
+    const unsigned idle = idleCount.load();
+    if (idle > 0) {
+        wakeups.fetch_add(1);
+        {
+            // Empty critical section: a worker between its idle
+            // increment and its sleep holds sleepMu, so this
+            // acquisition orders the notify after it is actually
+            // waiting.
+            std::lock_guard<std::mutex> lock(sleepMu);
+        }
+        if (tasks.size() == 1 || idle == 1)
+            workCv.notify_one();
+        else
+            workCv.notify_all();
+    }
 
     std::unique_lock<std::mutex> lock(sleepMu);
     doneCv.wait(lock, [this]() { return pending.load() == 0; });
+
+    // The batch vector owns the task objects the deques pointed into;
+    // it dies only now, after every pointer was consumed.
 }
 
 } // namespace cdcs

@@ -1,9 +1,17 @@
 /**
  * @file
- * A small work-stealing thread pool. Each worker owns a deque: it
- * pops its own work LIFO (cache-warm) and steals FIFO from victims
- * when empty, so a batch of unevenly-sized tasks (e.g. S-NUCA vs.
- * CDCS runs) keeps every core busy until the batch drains.
+ * A work-stealing thread pool over lock-free Chase-Lev deques. run()
+ * distributes a batch round-robin across per-worker deques (pushes
+ * serialized by a submit mutex, so the submitter side is the deques'
+ * single "owner"); workers drain them with lock-free steals — their
+ * own share first, then victims' — so a batch of unevenly-sized tasks
+ * (e.g. S-NUCA vs. CDCS runs) keeps every core busy until the batch
+ * drains, with no lock on the execution path.
+ *
+ * Sleeping workers are woken only when the idle count is nonzero
+ * (never a broadcast to a fully-busy pool), and wakeupCount() exposes
+ * how often that happened so tests can pin the no-idle-no-wakeup
+ * contract.
  *
  * Tasks must not throw. Nested run() calls from inside a worker
  * execute inline (serially) instead of deadlocking the pool.
@@ -15,12 +23,13 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/chase_lev.hh"
 
 namespace cdcs
 {
@@ -45,6 +54,31 @@ class WorkStealingPool
 
     unsigned workerCount() const { return numWorkers; }
 
+    /** Workers currently parked on the sleep cv (racy, for tests). */
+    unsigned
+    idleWorkers() const
+    {
+        return idleCount.load();
+    }
+
+    /** Tasks enqueued but not yet claimed (racy, for tests). */
+    std::uint64_t
+    queuedTasks() const
+    {
+        return queued.load();
+    }
+
+    /**
+     * How many submissions woke sleeping workers. A submit while
+     * every worker is busy must not bump this (the broadcast-on-
+     * every-submit regression the counter exists to pin).
+     */
+    std::uint64_t
+    wakeupCount() const
+    {
+        return wakeups.load();
+    }
+
     /**
      * CDCS_WORKERS environment override, else the hardware thread
      * count (CDCS_WORKERS=1 forces serial execution everywhere).
@@ -52,25 +86,28 @@ class WorkStealingPool
     static unsigned defaultWorkers();
 
   private:
-    struct WorkerQueue
-    {
-        std::mutex mu;
-        std::deque<std::function<void()>> tasks;
-    };
-
     void workerLoop(unsigned self);
-    /** Pop own work or steal; returns false when nothing runnable. */
+    /** Steal own share or a victim's; false when nothing runnable. */
     bool runOneTask(unsigned self);
 
     unsigned numWorkers;
-    std::vector<std::unique_ptr<WorkerQueue>> queues;
+    std::vector<std::unique_ptr<ChaseLevDeque>> deques;
     std::vector<std::thread> threads;
+
+    /**
+     * Serializes submitters: Chase-Lev bottoms have a single owner,
+     * and here the owner is "whoever is inside run()" — workers never
+     * push (nested run() executes inline), they only steal.
+     */
+    std::mutex submitMu;
 
     std::mutex sleepMu;
     std::condition_variable workCv;  ///< Wakes idle workers.
     std::condition_variable doneCv;  ///< Wakes a blocked run().
     std::atomic<std::uint64_t> queued{0};    ///< Tasks in deques.
     std::atomic<std::uint64_t> pending{0};   ///< Unfinished tasks.
+    std::atomic<unsigned> idleCount{0};      ///< Parked workers.
+    std::atomic<std::uint64_t> wakeups{0};   ///< Submit-side notifies.
     std::atomic<bool> stopping{false};
     std::atomic<unsigned> nextQueue{0};      ///< Round-robin cursor.
 };

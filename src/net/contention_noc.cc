@@ -21,15 +21,98 @@ ContentionNoc::ContentionNoc(const Mesh &mesh, double inj_scale,
     prevFlits.assign(links, 0);
     linkWait.assign(links, 0.0);
     linkUtil.assign(links, 0.0);
+    rebuildWaitTables();
 }
 
 double
-ContentionNoc::pathWait(TileId src, TileId dst) const
+ContentionNoc::walkPathWait(TileId src, TileId dst) const
 {
     double wait = 0.0;
     walkRoute(src, dst,
               [&](std::size_t link) { wait += linkWait[link]; });
     return wait;
+}
+
+double
+ContentionNoc::pathWait(TileId src, TileId dst) const
+{
+    return waitTbl[static_cast<std::size_t>(src) *
+                       static_cast<std::size_t>(topo.numTiles()) +
+                   dst];
+}
+
+void
+ContentionNoc::rebuildWaitTables()
+{
+    const std::size_t tiles =
+        static_cast<std::size_t>(topo.numTiles());
+    const std::size_t ctrls =
+        static_cast<std::size_t>(topo.numMemCtrls());
+    waitTbl.assign(tiles * tiles, 0.0);
+    memReqTbl.assign(tiles * ctrls, 0.0);
+    memRespTbl.assign(ctrls * tiles, 0.0);
+
+    // All-pairs route waits, built by extending each source's walks
+    // one link at a time. Floating-point addition is not associative,
+    // so instead of prefix-sum differences every entry continues the
+    // exact left-to-right accumulation walkPathWait performs: the
+    // X leg sweeps east/west accumulating incrementally, and each Y
+    // leg continues from its column's X-leg total. Every table entry
+    // is therefore the same addition sequence as the walk —
+    // bit-identical, not just close.
+    const int w = topo.width();
+    const int h = topo.height();
+    for (std::size_t s = 0; s < tiles; s++) {
+        double *row = &waitTbl[s * tiles];
+        const MeshCoord a = topo.coordOf(static_cast<TileId>(s));
+        for (int step = 0; step < 2; step++) {
+            // step 0: columns east of (and at) a.x; step 1: west.
+            const int dx = step == 0 ? 1 : -1;
+            const int x_dir = step == 0 ? East : West;
+            double x_wait = 0.0;
+            for (int x = a.x; x >= 0 && x < w; x += dx) {
+                if (x != a.x) {
+                    // One more X hop: the link leaving the previous
+                    // column's tile in this row.
+                    x_wait += linkWait[meshLink(
+                        topo.tileAt(x - dx, a.y), x_dir)];
+                }
+                row[topo.tileAt(x, a.y)] = x_wait;
+                // Y legs: continue the accumulation down and up this
+                // column, in the walk's south/north order.
+                double y_wait = x_wait;
+                for (int y = a.y + 1; y < h; y++) {
+                    y_wait += linkWait[meshLink(
+                        topo.tileAt(x, y - 1), South)];
+                    row[topo.tileAt(x, y)] = y_wait;
+                }
+                y_wait = x_wait;
+                for (int y = a.y - 1; y >= 0; y--) {
+                    y_wait += linkWait[meshLink(
+                        topo.tileAt(x, y + 1), North)];
+                    row[topo.tileAt(x, y)] = y_wait;
+                }
+            }
+        }
+    }
+
+    // Memory legs: the route wait plus (or after) the attach link, in
+    // the same order the unflattened memPathWait/memResponsePathWait
+    // added them.
+    for (std::size_t c = 0; c < ctrls; c++) {
+        const TileId ctrl_tile =
+            topo.memCtrlTile(static_cast<int>(c));
+        const double attach =
+            linkWait[attachLink(static_cast<int>(c))];
+        for (std::size_t t = 0; t < tiles; t++) {
+            memReqTbl[t * ctrls + c] =
+                waitTbl[t * tiles + ctrl_tile] + attach;
+            memRespTbl[c * tiles + t] =
+                attach + waitTbl[static_cast<std::size_t>(ctrl_tile) *
+                                     tiles +
+                                 t];
+        }
+    }
 }
 
 double
@@ -44,15 +127,18 @@ ContentionNoc::latency(TileId src, TileId dst,
 double
 ContentionNoc::memPathWait(TileId tile, int ctrl) const
 {
-    return pathWait(tile, topo.memCtrlTile(ctrl)) +
-        linkWait[attachLink(ctrl)];
+    return memReqTbl[static_cast<std::size_t>(tile) *
+                         static_cast<std::size_t>(
+                             topo.numMemCtrls()) +
+                     static_cast<std::size_t>(ctrl)];
 }
 
 double
 ContentionNoc::memResponsePathWait(int ctrl, TileId tile) const
 {
-    return linkWait[attachLink(ctrl)] +
-        pathWait(topo.memCtrlTile(ctrl), tile);
+    return memRespTbl[static_cast<std::size_t>(ctrl) *
+                          static_cast<std::size_t>(topo.numTiles()) +
+                      tile];
 }
 
 double
@@ -122,6 +208,9 @@ ContentionNoc::epochUpdate(double elapsed_cycles)
         linkWait[l] = service * rho / (2.0 * (1.0 - rho));
         linkUtil[l] = rho;
     }
+    // Waits changed: reflatten the route-wait tables once, so every
+    // access-path query until the next epoch stays a table read.
+    rebuildWaitTables();
 }
 
 void

@@ -7,10 +7,15 @@
  * each epoch boundary from the previous epoch's measured link loads.
  *
  * The access path never simulates events: a latency query is the
- * zero-load latency plus a per-link wait-table lookup along the
- * route, so the hot path stays O(hops) table reads. The injection
- * scale knob multiplies measured utilizations, letting studies sweep
- * load without changing the workload (noc_sensitivity).
+ * zero-load latency plus a route-wait lookup. Since link waits only
+ * change at epochUpdate, the per-route wait sums are flattened there
+ * into all-pairs tables (built by extending each walk one link at a
+ * time, so every entry performs the exact addition sequence of the
+ * route walk — bit-identical by construction), and each hot-path
+ * query is a single O(1) table read instead of an O(hops) walk. The
+ * injection scale knob multiplies measured utilizations, letting
+ * studies sweep load without changing the workload
+ * (noc_sensitivity).
  */
 
 #ifndef CDCS_NET_CONTENTION_NOC_HH
@@ -44,12 +49,19 @@ class ContentionNoc final : public NocModel
                               std::uint32_t payload_flits)
         const override;
 
-    /** Sum of link waits along the X-Y route. */
+    /** Sum of link waits along the X-Y route (flattened, O(1)). */
     double pathWait(TileId src, TileId dst) const override;
     /** Route wait to a controller, including its attach link. */
     double memPathWait(TileId tile, int ctrl) const override;
     /** Response-route wait from a controller (attach + mesh legs). */
     double memResponsePathWait(int ctrl, TileId tile) const override;
+
+    /**
+     * Reference implementation of pathWait: the literal link-by-link
+     * route walk the flattened tables must reproduce bit-for-bit.
+     * Kept for tests and for auditing the flattening.
+     */
+    double walkPathWait(TileId src, TileId dst) const;
 
     void epochUpdate(double elapsed_cycles) override;
     void clearTraffic() override;
@@ -117,6 +129,13 @@ class ContentionNoc final : public NocModel
         }
     }
 
+    /**
+     * Rebuild the flattened per-epoch wait tables from linkWait.
+     * Called whenever linkWait changes (construction, epochUpdate).
+     * O(tiles^2 + tiles * ctrls) — off the access path.
+     */
+    void rebuildWaitTables();
+
     double injScale;
     double maxUtil;
     std::size_t attachBase;  ///< First attach-link index.
@@ -126,6 +145,11 @@ class ContentionNoc final : public NocModel
     std::vector<std::uint64_t> prevFlits;  ///< At last epochUpdate.
     std::vector<double> linkWait;          ///< Cycles per traversal.
     std::vector<double> linkUtil;          ///< Last measured (scaled).
+
+    // Flattened per-epoch route-wait tables (rebuildWaitTables).
+    std::vector<double> waitTbl;     ///< [src * tiles + dst].
+    std::vector<double> memReqTbl;   ///< [tile * ctrls + ctrl].
+    std::vector<double> memRespTbl;  ///< [ctrl * tiles + tile].
 };
 
 } // namespace cdcs

@@ -3,10 +3,29 @@
 #include <algorithm>
 #include <bit>
 
+#include "common/profile.hh"
 #include "mem/mem_queue.hh"
 
 namespace cdcs
 {
+
+namespace
+{
+
+/**
+ * Timing-only wrapper: charge a cluster of NoC latency queries to the
+ * NocQuery profiler phase (reported as a share of the access phase it
+ * nests inside). A single relaxed atomic load when timing is off.
+ */
+template <typename Fn>
+double
+timedNocQuery(Fn &&fn)
+{
+    ProfTimer timer(ProfPhase::NocQuery);
+    return fn();
+}
+
+} // namespace
 
 AccessPath::AccessPath(const SystemConfig &config, Platform &plat,
                        WorkloadMix &workload,
@@ -96,8 +115,10 @@ AccessPath::issueAccess(ThreadId t)
     // links are directed, so the two legs are charged (and priced)
     // separately. Zero-load latency and hop counts are symmetric, so
     // this only redistributes per-link load, never per-class totals.
-    double lat = noc.latency(core, bank_tile, ctrl) +
-        cfg.bankLatency + noc.latency(bank_tile, core, data);
+    double lat = timedNocQuery([&] {
+        return noc.latency(core, bank_tile, ctrl) +
+            cfg.bankLatency + noc.latency(bank_tile, core, data);
+    });
     double onchip = lat - cfg.bankLatency;
     double offchip = 0.0;
     noc.addTraffic(TrafficClass::L2ToLLC, core, bank_tile, ctrl);
@@ -113,8 +134,9 @@ AccessPath::issueAccess(ThreadId t)
         // Demand move (Fig. 10): chase the line in its old bank.
         const TileId old_tile =
             static_cast<TileId>(mr.oldBank / cfg.banksPerTile);
-        const double probe_lat =
-            noc.latency(bank_tile, old_tile, ctrl);
+        const double probe_lat = timedNocQuery([&] {
+            return noc.latency(bank_tile, old_tile, ctrl);
+        });
         lat += probe_lat + cfg.bankLatency;
         onchip += probe_lat;
         noc.addTraffic(TrafficClass::Other, bank_tile, old_tile,
@@ -124,8 +146,9 @@ AccessPath::issueAccess(ThreadId t)
         if (banks[mr.oldBank].extractForMove(sample.line, moved)) {
             // Old bank hit: line + coherence state move to the new
             // bank (Fig. 10a) — the data leg travels old -> new.
-            const double move_lat =
-                noc.latency(old_tile, bank_tile, data);
+            const double move_lat = timedNocQuery([&] {
+                return noc.latency(old_tile, bank_tile, data);
+            });
             lat += move_lat;
             onchip += move_lat;
             noc.addTraffic(TrafficClass::Other, old_tile, bank_tile,
@@ -137,10 +160,11 @@ AccessPath::issueAccess(ThreadId t)
             // Old bank miss: forward to memory; the response fills
             // the new home (Fig. 10b).
             const int mc = memCtrlFor(core, sample.line);
-            const double mem_leg =
-                noc.memLatency(old_tile, mc, ctrl) +
-                cfg.memLatency + queueDelay +
-                noc.memResponseLatency(mc, bank_tile, data);
+            const double mem_leg = timedNocQuery([&] {
+                return noc.memLatency(old_tile, mc, ctrl) +
+                    cfg.memLatency + queueDelay +
+                    noc.memResponseLatency(mc, bank_tile, data);
+            });
             lat += mem_leg;
             offchip += mem_leg;
             noc.addMemTraffic(TrafficClass::LLCToMem, old_tile, mc,
@@ -154,10 +178,11 @@ AccessPath::issueAccess(ThreadId t)
         }
     } else {
         const int mc = memCtrlFor(core, sample.line);
-        const double mem_leg =
-            noc.memLatency(bank_tile, mc, ctrl) +
-            cfg.memLatency + queueDelay +
-            noc.memResponseLatency(mc, bank_tile, data);
+        const double mem_leg = timedNocQuery([&] {
+            return noc.memLatency(bank_tile, mc, ctrl) +
+                cfg.memLatency + queueDelay +
+                noc.memResponseLatency(mc, bank_tile, data);
+        });
         lat += mem_leg;
         offchip += mem_leg;
         noc.addMemTraffic(TrafficClass::LLCToMem, bank_tile, mc,

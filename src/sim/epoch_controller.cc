@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/profile.hh"
+
 namespace cdcs
 {
 
@@ -131,28 +133,36 @@ EpochController::runEpochs()
         }
 
         std::uint64_t issued = 0;
-        while (issued < cfg.accessesPerThreadEpoch) {
-            const auto n = static_cast<std::uint32_t>(
-                std::min<std::uint64_t>(
-                    cfg.chunkAccesses,
-                    cfg.accessesPerThreadEpoch - issued));
-            const double before = path.meanActiveCycles();
-            path.beginChunk();
-            for (ThreadId t = 0; t < num_threads; t++) {
-                for (std::uint32_t i = 0; i < n; i++)
-                    path.issueAccess(t);
-            }
-            issued += n;
-            const double after = path.meanActiveCycles();
-            path.endChunk(before, after);
+        {
+            // Timing only: the access phase (NoC wait queries nest
+            // inside it and are reported as a share of it).
+            ProfTimer access_timer(ProfPhase::Access);
+            while (issued < cfg.accessesPerThreadEpoch) {
+                const auto n = static_cast<std::uint32_t>(
+                    std::min<std::uint64_t>(
+                        cfg.chunkAccesses,
+                        cfg.accessesPerThreadEpoch - issued));
+                const double before = path.meanActiveCycles();
+                path.beginChunk();
+                for (ThreadId t = 0; t < num_threads; t++) {
+                    for (std::uint32_t i = 0; i < n; i++)
+                        path.issueAccess(t);
+                }
+                issued += n;
+                const double after = path.meanActiveCycles();
+                path.endChunk(before, after);
 
-            const double elapsed =
-                std::max(0.0, after - reconfigStartMean);
-            stats.bgInvalidated += platform.policy->advanceWalk(
-                static_cast<Cycles>(elapsed), platform.banks);
+                const double elapsed =
+                    std::max(0.0, after - reconfigStartMean);
+                stats.bgInvalidated += platform.policy->advanceWalk(
+                    static_cast<Cycles>(elapsed), platform.banks);
+            }
         }
 
         if (epoch + 1 < cfg.epochs) {
+            // Timing only: the epoch-boundary runtime (NoC refresh,
+            // monitor gathering, the CDCS reconfiguration solve).
+            ProfTimer reconfig_timer(ProfPhase::Reconfig);
             // Refresh the network model's contention state from this
             // epoch's measured link loads (no-op for zero-load),
             // then let the memory placement policy rebalance pages

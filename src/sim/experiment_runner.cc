@@ -6,6 +6,8 @@
 #include <cstdio>
 
 #include "common/json.hh"
+#include "common/log.hh"
+#include "common/profile.hh"
 #include "common/stats.hh"
 
 namespace cdcs
@@ -105,6 +107,19 @@ SweepResult::writeJson(const std::string &path) const
 ExperimentRunner::ExperimentRunner(Options options)
     : opts(options), pool(options.workers)
 {
+    cdcs_assert(opts.shardCount >= 1 &&
+                    opts.shardIndex >= 0 &&
+                    opts.shardIndex < opts.shardCount,
+                "shard index out of range");
+    if (!opts.cacheDir.empty()) {
+        resultStore = std::make_unique<ResultStore>(opts.cacheDir);
+        if (!resultStore->ok())
+            resultStore.reset();
+    }
+    // Sharding partitions on the store's salted content hash and is
+    // only useful when shards can exchange results through a store.
+    cdcs_assert(opts.shardCount == 1 || resultStore != nullptr,
+                "sharded runs need a usable cacheDir");
 }
 
 std::string
@@ -171,7 +186,64 @@ ExperimentRunner::cacheStats() const
     std::lock_guard<std::mutex> lock(cacheMu);
     CacheStats snapshot = stats;
     snapshot.entries = cache.size();
+    if (resultStore != nullptr) {
+        const ResultStoreStats ss = resultStore->stats();
+        snapshot.persistent = true;
+        snapshot.storeHits = ss.hits;
+        snapshot.storeMisses = ss.misses;
+        snapshot.storeEvictions = ss.evictions;
+        snapshot.storeCorrupt = ss.corrupt;
+    }
     return snapshot;
+}
+
+void
+ExperimentRunner::noteCell(std::uint64_t hash, CellAction action)
+{
+    std::lock_guard<std::mutex> lock(cacheMu);
+    auto [it, inserted] = cellActions.emplace(hash, action);
+    if (!inserted && static_cast<int>(action) >
+                         static_cast<int>(it->second)) {
+        it->second = action;
+    }
+}
+
+bool
+ExperimentRunner::writeShardManifest(const std::string &path) const
+{
+    static const char *const action_names[] = {"skipped", "memHit",
+                                               "storeHit",
+                                               "simulated"};
+    std::string doc;
+    {
+        std::lock_guard<std::mutex> lock(cacheMu);
+        appendF(doc,
+                "{\n  \"shard\": %d,\n  \"shards\": %d,\n"
+                "  \"codeVersion\": %s,\n  \"cells\": [\n",
+                opts.shardIndex, opts.shardCount,
+                resultStore != nullptr
+                    ? jsonString(resultStore->codeVersion()).c_str()
+                    : "\"\"");
+        std::size_t i = 0;
+        for (const auto &[hash, action] : cellActions) {
+            appendF(doc,
+                    "    {\"hash\": \"%016llx\", \"owner\": %d, "
+                    "\"action\": \"%s\"}%s\n",
+                    static_cast<unsigned long long>(hash),
+                    static_cast<int>(hash %
+                                     static_cast<std::uint64_t>(
+                                         opts.shardCount)),
+                    action_names[static_cast<int>(action)],
+                    ++i < cellActions.size() ? "," : "");
+        }
+        doc += "  ]\n}\n";
+    }
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    const bool ok =
+        std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    return std::fclose(f) == 0 && ok;
 }
 
 RunResult
@@ -180,30 +252,94 @@ ExperimentRunner::runJob(const Job &job)
     const bool cacheable = opts.cacheResults ||
         (opts.memoizeBaseline &&
          job.scheme.kind == SchemeKind::SNuca);
+    const bool sharded = opts.shardCount > 1;
     std::string key;
-    if (cacheable) {
+    std::uint64_t hash = 0;
+    if (cacheable || sharded)
         key = cacheKey(job.cfg, job.scheme, job.mix);
-        std::lock_guard<std::mutex> lock(cacheMu);
-        const auto it = cache.find(key);
-        if (it != cache.end()) {
-            stats.hits++;
-            return it->second;
+    if (sharded)
+        hash = resultStore->keyHash(key);
+    if (cacheable) {
+        bool hit = false;
+        RunResult cached;
+        {
+            std::lock_guard<std::mutex> lock(cacheMu);
+            const auto it = cache.find(key);
+            if (it != cache.end()) {
+                stats.hits++;
+                hit = true;
+                cached = it->second;
+            } else {
+                stats.misses++;
+            }
         }
-        stats.misses++;
+        if (hit) {
+            if (sharded)
+                noteCell(hash, CellAction::MemHit);
+            return cached;
+        }
+    }
+    // Persistent tier: another process (a previous invocation, a
+    // sibling shard, a warm CI rerun) may already have this cell.
+    if (cacheable && resultStore != nullptr) {
+        RunResult stored;
+        bool found;
+        {
+            ProfTimer timer(ProfPhase::CacheIo);
+            found = resultStore->load(key, &stored);
+        }
+        if (found) {
+            {
+                std::lock_guard<std::mutex> lock(cacheMu);
+                if (cache.emplace(key, stored).second) {
+                    cacheFifo.push_back(key);
+                    while (cache.size() > opts.cacheBudget) {
+                        cache.erase(cacheFifo.front());
+                        cacheFifo.pop_front();
+                        stats.evictions++;
+                    }
+                }
+            }
+            if (sharded)
+                noteCell(hash, CellAction::StoreHit);
+            return stored;
+        }
+    }
+    // Shard partition: only the owning shard simulates a cell that
+    // no cache tier could serve. The zero result makes the shard's
+    // own stdout meaningless by design; `merge` re-reads the fully
+    // populated store to produce the real, byte-identical report.
+    if (sharded &&
+        hash % static_cast<std::uint64_t>(opts.shardCount) !=
+            static_cast<std::uint64_t>(opts.shardIndex)) {
+        noteCell(hash, CellAction::Skipped);
+        std::lock_guard<std::mutex> lock(cacheMu);
+        stats.shardSkipped++;
+        return RunResult{};
     }
     RunResult res = runScheme(job.cfg, job.scheme, job.mix);
     if (cacheable) {
-        std::lock_guard<std::mutex> lock(cacheMu);
-        // Two workers can race to compute the same key; the first
-        // insert wins and the FIFO tracks only successful inserts.
-        if (cache.emplace(key, res).second) {
-            cacheFifo.push_back(std::move(key));
-            while (cache.size() > opts.cacheBudget) {
-                cache.erase(cacheFifo.front());
-                cacheFifo.pop_front();
-                stats.evictions++;
+        // Write-back to the persistent tier first: the in-memory
+        // insert below consumes `key`.
+        if (resultStore != nullptr) {
+            ProfTimer timer(ProfPhase::CacheIo);
+            resultStore->save(key, res);
+        }
+        {
+            std::lock_guard<std::mutex> lock(cacheMu);
+            // Two workers can race to compute the same key; the first
+            // insert wins and the FIFO tracks only successful inserts.
+            if (cache.emplace(key, res).second) {
+                cacheFifo.push_back(std::move(key));
+                while (cache.size() > opts.cacheBudget) {
+                    cache.erase(cacheFifo.front());
+                    cacheFifo.pop_front();
+                    stats.evictions++;
+                }
             }
         }
+        if (sharded)
+            noteCell(hash, CellAction::Simulated);
     }
     return res;
 }
@@ -290,7 +426,16 @@ ExperimentRunner::sweep(const SystemConfig &cfg,
         const RunResult &base = all[m * num_schemes];
         for (std::size_t s = 0; s < num_schemes; s++) {
             const RunResult &r = all[m * num_schemes + s];
-            out.ws[s][m] = weightedSpeedup(r, base);
+            // Sharded runs leave non-owned cells as zero results
+            // (empty procThroughput); a shard's own report is
+            // partial by design, so aggregate them as a neutral 1.0
+            // (gmean-safe) rather than assert — `merge` re-reads
+            // every cell from the store for the real report.
+            out.ws[s][m] = r.procThroughput.empty() ||
+                    r.procThroughput.size() !=
+                        base.procThroughput.size()
+                ? 1.0
+                : weightedSpeedup(r, base);
             out.onChipLat[s] += r.avgOnChipLatency() / mixes;
             out.offChipLat[s] += r.offChipLatPerInstr() / mixes;
             for (int c = 0; c < 3; c++) {

@@ -19,6 +19,8 @@
 #include <array>
 #include <deque>
 #include <functional>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -26,6 +28,7 @@
 
 #include "common/task_pool.hh"
 #include "sim/experiment.hh"
+#include "sim/result_store.hh"
 
 namespace cdcs
 {
@@ -89,6 +92,28 @@ class ExperimentRunner
 
         /** Max cached entries; FIFO eviction beyond the budget. */
         std::size_t cacheBudget = 1024;
+
+        /**
+         * Persistent cache tier: directory of the on-disk result
+         * store shared across processes (`--set cacheDir=` /
+         * CDCS_CACHE_DIR). Empty disables the tier. Cacheable runs
+         * missing in memory are looked up here before simulating,
+         * and every simulated cacheable run is written back.
+         */
+        std::string cacheDir;
+
+        /**
+         * Deterministic sweep sharding: this invocation only
+         * simulates jobs whose salted content hash satisfies
+         * `hash % shardCount == shardIndex`. Non-owned jobs are
+         * served from the cache tiers when possible and otherwise
+         * skipped (returning a zero RunResult), so a shard's own
+         * report output is meaningless — `cdcs_studies merge`
+         * recombines the shards' stores into the real report.
+         * Requires cacheDir.
+         */
+        int shardIndex = 0;
+        int shardCount = 1;
     };
 
     /** Result-cache counters (monotonic over the runner's life). */
@@ -98,6 +123,14 @@ class ExperimentRunner
         std::uint64_t misses = 0;
         std::uint64_t evictions = 0;
         std::size_t entries = 0;
+
+        /** Persistent-tier mirror (all zero without a store). */
+        bool persistent = false;  ///< Store attached and usable.
+        std::uint64_t storeHits = 0;
+        std::uint64_t storeMisses = 0;
+        std::uint64_t storeEvictions = 0; ///< Stale records replaced.
+        std::uint64_t storeCorrupt = 0;   ///< Records skipped.
+        std::uint64_t shardSkipped = 0;   ///< Jobs left to other shards.
     };
 
     /** One unit of schedulable work. */
@@ -147,6 +180,18 @@ class ExperimentRunner
     /** Snapshot of the result-cache counters. */
     CacheStats cacheStats() const;
 
+    /** The persistent store, or nullptr when the tier is off. */
+    const ResultStore *store() const { return resultStore.get(); }
+
+    /**
+     * Write the shard manifest (JSON) for a sharded invocation:
+     * every cacheable cell this runner saw, with its content hash,
+     * owning shard and how it was resolved ("simulated", "storeHit",
+     * "memHit" or "skipped"). tools/merge_study_json.py checks a
+     * shard set's manifests for completeness and disjointness.
+     */
+    bool writeShardManifest(const std::string &path) const;
+
   private:
     /**
      * Exact-match memo key: a full serialization of everything that
@@ -158,8 +203,21 @@ class ExperimentRunner
 
     RunResult runJob(const Job &job);
 
+    /** How a sharded runner resolved a cell (manifest categories). */
+    enum class CellAction : int
+    {
+        Skipped = 0,
+        MemHit,
+        StoreHit,
+        Simulated
+    };
+
+    /** Record the strongest action seen for a cell (sharded only). */
+    void noteCell(std::uint64_t hash, CellAction action);
+
     Options opts;
     WorkStealingPool pool;
+    std::unique_ptr<ResultStore> resultStore;
     mutable std::mutex cacheMu;
     /**
      * The result cache. Holds S-NUCA baselines (memoizeBaseline) and,
@@ -169,6 +227,8 @@ class ExperimentRunner
     std::unordered_map<std::string, RunResult> cache;
     std::deque<std::string> cacheFifo;
     CacheStats stats;
+    /** Per-cell manifest state, hash-sorted (sharded runs only). */
+    std::map<std::uint64_t, CellAction> cellActions;
 };
 
 } // namespace cdcs

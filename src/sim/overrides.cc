@@ -224,6 +224,9 @@ const KeyDef knobKeys[] = {
     {"table3Iters", "uint", nullptr}, // CDCS_TABLE3_ITERS
     {"cache", "bool", nullptr},       // CDCS_CACHE
     {"cacheBudget", "uint", nullptr}, // CDCS_CACHE_BUDGET
+    {"cacheDir", "string", nullptr},  // CDCS_CACHE_DIR
+    {"cacheStats", "bool", nullptr},  // CDCS_CACHE_STATS
+    {"timing", "bool", nullptr},      // CDCS_TIMING
     {"jsonDir", "string", nullptr},   // CDCS_JSON_DIR
 };
 

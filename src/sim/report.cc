@@ -96,6 +96,23 @@ ReportSink::printf(const char *fmt, ...)
     text(std::string_view(big.data(), n));
 }
 
+void
+ReportSink::timing(const std::string &study, const StudyTiming &t)
+{
+    (void)study; // One footer right after the study's own output.
+    const auto pct = [&](double sec) {
+        return t.wallSec > 0.0 ? 100.0 * sec / t.wallSec : 0.0;
+    };
+    const double noc_share = t.accessSec > 0.0
+        ? 100.0 * t.nocQuerySec / t.accessSec : 0.0;
+    printf("[timing: wall %.3f s; access %.3f s (%.1f%%), "
+           "reconfig %.3f s (%.1f%%), cache-io %.3f s (%.1f%%); "
+           "noc-query %.3f s (%.1f%% of access)]\n",
+           t.wallSec, t.accessSec, pct(t.accessSec), t.reconfigSec,
+           pct(t.reconfigSec), t.cacheIoSec, pct(t.cacheIoSec),
+           t.nocQuerySec, noc_share);
+}
+
 // ------------------------------------------------------------------
 // ChipMap
 
@@ -359,6 +376,24 @@ JsonReportSink::nocHeatmap(const std::string &name,
     anyArtifact = true;
     doc += "   {\"name\": " + jsonString(name) +
         ", \"kind\": \"nocheatmap\", \"data\": " + json + "}";
+}
+
+void
+JsonReportSink::timing(const std::string &study,
+                       const StudyTiming &t)
+{
+    (void)study; // Recorded inside the current study's artifacts.
+    std::string json = "{";
+    appendF(json,
+            "\"wallSec\": %.17g, \"accessSec\": %.17g, "
+            "\"nocQuerySec\": %.17g, \"reconfigSec\": %.17g, "
+            "\"cacheIoSec\": %.17g}",
+            t.wallSec, t.accessSec, t.nocQuerySec, t.reconfigSec,
+            t.cacheIoSec);
+    doc += anyArtifact ? ",\n" : "\n";
+    anyArtifact = true;
+    doc += "   {\"name\": \"timing\", \"kind\": \"timing\", "
+           "\"data\": " + json + "}";
 }
 
 void

@@ -62,6 +62,21 @@ struct NocHeatmap
 /** Build the heatmap of a finished run (empty under zero-load). */
 NocHeatmap makeNocHeatmap(int width, int height, const RunResult &run);
 
+/**
+ * Per-study wall time and phase breakdown, gathered from the phase
+ * profiler (`--set timing=1` / CDCS_TIMING). Phase times are summed
+ * across worker threads, so their total can exceed the wall time on
+ * parallel runs; nocQuerySec nests inside accessSec.
+ */
+struct StudyTiming
+{
+    double wallSec = 0.0;
+    double accessSec = 0.0;    ///< The access path (issueAccess).
+    double nocQuerySec = 0.0;  ///< NoC wait queries (inside access).
+    double reconfigSec = 0.0;  ///< Epoch-boundary runtime reconfig.
+    double cacheIoSec = 0.0;   ///< Persistent result-store I/O.
+};
+
 /** Where study output goes; default implementations discard. */
 class ReportSink
 {
@@ -113,6 +128,14 @@ class ReportSink
         (void)name;
         (void)map;
     }
+
+    /**
+     * A study's phase-timing footer (emitted by runStudy only under
+     * `--set timing=1`). The default implementation renders the text
+     * footer through text(), so text-flavored sinks inherit it.
+     */
+    virtual void timing(const std::string &study,
+                        const StudyTiming &t);
 };
 
 /**
@@ -181,6 +204,8 @@ class JsonReportSink : public ReportSink
                  const ChipMap &map) override;
     void nocHeatmap(const std::string &name,
                     const NocHeatmap &map) override;
+    void timing(const std::string &study,
+                const StudyTiming &t) override;
     void finish() override;
 
   private:
@@ -212,6 +237,13 @@ class CsvReportSink : public ReportSink
                  const ChipMap &map) override;
     void nocHeatmap(const std::string &name,
                     const NocHeatmap &map) override;
+    /** CSV rows carry no timing; the footer is dropped. */
+    void
+    timing(const std::string &study, const StudyTiming &t) override
+    {
+        (void)study;
+        (void)t;
+    }
     void finish() override;
 
   private:

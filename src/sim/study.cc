@@ -1,11 +1,13 @@
 #include "sim/study.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <utility>
 
 #include "common/json.hh"
 #include "common/log.hh"
+#include "common/profile.hh"
 #include "sim/experiment.hh"
 
 namespace cdcs
@@ -76,9 +78,15 @@ runnerOptions(const Overrides &overrides, bool default_cache)
     ExperimentRunner::Options opts;
     opts.workers = static_cast<unsigned>(
         overrides.knob("workers", "CDCS_WORKERS", 0));
+    opts.cacheDir =
+        overrides.strKnob("cacheDir", "CDCS_CACHE_DIR", "");
+    // A persistent store is only useful when runs go through the
+    // cache, so cacheDir= implies cache=1 (an explicit --set cache=0
+    // still wins).
     opts.cacheResults =
         overrides.knob("cache", "CDCS_CACHE",
-                       default_cache ? 1 : 0) != 0;
+                       default_cache || !opts.cacheDir.empty()
+                           ? 1 : 0) != 0;
     opts.cacheBudget = static_cast<std::size_t>(
         overrides.knob("cacheBudget", "CDCS_CACHE_BUDGET", 1024));
     return opts;
@@ -99,6 +107,12 @@ runStudy(const StudySpec &spec, const Overrides &overrides,
 
     StudyContext ctx(spec, cfg, mixes, runner, sink, overrides);
     const ExperimentRunner::CacheStats before = runner.cacheStats();
+    const bool timing_on =
+        overrides.knob("timing", "CDCS_TIMING", 0) != 0;
+    if (timing_on)
+        Profiler::setEnabled(true);
+    const Profiler::Snapshot prof_before = Profiler::snapshot();
+    const auto wall_before = std::chrono::steady_clock::now();
     sink.beginStudy(spec);
     spec.run(ctx);
     if (runner.options().cacheResults) {
@@ -120,6 +134,53 @@ runStudy(const StudySpec &spec, const Overrides &overrides,
                                                 before.evictions),
                 static_cast<unsigned long long>(now.entries));
         }
+    }
+    {
+        // Persistent-tier footer: only ever printed when a store is
+        // attached (cacheDir is set, a non-default knob), so default
+        // text output stays byte-identical; `--set cacheStats=0`
+        // silences it for byte-diff runs that do use a store.
+        const ExperimentRunner::CacheStats now = runner.cacheStats();
+        const std::uint64_t delta =
+            (now.storeHits - before.storeHits) +
+            (now.storeMisses - before.storeMisses) +
+            (now.storeEvictions - before.storeEvictions) +
+            (now.storeCorrupt - before.storeCorrupt) +
+            (now.shardSkipped - before.shardSkipped);
+        if (now.persistent && delta > 0 &&
+            overrides.knob("cacheStats", "CDCS_CACHE_STATS", 1) !=
+                0) {
+            sink.printf(
+                "[store: %llu hits, %llu misses, %llu evictions, "
+                "%llu corrupt, %llu skipped]\n",
+                static_cast<unsigned long long>(now.storeHits -
+                                                before.storeHits),
+                static_cast<unsigned long long>(now.storeMisses -
+                                                before.storeMisses),
+                static_cast<unsigned long long>(
+                    now.storeEvictions - before.storeEvictions),
+                static_cast<unsigned long long>(now.storeCorrupt -
+                                                before.storeCorrupt),
+                static_cast<unsigned long long>(now.shardSkipped -
+                                                before.shardSkipped));
+        }
+    }
+    if (timing_on) {
+        const std::chrono::duration<double> wall =
+            std::chrono::steady_clock::now() - wall_before;
+        const Profiler::Snapshot d =
+            Profiler::snapshot().since(prof_before);
+        StudyTiming t;
+        t.wallSec = wall.count();
+        t.accessSec = 1e-9 * static_cast<double>(
+            d[ProfPhase::Access]);
+        t.nocQuerySec = 1e-9 * static_cast<double>(
+            d[ProfPhase::NocQuery]);
+        t.reconfigSec = 1e-9 * static_cast<double>(
+            d[ProfPhase::Reconfig]);
+        t.cacheIoSec = 1e-9 * static_cast<double>(
+            d[ProfPhase::CacheIo]);
+        sink.timing(spec.name, t);
     }
     sink.endStudy(spec);
     sink.flush();
@@ -159,8 +220,18 @@ usage(std::FILE *out)
         "      enumerate the registered studies\n"
         "  run <study>...|all [--set key=value]... "
         "[--format=text|json|csv]\n"
+        "      [--shard i/N]\n"
         "      run studies; text output is byte-identical to the\n"
-        "      legacy bench harnesses under default knobs\n"
+        "      legacy bench harnesses under default knobs.\n"
+        "      --shard i/N simulates only the cells whose content\n"
+        "      hash maps to shard i (requires cacheDir; the shard's\n"
+        "      own report is partial — use merge) and writes\n"
+        "      <cacheDir>/shard-<i>of<N>.json\n"
+        "  merge <study>...|all [--set key=value]... "
+        "[--format=text|json|csv]\n"
+        "      recombine sharded runs: replay the studies from the\n"
+        "      populated result store (requires cacheDir); output is\n"
+        "      byte-identical to an unsharded run\n"
         "\n"
         "overrides (--set, also settable via CDCS_* env knobs):\n");
     for (const auto &[key, type] : Overrides::knownKeys())
@@ -222,10 +293,29 @@ studiesCliMain(int argc, char **argv)
     Overrides overrides;
     std::string format = "text";
     std::vector<std::string> names;
+    int shard_index = 0;
+    int shard_count = 1;
+    bool sharded = false;
+    const auto parse_shard = [&](const std::string &val) {
+        char extra = '\0';
+        if (std::sscanf(val.c_str(), "%d/%d%c", &shard_index,
+                        &shard_count, &extra) != 2 ||
+            shard_count < 1 || shard_index < 0 ||
+            shard_index >= shard_count) {
+            std::fprintf(stderr,
+                         "bad --shard '%s' (expected i/N with "
+                         "0 <= i < N)\n",
+                         val.c_str());
+            return false;
+        }
+        sharded = true;
+        return true;
+    };
     for (std::size_t i = 1; i < args.size(); i++) {
         const std::string &arg = args[i];
         std::string err;
-        if (arg == "--set" || arg == "--format") {
+        if (arg == "--set" || arg == "--format" ||
+            arg == "--shard") {
             if (i + 1 >= args.size()) {
                 std::fprintf(stderr, "%s needs a value\n",
                              arg.c_str());
@@ -233,6 +323,9 @@ studiesCliMain(int argc, char **argv)
             }
             if (arg == "--format") {
                 format = args[++i];
+            } else if (arg == "--shard") {
+                if (!parse_shard(args[++i]))
+                    return 2;
             } else if (!overrides.add(args[++i], &err)) {
                 std::fprintf(stderr, "%s\n", err.c_str());
                 return 2;
@@ -244,6 +337,9 @@ studiesCliMain(int argc, char **argv)
             }
         } else if (arg.rfind("--format=", 0) == 0) {
             format = arg.substr(9);
+        } else if (arg.rfind("--shard=", 0) == 0) {
+            if (!parse_shard(arg.substr(8)))
+                return 2;
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
             return usage(stderr);
@@ -253,19 +349,25 @@ studiesCliMain(int argc, char **argv)
     }
 
     if (cmd == "list") {
-        if (!names.empty() || !overrides.empty()) {
+        if (!names.empty() || !overrides.empty() || sharded) {
             std::fprintf(stderr, "list takes only --format\n");
             return 2;
         }
         return listStudies(format);
     }
-    if (cmd != "run") {
+    const bool merge = cmd == "merge";
+    if (cmd != "run" && !merge) {
         std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
         return usage(stderr);
     }
     if (names.empty()) {
-        std::fprintf(stderr, "run needs at least one study name "
-                             "(or 'all')\n");
+        std::fprintf(stderr, "%s needs at least one study name "
+                             "(or 'all')\n", cmd.c_str());
+        return 2;
+    }
+    if (merge && sharded) {
+        std::fprintf(stderr,
+                     "--shard applies to run, not merge\n");
         return 2;
     }
 
@@ -306,11 +408,49 @@ studiesCliMain(int argc, char **argv)
     bool any_repeated = false;
     for (const StudySpec *spec : specs)
         any_repeated = any_repeated || spec->repeatedLineup;
-    ExperimentRunner runner(runnerOptions(overrides, any_repeated));
+    ExperimentRunner::Options ropts =
+        runnerOptions(overrides, any_repeated);
+    if (sharded || merge) {
+        if (ropts.cacheDir.empty()) {
+            std::fprintf(stderr,
+                         "%s requires a result store: --set "
+                         "cacheDir=DIR (or CDCS_CACHE_DIR)\n",
+                         merge ? "merge" : "--shard");
+            return 2;
+        }
+        if (!ropts.cacheResults) {
+            std::fprintf(stderr,
+                         "%s requires the result cache (remove "
+                         "cache=0)\n",
+                         merge ? "merge" : "--shard");
+            return 2;
+        }
+        if (sharded) {
+            ropts.shardIndex = shard_index;
+            ropts.shardCount = shard_count;
+        }
+    }
+    ExperimentRunner runner(ropts);
     int rc = 0;
     for (const StudySpec *spec : specs)
         rc |= runStudy(*spec, overrides, runner, *sink);
     sink->finish();
+    if (sharded) {
+        char suffix[64];
+        std::snprintf(suffix, sizeof(suffix),
+                      "/shard-%dof%d.json", shard_index,
+                      shard_count);
+        const std::string manifest = ropts.cacheDir + suffix;
+        if (runner.writeShardManifest(manifest)) {
+            std::fprintf(stderr, "[shard %d/%d: manifest %s]\n",
+                         shard_index, shard_count,
+                         manifest.c_str());
+        } else {
+            std::fprintf(stderr, "failed to write %s\n",
+                         manifest.c_str());
+            rc |= 1;
+        }
+    }
     return rc;
 }
 

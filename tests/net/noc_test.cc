@@ -340,6 +340,83 @@ TEST(ContentionNocTest, LatencyDecomposesIntoZeroLoadPlusPathWait)
     }
 }
 
+TEST(ContentionNocTest, FlattenedWaitsMatchRouteWalkBitForBit)
+{
+    // The flattened per-epoch tables must reproduce the literal
+    // link-by-link route walk bit-for-bit (EXPECT_EQ, not NEAR) on
+    // randomized meshes under randomized traffic: any FP reassociation
+    // in the flattening would silently shift every downstream study.
+    Rng rng(2024);
+    const int dims[][2] = {{2, 2}, {4, 4}, {6, 6}, {5, 3}, {3, 7}};
+    for (const auto &dim : dims) {
+        const Mesh mesh(dim[0], dim[1]);
+        ContentionNoc noc(mesh, 1.0, 0.95);
+        const int tiles = mesh.numTiles();
+        // Random traffic over all classes and both mem directions.
+        for (int i = 0; i < 40 * tiles; i++) {
+            const auto src =
+                static_cast<TileId>(rng.below(tiles));
+            const auto dst =
+                static_cast<TileId>(rng.below(tiles));
+            const auto flits =
+                static_cast<std::uint32_t>(1 + rng.below(8));
+            noc.addTraffic(TrafficClass::L2ToLLC, src, dst, flits);
+            const int ctrl = static_cast<int>(
+                rng.below(mesh.numMemCtrls()));
+            noc.addMemTraffic(TrafficClass::LLCToMem, src, ctrl,
+                              flits);
+            noc.addMemResponse(TrafficClass::LLCToMem, ctrl, dst,
+                               flits);
+        }
+        noc.epochUpdate(1000.0 + rng.uniform(0.0, 500.0));
+
+        for (TileId a = 0; a < tiles; a++) {
+            for (TileId b = 0; b < tiles; b++)
+                EXPECT_EQ(noc.pathWait(a, b), noc.walkPathWait(a, b));
+        }
+        // Mem legs: the reference is the walk plus/then the attach
+        // wait, in the directions the unflattened queries added them.
+        for (int c = 0; c < mesh.numMemCtrls(); c++) {
+            const TileId ct = mesh.memCtrlTile(c);
+            // The attach wait is observable as the mem-path extra on
+            // the controller's own tile (zero-length mesh route).
+            const double attach = noc.memPathWait(ct, c);
+            EXPECT_EQ(noc.walkPathWait(ct, ct), 0.0);
+            for (TileId t = 0; t < tiles; t++) {
+                EXPECT_EQ(noc.memPathWait(t, c),
+                          noc.walkPathWait(t, ct) + attach);
+                EXPECT_EQ(noc.memResponsePathWait(c, t),
+                          attach + noc.walkPathWait(ct, t));
+            }
+        }
+    }
+}
+
+TEST(ContentionNocTest, FlattenedWaitsTrackEveryEpochUpdate)
+{
+    // Tables must refresh on every epochUpdate, including after
+    // clearTraffic (which keeps the waits).
+    const Mesh mesh(4, 4);
+    ContentionNoc noc(mesh, 1.0, 0.95);
+    Rng rng(7);
+    for (int epoch = 0; epoch < 4; epoch++) {
+        for (int i = 0; i < 200; i++) {
+            noc.addTraffic(
+                TrafficClass::Other,
+                static_cast<TileId>(rng.below(mesh.numTiles())),
+                static_cast<TileId>(rng.below(mesh.numTiles())),
+                1 + static_cast<std::uint32_t>(rng.below(4)));
+        }
+        noc.epochUpdate(500.0);
+        if (epoch == 1)
+            noc.clearTraffic();
+        for (TileId a = 0; a < mesh.numTiles(); a++) {
+            for (TileId b = 0; b < mesh.numTiles(); b++)
+                EXPECT_EQ(noc.pathWait(a, b), noc.walkPathWait(a, b));
+        }
+    }
+}
+
 TEST(NocRegistryTest, BuiltInModelsRegistered)
 {
     NocRegistry &registry = NocRegistry::instance();

@@ -1,0 +1,397 @@
+/**
+ * @file
+ * Tests for the persistent result store and the sharded runner built
+ * on it: binary round-trip of every RunResult field, code-version
+ * salting (a version bump re-keys the store), tolerance of truncated
+ * and bit-flipped records (skipped as corrupt, never trusted),
+ * concurrent writers, warm-start equivalence across runner instances
+ * (simulating separate processes), shard partition completeness and
+ * disjointness, and shard + merge == unsharded at the result level.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment_runner.hh"
+#include "sim/result_store.hh"
+
+namespace cdcs
+{
+namespace
+{
+
+/** A unique fresh directory under /tmp for one test. */
+std::string
+freshDir(const char *tag)
+{
+    const char *base = std::getenv("TMPDIR");
+    std::string dir =
+        (base != nullptr && *base != '\0') ? base : "/tmp";
+    dir += "/cdcs_store_test_";
+    dir += tag;
+    dir += "_" + std::to_string(::getpid());
+    // Start clean: drop records from a previous crashed run.
+    std::system(("rm -rf '" + dir + "'").c_str());
+    return dir;
+}
+
+std::string
+recordPathOf(const ResultStore &store, const std::string &dir,
+             const std::string &key)
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "%016llx.res",
+                  static_cast<unsigned long long>(
+                      store.keyHash(key)));
+    return dir + "/" + name;
+}
+
+/** A RunResult with every field (incl. the vectors) non-default. */
+RunResult
+sampleResult(double salt)
+{
+    RunResult r;
+    r.threadInstrs = {1e6 + salt, 2e6, 3e6};
+    r.threadCycles = {4e6, 5e6 + salt, 6e6};
+    r.threadIpc = {0.25, 0.4, 0.5};
+    r.procThroughput = {0.75, 1.25 + salt};
+    r.totalInstrs = 6e6 + salt;
+    r.wallCycles = 6.5e6;
+    r.llcAccesses = 123456;
+    r.llcHits = 98765;
+    r.demandMoves = 42;
+    r.moveProbes = 77;
+    r.memAccesses = 31415;
+    r.instantMoved = 8;
+    r.bulkInvalidated = 9;
+    r.bgInvalidated = 10;
+    r.pausedCycles = 2048;
+    r.reconfigs = 3;
+    r.avgTimes.allocUs = 1.5;
+    r.avgTimes.threadPlaceUs = 2.5;
+    r.avgTimes.dataPlaceUs = 3.5;
+    r.onChipLatSum = 1e7 + salt;
+    r.offChipLatSum = 2e7;
+    r.trafficFlitHops = {100, 200, 300};
+    NocLinkStat link;
+    link.src = 1;
+    link.dst = 2;
+    link.memCtrl = -1;
+    link.flits = 555;
+    link.util = 0.125;
+    link.waitCycles = 0.0625;
+    r.nocLinks.push_back(link);
+    link.src = 3;
+    link.dst = invalidTile;
+    link.memCtrl = 1;
+    r.nocLinks.push_back(link);
+    r.memMigratedPages = 17;
+    r.energy.staticE = 0.1;
+    r.energy.core = 0.2;
+    r.energy.net = 0.3;
+    r.energy.llc = 0.4;
+    r.energy.mem = 0.5;
+    r.ipcTrace = {0.5, 0.75, 1.0 + salt};
+    r.ipcBinCycles = 10000;
+    return r;
+}
+
+/**
+ * Compare two RunResults field by field. `same_simulation` also
+ * compares avgTimes — real wall-clock measurements of the runtime's
+ * reconfiguration steps, identical only when both results came from
+ * the same simulation (e.g. through a store round-trip), never across
+ * independent re-simulations of the same cell.
+ */
+void
+expectEqualResults(const RunResult &a, const RunResult &b,
+                   bool same_simulation = true)
+{
+    EXPECT_EQ(a.threadInstrs, b.threadInstrs);
+    EXPECT_EQ(a.threadCycles, b.threadCycles);
+    EXPECT_EQ(a.threadIpc, b.threadIpc);
+    EXPECT_EQ(a.procThroughput, b.procThroughput);
+    EXPECT_EQ(a.totalInstrs, b.totalInstrs);
+    EXPECT_EQ(a.wallCycles, b.wallCycles);
+    EXPECT_EQ(a.llcAccesses, b.llcAccesses);
+    EXPECT_EQ(a.llcHits, b.llcHits);
+    EXPECT_EQ(a.demandMoves, b.demandMoves);
+    EXPECT_EQ(a.moveProbes, b.moveProbes);
+    EXPECT_EQ(a.memAccesses, b.memAccesses);
+    EXPECT_EQ(a.instantMoved, b.instantMoved);
+    EXPECT_EQ(a.bulkInvalidated, b.bulkInvalidated);
+    EXPECT_EQ(a.bgInvalidated, b.bgInvalidated);
+    EXPECT_EQ(a.pausedCycles, b.pausedCycles);
+    EXPECT_EQ(a.reconfigs, b.reconfigs);
+    if (same_simulation) {
+        EXPECT_EQ(a.avgTimes.allocUs, b.avgTimes.allocUs);
+        EXPECT_EQ(a.avgTimes.threadPlaceUs, b.avgTimes.threadPlaceUs);
+        EXPECT_EQ(a.avgTimes.dataPlaceUs, b.avgTimes.dataPlaceUs);
+    }
+    EXPECT_EQ(a.onChipLatSum, b.onChipLatSum);
+    EXPECT_EQ(a.offChipLatSum, b.offChipLatSum);
+    EXPECT_EQ(a.trafficFlitHops, b.trafficFlitHops);
+    ASSERT_EQ(a.nocLinks.size(), b.nocLinks.size());
+    for (std::size_t l = 0; l < a.nocLinks.size(); l++) {
+        EXPECT_EQ(a.nocLinks[l].src, b.nocLinks[l].src);
+        EXPECT_EQ(a.nocLinks[l].dst, b.nocLinks[l].dst);
+        EXPECT_EQ(a.nocLinks[l].memCtrl, b.nocLinks[l].memCtrl);
+        EXPECT_EQ(a.nocLinks[l].flits, b.nocLinks[l].flits);
+        EXPECT_EQ(a.nocLinks[l].util, b.nocLinks[l].util);
+        EXPECT_EQ(a.nocLinks[l].waitCycles, b.nocLinks[l].waitCycles);
+    }
+    EXPECT_EQ(a.memMigratedPages, b.memMigratedPages);
+    EXPECT_EQ(a.energy.staticE, b.energy.staticE);
+    EXPECT_EQ(a.energy.core, b.energy.core);
+    EXPECT_EQ(a.energy.net, b.energy.net);
+    EXPECT_EQ(a.energy.llc, b.energy.llc);
+    EXPECT_EQ(a.energy.mem, b.energy.mem);
+    EXPECT_EQ(a.ipcTrace, b.ipcTrace);
+    EXPECT_EQ(a.ipcBinCycles, b.ipcBinCycles);
+}
+
+TEST(ResultStoreTest, RoundTripsEveryFieldAcrossInstances)
+{
+    const std::string dir = freshDir("roundtrip");
+    const RunResult written = sampleResult(0.5);
+    {
+        ResultStore store(dir, "v1");
+        ASSERT_TRUE(store.ok());
+        EXPECT_TRUE(store.save("cfg:a|mix:b", written));
+    }
+    // A second instance simulates a fresh process reading the disk.
+    ResultStore reader(dir, "v1");
+    ASSERT_TRUE(reader.ok());
+    RunResult read;
+    ASSERT_TRUE(reader.load("cfg:a|mix:b", &read));
+    expectEqualResults(written, read);
+    EXPECT_EQ(reader.stats().hits, 1u);
+    EXPECT_EQ(reader.stats().corrupt, 0u);
+
+    // A different key misses.
+    EXPECT_FALSE(reader.load("cfg:a|mix:c", &read));
+    EXPECT_EQ(reader.stats().misses, 1u);
+}
+
+TEST(ResultStoreTest, CodeVersionSaltInvalidatesRecords)
+{
+    const std::string dir = freshDir("salt");
+    {
+        ResultStore v1(dir, "v1");
+        ASSERT_TRUE(v1.save("key", sampleResult(0.0)));
+    }
+    // A new code version hashes to a different record name, so the
+    // old record is simply invisible — a miss, not corruption.
+    ResultStore v1(dir, "v1");
+    ResultStore v2(dir, "v2");
+    EXPECT_NE(v1.keyHash("key"), v2.keyHash("key"));
+    RunResult out;
+    EXPECT_FALSE(v2.load("key", &out));
+    EXPECT_EQ(v2.stats().misses, 1u);
+    EXPECT_EQ(v2.stats().corrupt, 0u);
+    // The old version still finds its record untouched.
+    EXPECT_TRUE(v1.load("key", &out));
+}
+
+TEST(ResultStoreTest, TruncatedAndCorruptRecordsAreSkipped)
+{
+    const std::string dir = freshDir("corrupt");
+    ResultStore store(dir, "v1");
+    ASSERT_TRUE(store.save("key", sampleResult(1.0)));
+    const std::string path = recordPathOf(store, dir, "key");
+
+    // Read the record back, then truncate it (a torn write).
+    std::string blob;
+    {
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        ASSERT_NE(f, nullptr);
+        char buf[4096];
+        std::size_t n;
+        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            blob.append(buf, n);
+        std::fclose(f);
+    }
+    ASSERT_GT(blob.size(), 64u);
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fwrite(blob.data(), 1, blob.size() / 2, f);
+        std::fclose(f);
+    }
+    RunResult out;
+    EXPECT_FALSE(store.load("key", &out));
+    EXPECT_GE(store.stats().corrupt, 1u);
+
+    // Restore with one flipped payload byte: checksum catches it.
+    blob[blob.size() / 2] =
+        static_cast<char>(blob[blob.size() / 2] ^ 0x40);
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fwrite(blob.data(), 1, blob.size(), f);
+        std::fclose(f);
+    }
+    EXPECT_FALSE(store.load("key", &out));
+    EXPECT_GE(store.stats().corrupt, 2u);
+
+    // A rewrite heals the slot (counted as an eviction).
+    EXPECT_TRUE(store.save("key", sampleResult(1.0)));
+    EXPECT_TRUE(store.load("key", &out));
+    EXPECT_EQ(store.stats().evictions, 1u);
+    expectEqualResults(sampleResult(1.0), out);
+}
+
+TEST(ResultStoreTest, ConcurrentWritersLeaveAConsistentStore)
+{
+    const std::string dir = freshDir("writers");
+    ResultStore store(dir, "v1");
+    ASSERT_TRUE(store.ok());
+    // Two threads hammer overlapping key sets; every record must end
+    // up readable and checksum-clean (atomic rename + advisory lock).
+    const auto writer = [&](int base) {
+        for (int i = 0; i < 40; i++) {
+            const std::string key =
+                "key" + std::to_string((base + i) % 25);
+            store.save(key, sampleResult(static_cast<double>(i)));
+        }
+    };
+    std::thread a(writer, 0), b(writer, 10);
+    a.join();
+    b.join();
+    for (int i = 0; i < 25; i++) {
+        RunResult out;
+        EXPECT_TRUE(store.load("key" + std::to_string(i), &out));
+    }
+    EXPECT_EQ(store.stats().corrupt, 0u);
+}
+
+// ------------------------------------------------------------------
+// Runner-level: the persistent tier and sweep sharding.
+
+SystemConfig
+tinyConfig()
+{
+    SystemConfig cfg;
+    cfg.meshWidth = 4;
+    cfg.meshHeight = 4;
+    cfg.bankLines = 1024;
+    cfg.accessesPerThreadEpoch = 2000;
+    cfg.epochs = 3;
+    cfg.warmupEpochs = 1;
+    return cfg;
+}
+
+std::vector<SchemeSpec>
+twoSchemes()
+{
+    return {SchemeSpec::snuca(), SchemeSpec::cdcs()};
+}
+
+ExperimentRunner::Options
+storeOptions(const std::string &dir, int shard = 0, int shards = 1)
+{
+    ExperimentRunner::Options opts;
+    opts.workers = 2;
+    opts.cacheResults = true;
+    opts.cacheDir = dir;
+    opts.shardIndex = shard;
+    opts.shardCount = shards;
+    return opts;
+}
+
+MixSpec
+mixOf(int m)
+{
+    return MixSpec::cpu(4, 2100 + m);
+}
+
+TEST(ShardedRunnerTest, WarmRunnerServesEveryCellFromTheStore)
+{
+    const std::string dir = freshDir("warm");
+    const SystemConfig cfg = tinyConfig();
+
+    ExperimentRunner cold(storeOptions(dir));
+    const SweepResult a = cold.sweep(cfg, twoSchemes(), 2, mixOf);
+    const auto cold_stats = cold.cacheStats();
+    EXPECT_TRUE(cold_stats.persistent);
+    EXPECT_EQ(cold_stats.storeHits, 0u);
+    EXPECT_GT(cold_stats.storeMisses, 0u);
+
+    // A fresh runner (standing in for a fresh process) must rebuild
+    // the identical sweep purely from disk.
+    ExperimentRunner warm(storeOptions(dir));
+    const SweepResult b = warm.sweep(cfg, twoSchemes(), 2, mixOf);
+    const auto warm_stats = warm.cacheStats();
+    EXPECT_EQ(warm_stats.storeMisses, 0u);
+    EXPECT_EQ(warm_stats.storeHits, cold_stats.storeMisses);
+    ASSERT_EQ(a.ws.size(), b.ws.size());
+    for (std::size_t s = 0; s < a.ws.size(); s++)
+        EXPECT_EQ(a.ws[s], b.ws[s]);
+    ASSERT_EQ(a.firstRun.size(), b.firstRun.size());
+    for (std::size_t s = 0; s < a.firstRun.size(); s++)
+        expectEqualResults(a.firstRun[s], b.firstRun[s]);
+    EXPECT_EQ(a.toJson(), b.toJson());
+}
+
+TEST(ShardedRunnerTest, ShardsPartitionCellsAndMergeMatchesUnsharded)
+{
+    const std::string dir = freshDir("shards");
+    const std::string dir_ref = freshDir("shards_ref");
+    const SystemConfig cfg = tinyConfig();
+
+    // Reference: unsharded cold sweep into its own store. Its store
+    // misses count every unique cacheable cell exactly once.
+    ExperimentRunner ref(storeOptions(dir_ref));
+    const SweepResult expect = ref.sweep(cfg, twoSchemes(), 2, mixOf);
+    const std::uint64_t cells = ref.cacheStats().storeMisses;
+    ASSERT_GT(cells, 0u);
+
+    // Two shards over a shared store, run back to back (the store
+    // lookup precedes the ownership check, so the second shard serves
+    // the first shard's cells as store hits instead of skipping).
+    ExperimentRunner s0(storeOptions(dir, 0, 2));
+    s0.sweep(cfg, twoSchemes(), 2, mixOf);
+    const auto st0 = s0.cacheStats();
+    ExperimentRunner s1(storeOptions(dir, 1, 2));
+    s1.sweep(cfg, twoSchemes(), 2, mixOf);
+    const auto st1 = s1.cacheStats();
+
+    // Shard 0 saw a cold store: every cell missed; it simulated its
+    // own and skipped the rest.
+    EXPECT_EQ(st0.storeMisses, cells);
+    EXPECT_EQ(st1.shardSkipped, 0u);
+    // Disjoint + complete: shard 1 simulated exactly the cells shard
+    // 0 skipped, and found shard 0's output for all the others.
+    EXPECT_EQ(st1.storeMisses, st0.shardSkipped);
+    EXPECT_EQ(st1.storeHits, cells - st0.shardSkipped);
+    const std::uint64_t simulated =
+        (st0.storeMisses - st0.shardSkipped) + st1.storeMisses;
+    EXPECT_EQ(simulated, cells);
+
+    // Both shards publish manifests for the artifact-level checker.
+    ASSERT_TRUE(s0.writeShardManifest(dir + "/shard-0of2.json"));
+    ASSERT_TRUE(s1.writeShardManifest(dir + "/shard-1of2.json"));
+
+    // Merge: a warm unsharded runner over the combined store must
+    // reproduce the unsharded sweep bit for bit without simulating.
+    ExperimentRunner merged(storeOptions(dir));
+    const SweepResult got = merged.sweep(cfg, twoSchemes(), 2, mixOf);
+    EXPECT_EQ(merged.cacheStats().storeMisses, 0u);
+    EXPECT_EQ(merged.cacheStats().storeHits, cells);
+    ASSERT_EQ(expect.firstRun.size(), got.firstRun.size());
+    for (std::size_t s = 0; s < expect.firstRun.size(); s++) {
+        expectEqualResults(expect.firstRun[s], got.firstRun[s],
+                           /*same_simulation=*/false);
+    }
+    EXPECT_EQ(expect.toJson(), got.toJson());
+}
+
+} // anonymous namespace
+} // namespace cdcs

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Merge and validate the shard manifests of a sharded study run.
+
+``cdcs_studies run <study> --shard i/N --set cacheDir=DIR`` writes
+``DIR/shard-<i>of<N>.json`` describing every cacheable cell the shard
+saw (schema: ``{"shard": i, "shards": N, "codeVersion": "...",
+"cells": [{"hash": "16-hex", "owner": j, "action": "skipped" |
+"memHit" | "storeHit" | "simulated"}, ...]}``). This tool checks that
+a set of manifests forms a complete, disjoint partition — every cell's
+owning shard actually resolved it, owners agree with ``hash % N``, no
+shard index repeats, and all shards agree on N, the code version and
+the cell set — and merges them into one combined manifest.
+
+The C++ side already recombines the results themselves
+(``cdcs_studies merge`` replays the studies from the populated result
+store); this is the artifact-level companion used by CI to prove the
+shard partition covered everything before trusting the merged report.
+
+Usage:
+    merge_study_json.py --check shard-0of2.json shard-1of2.json
+    merge_study_json.py -o merged.json shard-*.json
+"""
+
+import argparse
+import json
+import sys
+
+ACTIONS = {"skipped", "memHit", "storeHit", "simulated"}
+RESOLVED = ACTIONS - {"skipped"}
+
+
+def load_manifest(path):
+    """Parse and validate one shard manifest; exits on bad schema."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    for key in ("shard", "shards", "codeVersion", "cells"):
+        if key not in doc:
+            sys.exit(f"{path}: missing key '{key}'")
+    if not isinstance(doc["shards"], int) or doc["shards"] < 1:
+        sys.exit(f"{path}: bad shard count {doc['shards']!r}")
+    if (not isinstance(doc["shard"], int)
+            or not 0 <= doc["shard"] < doc["shards"]):
+        sys.exit(f"{path}: bad shard index {doc['shard']!r}")
+    for cell in doc["cells"]:
+        missing = {"hash", "owner", "action"} - cell.keys()
+        if missing:
+            sys.exit(f"{path}: cell missing keys {sorted(missing)}")
+        try:
+            value = int(cell["hash"], 16)
+        except (TypeError, ValueError):
+            sys.exit(f"{path}: bad cell hash {cell['hash']!r}")
+        if cell["action"] not in ACTIONS:
+            sys.exit(f"{path}: bad cell action {cell['action']!r}")
+        if cell["owner"] != value % doc["shards"]:
+            sys.exit(f"{path}: cell {cell['hash']} claims owner "
+                     f"{cell['owner']}, but hash % {doc['shards']} "
+                     f"is {value % doc['shards']}")
+    return doc
+
+
+def check_partition(paths, manifests):
+    """Exit with a message unless the manifests form a complete,
+    disjoint partition of one sharded run."""
+    first = manifests[0]
+    seen_shards = set()
+    for path, doc in zip(paths, manifests):
+        if doc["shards"] != first["shards"]:
+            sys.exit(f"{path}: shard count {doc['shards']} != "
+                     f"{first['shards']} of {paths[0]}")
+        if doc["codeVersion"] != first["codeVersion"]:
+            sys.exit(f"{path}: code version {doc['codeVersion']!r} "
+                     f"!= {first['codeVersion']!r} of {paths[0]} "
+                     "(shards from different builds cannot merge)")
+        if doc["shard"] in seen_shards:
+            sys.exit(f"{path}: duplicate shard index {doc['shard']}")
+        seen_shards.add(doc["shard"])
+
+    if len(seen_shards) != first["shards"]:
+        missing = sorted(set(range(first["shards"])) - seen_shards)
+        sys.exit(f"incomplete shard set: missing shards {missing}")
+
+    # Every shard enumerates the same study matrix, so the cell sets
+    # must agree exactly.
+    cell_sets = [{c["hash"] for c in doc["cells"]}
+                 for doc in manifests]
+    for path, cells in zip(paths[1:], cell_sets[1:]):
+        if cells != cell_sets[0]:
+            extra = sorted(cells - cell_sets[0])[:3]
+            missing = sorted(cell_sets[0] - cells)[:3]
+            sys.exit(f"{path}: cell set differs from {paths[0]} "
+                     f"(extra {extra}, missing {missing})")
+
+    # Completeness: the owning shard resolved every one of its cells
+    # (anything but "skipped"); disjointness: non-owners simulated
+    # nothing.
+    for path, doc in zip(paths, manifests):
+        for cell in doc["cells"]:
+            owned = cell["owner"] == doc["shard"]
+            if owned and cell["action"] not in RESOLVED:
+                sys.exit(f"{path}: owned cell {cell['hash']} was "
+                         f"{cell['action']}, not resolved")
+            if not owned and cell["action"] == "simulated":
+                sys.exit(f"{path}: simulated cell {cell['hash']} "
+                         f"owned by shard {cell['owner']} "
+                         "(shards overlap)")
+
+
+def merge(manifests):
+    """Combine the manifests: per cell, the owner's resolution."""
+    resolution = {}
+    for doc in manifests:
+        for cell in doc["cells"]:
+            if cell["owner"] == doc["shard"]:
+                resolution[cell["hash"]] = cell["action"]
+    return {
+        "shards": manifests[0]["shards"],
+        "codeVersion": manifests[0]["codeVersion"],
+        "cells": [{"hash": h,
+                   "owner": int(h, 16) % manifests[0]["shards"],
+                   "action": action}
+                  for h, action in sorted(resolution.items())],
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="merge/validate sharded study manifests")
+    parser.add_argument("manifests", nargs="+",
+                        help="shard-<i>of<N>.json manifest files")
+    parser.add_argument("--check", action="store_true",
+                        help="validate the partition, write nothing")
+    parser.add_argument("-o", "--output",
+                        help="merged manifest path (default stdout)")
+    args = parser.parse_args()
+
+    docs = [load_manifest(path) for path in args.manifests]
+    check_partition(args.manifests, docs)
+    if args.check:
+        cells = len(docs[0]["cells"])
+        print(f"ok: {len(docs)} shards, {cells} cells, complete "
+              "and disjoint")
+        return
+
+    combined = json.dumps(merge(docs), indent=1)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(combined + "\n")
+    else:
+        print(combined)
+
+
+if __name__ == "__main__":
+    main()
