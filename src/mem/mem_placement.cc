@@ -5,6 +5,58 @@
 namespace cdcs
 {
 
+D2ChoiceMemPlacement::D2ChoiceMemPlacement(const Mesh &mesh,
+                                           double smoothing_)
+    : MemPlacementPolicy(mesh),
+      smoothing(std::clamp(smoothing_, 0.05, 1.0))
+{
+    const auto ctrls = static_cast<std::size_t>(mesh.numMemCtrls());
+    ctrlLoad.assign(ctrls, 0.0);
+    epochAccesses.assign(ctrls, 0);
+    totalAccesses.assign(ctrls, 0);
+}
+
+int
+D2ChoiceMemPlacement::controllerFor(TileId core, LineAddr line)
+{
+    (void)core;
+    const std::uint64_t page = line >> pageLineShift;
+    const auto [it, inserted] = pageCtrl.try_emplace(page, 0);
+    if (inserted) {
+        // Two independent hash candidates; pin to the lighter one.
+        // The first is the interleave hash, so with balanced load the
+        // policy degenerates to interleaving.
+        const int c1 = topo.memCtrlOf(line);
+        const int c2 = static_cast<int>(
+            mix64(page * 0x9E3779B97F4A7C15ull ^ 0xD15C'CACEull) %
+            static_cast<std::uint64_t>(ctrlLoad.size()));
+        const auto load = [&](int c) {
+            const auto i = static_cast<std::size_t>(c);
+            return ctrlLoad[i] + static_cast<double>(epochAccesses[i]);
+        };
+        it->second = load(c2) < load(c1) ? c2 : c1;
+    }
+    const auto c = static_cast<std::size_t>(it->second);
+    epochAccesses[c]++;
+    totalAccesses[c]++;
+    return it->second;
+}
+
+void
+D2ChoiceMemPlacement::epochUpdate(NocModel &noc,
+                                  double elapsed_cycles)
+{
+    (void)noc;
+    (void)elapsed_cycles;
+    const double alpha = seeded ? smoothing : 1.0;
+    for (std::size_t c = 0; c < ctrlLoad.size(); c++) {
+        ctrlLoad[c] = alpha * static_cast<double>(epochAccesses[c]) +
+            (1.0 - alpha) * ctrlLoad[c];
+        epochAccesses[c] = 0;
+    }
+    seeded = true;
+}
+
 ContentionMemPlacement::ContentionMemPlacement(
     const Mesh &mesh, ContentionMemPlacementParams params)
     : MemPlacementPolicy(mesh), cfg(params)

@@ -40,7 +40,10 @@ class MemPlacementPolicy
     MemPlacementPolicy(const MemPlacementPolicy &) = delete;
     MemPlacementPolicy &operator=(const MemPlacementPolicy &) = delete;
 
-    /** Registry name ("interleave", "first-touch", "contention"). */
+    /**
+     * Registry name ("interleave", "first-touch", "d2choice",
+     * "contention").
+     */
     virtual const char *name() const = 0;
 
     /**
@@ -122,6 +125,43 @@ class FirstTouchMemPlacement final : public MemPlacementPolicy
   private:
     /** First-touch page-to-controller map. */
     std::unordered_map<std::uint64_t, int> pageCtrl;
+};
+
+/**
+ * Power-of-two-choices placement (DistCache-style, PAPERS.md): each
+ * page is pinned at first touch to the lighter-loaded of two
+ * independent hash candidates — the default interleave hash and a
+ * second salted page hash. Per-controller load is the EWMA-blended
+ * access count the policy itself observes, so under skewed traffic
+ * the d2 draw statistically evens controller load without any page
+ * migration (pins never change after first touch).
+ */
+class D2ChoiceMemPlacement final : public MemPlacementPolicy
+{
+  public:
+    D2ChoiceMemPlacement(const Mesh &mesh, double smoothing);
+
+    const char *name() const override { return "d2choice"; }
+
+    int controllerFor(TileId core, LineAddr line) override;
+    void epochUpdate(NocModel &noc, double elapsed_cycles) override;
+
+    std::vector<std::uint64_t> controllerAccesses() const override
+    {
+        return totalAccesses;
+    }
+
+  private:
+    double smoothing;
+    /** First-touch page-to-controller pins. */
+    std::unordered_map<std::uint64_t, int> pageCtrl;
+    /** EWMA-blended accesses/epoch per controller. */
+    std::vector<double> ctrlLoad;
+    /** Accesses per controller this epoch. */
+    std::vector<std::uint64_t> epochAccesses;
+    /** Accesses per controller since construction. */
+    std::vector<std::uint64_t> totalAccesses;
+    bool seeded = false; ///< ctrlLoad holds at least one epoch.
 };
 
 /** Tuning parameters of the contention-aware policy. */

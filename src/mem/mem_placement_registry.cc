@@ -15,6 +15,11 @@ MemPlacementRegistry::MemPlacementRegistry()
         [](const Mesh &mesh, const MemPlacementBuildParams &) {
             return std::make_unique<FirstTouchMemPlacement>(mesh);
         });
+    add("d2choice",
+        [](const Mesh &mesh, const MemPlacementBuildParams &params) {
+            return std::make_unique<D2ChoiceMemPlacement>(
+                mesh, params.smoothing);
+        });
     add("contention",
         [](const Mesh &mesh, const MemPlacementBuildParams &params) {
             ContentionMemPlacementParams p;

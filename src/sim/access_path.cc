@@ -46,12 +46,20 @@ AccessPath::AccessPath(const SystemConfig &config, Platform &plat,
 double
 AccessPath::meanActiveCycles() const
 {
-    if (clocks.empty())
-        return 0.0;
+    // Departed tenants' clocks freeze at their departure value;
+    // averaging them in would drag the epoch-elapsed estimates the
+    // NoC and memory models derive from this mean. With every thread
+    // active the sum runs over the same clocks in the same order, so
+    // the static-traffic arithmetic is unchanged bit for bit.
     double sum = 0.0;
-    for (const CoreClock &clock : clocks)
-        sum += clock.cycleCount();
-    return sum / static_cast<double>(clocks.size());
+    int active = 0;
+    for (std::size_t t = 0; t < clocks.size(); t++) {
+        if (!mix.threadActive(static_cast<ThreadId>(t)))
+            continue;
+        sum += clocks[t].cycleCount();
+        active++;
+    }
+    return active > 0 ? sum / static_cast<double>(active) : 0.0;
 }
 
 void
@@ -77,6 +85,19 @@ int
 AccessPath::memCtrlFor(TileId core, LineAddr line)
 {
     return platform.memPlacement->controllerFor(core, line);
+}
+
+void
+AccessPath::noteMemAccess(int ctrl)
+{
+    // Lazily sized: the stats object is reset wholesale at the
+    // warmup boundary, which empties the vector.
+    if (stats.memCtrlAccesses.size() <=
+        static_cast<std::size_t>(ctrl)) {
+        stats.memCtrlAccesses.resize(
+            static_cast<std::size_t>(platform.mesh.numMemCtrls()), 0);
+    }
+    stats.memCtrlAccesses[static_cast<std::size_t>(ctrl)]++;
 }
 
 void
@@ -172,6 +193,7 @@ AccessPath::issueAccess(ThreadId t)
             noc.addMemResponse(TrafficClass::LLCToMem, mc, bank_tile,
                                data);
             stats.memAccesses++;
+            noteMemAccess(mc);
             chunkMisses++;
             fill_res = banks[mr.bank].fill(sample.line, tag, core);
             filled = true;
@@ -190,6 +212,7 @@ AccessPath::issueAccess(ThreadId t)
         noc.addMemResponse(TrafficClass::LLCToMem, mc, bank_tile,
                            data);
         stats.memAccesses++;
+        noteMemAccess(mc);
         chunkMisses++;
         fill_res = banks[mr.bank].fill(sample.line, tag, core);
         filled = true;

@@ -47,7 +47,11 @@ class AccessPath
      */
     void endChunk(double before, double after);
 
-    /** Mean active cycles over all thread clocks. */
+    /**
+     * Mean active cycles over the active thread clocks (all of them
+     * on the static-traffic path; departed tenants' frozen clocks
+     * are excluded under churn).
+     */
     double meanActiveCycles() const;
 
     /// Per-thread performance state.
@@ -65,6 +69,9 @@ class AccessPath
      * their own page maps).
      */
     int memCtrlFor(TileId core, LineAddr line);
+
+    /** Account one memory access against its serving controller. */
+    void noteMemAccess(int ctrl);
 
     const SystemConfig &cfg;
     Platform &platform;

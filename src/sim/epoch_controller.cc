@@ -106,20 +106,92 @@ EpochController::applyDirective(const EpochDirective &directive)
     stats.timeSums.dataPlaceUs += directive.times.dataPlaceUs;
     stats.instantMoved += directive.movedLines;
     stats.bulkInvalidated += directive.invalidatedLines;
-    if (!directive.newThreadCore.empty())
+    lastMovedLines = directive.movedLines + directive.invalidatedLines;
+    if (!directive.newThreadCore.empty()) {
+        for (std::size_t t = 0;
+             t < directive.newThreadCore.size() &&
+             t < threadCore.size();
+             t++) {
+            if (directive.newThreadCore[t] != threadCore[t])
+                lastPlacementMoves++;
+        }
         threadCore = directive.newThreadCore;
+    }
     if (directive.pauseCycles > 0) {
-        for (CoreClock &clock : path.clocks)
-            clock.addPause(static_cast<double>(directive.pauseCycles));
+        for (ThreadId t = 0;
+             t < static_cast<ThreadId>(path.clocks.size()); t++) {
+            // Departed tenants' frozen clocks don't pay reconfig
+            // pauses (all threads active on the static path).
+            if (!mix.threadActive(t))
+                continue;
+            path.clocks[t].addPause(
+                static_cast<double>(directive.pauseCycles));
+        }
         stats.pausedCycles += directive.pauseCycles;
     }
+}
+
+int
+EpochController::applyChurn(int epoch)
+{
+    TrafficSchedule *traffic = mix.traffic();
+    if (traffic == nullptr)
+        return 0;
+    std::vector<int> active_ids;
+    for (ThreadId t = 0; t < mix.numThreads(); t++) {
+        if (mix.threadActive(t))
+            active_ids.push_back(t);
+    }
+    const ChurnActions acts = traffic->actionsAt(epoch, active_ids);
+    for (int t : acts.depart) {
+        mix.setThreadActive(static_cast<ThreadId>(t), false);
+        // Free the departing tenant's demand: its access row zeroes
+        // out, so the next reconfiguration sees no footprint behind
+        // its VCs and the allocator reclaims their capacity.
+        std::fill(path.accessMatrix[static_cast<std::size_t>(t)]
+                      .begin(),
+                  path.accessMatrix[static_cast<std::size_t>(t)]
+                      .end(),
+                  0.0);
+    }
+    for (int t : acts.arrive)
+        mix.setThreadActive(static_cast<ThreadId>(t), true);
+    const int delta = static_cast<int>(acts.arrive.size()) -
+        static_cast<int>(acts.depart.size());
+    if (delta != 0) {
+        // Drop the EWMA history: blending the new tenant set's
+        // monitors with the old one's would damp exactly the signal
+        // the post-churn reconfigurations need. Arrivals need no
+        // explicit spin-up — their per-VC monitors exist for the
+        // whole run and fill with counts from the next epoch on,
+        // entering the next placement round automatically.
+        smoothedCurves.clear();
+        smoothedAccess.clear();
+    }
+    return delta;
 }
 
 void
 EpochController::runEpochs()
 {
     const int num_threads = mix.numThreads();
+    TrafficSchedule *traffic = mix.traffic();
     for (int epoch = 0; epoch < cfg.epochs; epoch++) {
+        int churn_delta = 0;
+        if (traffic != nullptr) {
+            churn_delta = applyChurn(epoch);
+            traffic->epochBoundary(epoch);
+            lastPlacementMoves = 0;
+            lastMovedLines = 0;
+            epochStartInstr.resize(
+                static_cast<std::size_t>(num_threads));
+            epochStartCycles.resize(
+                static_cast<std::size_t>(num_threads));
+            for (ThreadId t = 0; t < num_threads; t++) {
+                epochStartInstr[t] = path.clocks[t].instructions();
+                epochStartCycles[t] = path.clocks[t].cycleCount();
+            }
+        }
         if (epoch == cfg.warmupEpochs) {
             // Warmup boundary: reset measured statistics, keep all
             // microarchitectural state warm (including the NoC's
@@ -145,6 +217,8 @@ EpochController::runEpochs()
                 const double before = path.meanActiveCycles();
                 path.beginChunk();
                 for (ThreadId t = 0; t < num_threads; t++) {
+                    if (traffic != nullptr && !mix.threadActive(t))
+                        continue;
                     for (std::uint32_t i = 0; i < n; i++)
                         path.issueAccess(t);
                 }
@@ -168,10 +242,13 @@ EpochController::runEpochs()
             // then let the memory placement policy rebalance pages
             // on the fresh waits (no-op for the static policies).
             const double epoch_mean = path.meanActiveCycles();
-            platform.noc->epochUpdate(epoch_mean -
-                                      nocEpochStartMean);
-            platform.memPlacement->epochUpdate(
-                *platform.noc, epoch_mean - nocEpochStartMean);
+            // Clamped: churn can move the active-thread mean
+            // backwards (the mean is over active threads only).
+            const double noc_elapsed =
+                std::max(0.0, epoch_mean - nocEpochStartMean);
+            platform.noc->epochUpdate(noc_elapsed);
+            platform.memPlacement->epochUpdate(*platform.noc,
+                                               noc_elapsed);
             nocEpochStartMean = epoch_mean;
 
             RuntimeInput input = gatherRuntimeInput();
@@ -183,6 +260,29 @@ EpochController::runEpochs()
             for (auto &row : path.accessMatrix)
                 std::fill(row.begin(), row.end(), 0.0);
             reconfigStartMean = path.meanActiveCycles();
+        }
+
+        if (traffic != nullptr) {
+            EpochRecord rec;
+            rec.epoch = epoch;
+            rec.activeThreads = mix.numActiveThreads();
+            rec.churnDelta = churn_delta;
+            double d_instr = 0.0, d_cycles = 0.0;
+            int n_active = 0;
+            for (ThreadId t = 0; t < num_threads; t++) {
+                if (!mix.threadActive(t))
+                    continue;
+                d_instr +=
+                    path.clocks[t].instructions() - epochStartInstr[t];
+                d_cycles +=
+                    path.clocks[t].cycleCount() - epochStartCycles[t];
+                n_active++;
+            }
+            if (n_active > 0 && d_cycles > 0.0)
+                rec.aggIpc = d_instr / (d_cycles / n_active);
+            rec.placementMoves = lastPlacementMoves;
+            rec.movedLines = lastMovedLines;
+            trace.push_back(rec);
         }
     }
 }
@@ -257,6 +357,11 @@ EpochController::assemble() const
         static_cast<double>(res.llcAccesses + res.moveProbes),
         static_cast<double>(platform.noc->totalFlitHops()),
         static_cast<double>(res.memAccesses), mean_cycles);
+
+    res.memCtrlAccesses = stats.memCtrlAccesses;
+    res.memCtrlAccesses.resize(
+        static_cast<std::size_t>(platform.mesh.numMemCtrls()), 0);
+    res.epochTrace = trace;
 
     if (cfg.traceIpc) {
         res.ipcBinCycles = cfg.traceBinCycles;

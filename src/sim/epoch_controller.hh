@@ -42,6 +42,12 @@ class EpochController
     RuntimeInput gatherRuntimeInput();
     /** Apply a reconfiguration directive to the live system. */
     void applyDirective(const EpochDirective &directive);
+    /**
+     * Apply the churn events entering `epoch` (departures free their
+     * threads' demand; arrivals reactivate them) and return the net
+     * thread delta. No-op (returns 0) without a traffic schedule.
+     */
+    int applyChurn(int epoch);
 
     const SystemConfig &cfg;
     Platform &platform;
@@ -69,6 +75,18 @@ class EpochController
 
     /// Mean active cycles at the last NoC contention refresh.
     double nocEpochStartMean = 0.0;
+
+    // ---- Dynamic-traffic bookkeeping (inert without a schedule).
+
+    /// Per-thread instr/cycle snapshots at each epoch's start (the
+    /// epoch trace's IPC deltas).
+    std::vector<double> epochStartInstr;
+    std::vector<double> epochStartCycles;
+    /// Thread moves / line moves of the latest reconfiguration.
+    int lastPlacementMoves = 0;
+    std::uint64_t lastMovedLines = 0;
+    /// Whole-run per-epoch trace (assembled into the RunResult).
+    std::vector<EpochRecord> trace;
 };
 
 } // namespace cdcs

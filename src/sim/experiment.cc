@@ -43,7 +43,12 @@ weightedSpeedup(const RunResult &run, const RunResult &baseline)
                              baseline.procThroughput[p]);
         }
     }
-    cdcs_assert(!ratios.empty(), "no measurable processes");
+    // Mid-run departures can zero every process's baseline
+    // throughput (an all-departed mix under heavy churn). Such a
+    // cell is unmeasurable, not broken: score it a neutral 1.0 so
+    // the study-level gmean over mixes stays finite.
+    if (ratios.empty())
+        return 1.0;
     return mean(ratios);
 }
 

@@ -154,6 +154,13 @@ ExperimentRunner::cacheKey(const SystemConfig &cfg,
     // The effective policy, so the numaAwareMem alias and an explicit
     // first-touch share entries.
     appendF(key, "memp:%s|", cfg.effectiveMemPlacement().c_str());
+    // Dynamic traffic (all-defaults keeps a stable section, so the
+    // static studies' keys still differ only where behavior does).
+    appendF(key,
+            "traf:%.17g,%.17g,%" PRIu64 ",%" PRIu64 ",%d,%.17g,%s|",
+            cfg.skewAlpha, cfg.skewFraction, cfg.skewLines,
+            cfg.skewHotLines, cfg.skewDriftEpochs,
+            cfg.skewDriftFraction, cfg.churn.c_str());
     // SchemeSpec (name excluded: it is a label, not behavior).
     appendF(key,
             "spec:%d,%d,%d,%d,%u,%u,%u,%d,%d,%d,%d,%d,%.17g,%.17g,"

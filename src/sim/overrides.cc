@@ -7,6 +7,7 @@
 #include "common/log.hh"
 #include "mem/mem_placement_registry.hh"
 #include "net/noc_registry.hh"
+#include "workload/traffic.hh"
 
 namespace cdcs
 {
@@ -163,6 +164,30 @@ const KeyDef configKeys[] = {
      [](SystemConfig &c, const Override &v) {
          c.placementCost = v.value;
      }},
+    {"skewAlpha", "double",
+     [](SystemConfig &c, const Override &v) { c.skewAlpha = v.d; }},
+    {"skewFraction", "double",
+     [](SystemConfig &c, const Override &v) {
+         c.skewFraction = v.d;
+     }},
+    {"skewLines", "uint",
+     [](SystemConfig &c, const Override &v) { c.skewLines = v.u; },
+     /*min=*/1},
+    {"skewHotLines", "uint",
+     [](SystemConfig &c, const Override &v) {
+         c.skewHotLines = v.u;
+     },
+     /*min=*/1},
+    {"skewDriftEpochs", "int",
+     [](SystemConfig &c, const Override &v) {
+         c.skewDriftEpochs = static_cast<int>(v.i);
+     }},
+    {"skewDriftFraction", "double",
+     [](SystemConfig &c, const Override &v) {
+         c.skewDriftFraction = v.d;
+     }},
+    {"churn", "string",
+     [](SystemConfig &c, const Override &v) { c.churn = v.value; }},
     {"epochAccesses", "uint",
      [](SystemConfig &c, const Override &v) {
          c.accessesPerThreadEpoch = v.u;
@@ -317,6 +342,20 @@ Overrides::add(const std::string &kv, std::string *err)
         if (err != nullptr)
             *err = "bad value '" + entry.value + "' for " +
                 entry.key + " (out of range)";
+        return false;
+    }
+    if ((entry.key == "skewAlpha" && entry.d < 0.0) ||
+        (entry.key == "skewFraction" &&
+         (entry.d < 0.0 || entry.d > 1.0)) ||
+        (entry.key == "skewDriftFraction" &&
+         (entry.d <= 0.0 || entry.d > 1.0))) {
+        if (err != nullptr)
+            *err = "bad value '" + entry.value + "' for " +
+                entry.key + " (out of range)";
+        return false;
+    }
+    if (entry.key == "churn" &&
+        !TrafficSchedule::parseChurn(entry.value, nullptr, err)) {
         return false;
     }
     entries.push_back(std::move(entry));

@@ -305,6 +305,14 @@ TextReportSink::nocHeatmap(const std::string &name,
         exportArtifact(name, map.toJson() + "\n");
 }
 
+void
+TextReportSink::artifact(const std::string &name,
+                         const std::string &json)
+{
+    if (!jsonDir.empty())
+        exportArtifact(name, json + "\n");
+}
+
 // ------------------------------------------------------------------
 // JsonReportSink
 
@@ -379,6 +387,17 @@ JsonReportSink::nocHeatmap(const std::string &name,
 }
 
 void
+JsonReportSink::artifact(const std::string &name,
+                         const std::string &json)
+{
+    exportArtifactFile(jsonDir, name, json + "\n");
+    doc += anyArtifact ? ",\n" : "\n";
+    anyArtifact = true;
+    doc += "   {\"name\": " + jsonString(name) +
+        ", \"kind\": \"artifact\", \"data\": " + json + "}";
+}
+
+void
 JsonReportSink::timing(const std::string &study,
                        const StudyTiming &t)
 {
@@ -446,6 +465,14 @@ CsvReportSink::nocHeatmap(const std::string &name,
 {
     if (!jsonDir.empty())
         exportArtifactFile(jsonDir, name, map.toJson() + "\n");
+}
+
+void
+CsvReportSink::artifact(const std::string &name,
+                        const std::string &json)
+{
+    if (!jsonDir.empty())
+        exportArtifactFile(jsonDir, name, json + "\n");
 }
 
 void

@@ -130,6 +130,21 @@ class ReportSink
     }
 
     /**
+     * A free-form structured artifact: `json` must be a complete
+     * JSON value. Text/CSV sinks export it as a <name>.json file
+     * (when a json_dir is configured); the JSON sink embeds it in
+     * the document. For study-specific payloads (e.g. the
+     * elasticity study's churn traces) that don't fit the typed
+     * channels above.
+     */
+    virtual void
+    artifact(const std::string &name, const std::string &json)
+    {
+        (void)name;
+        (void)json;
+    }
+
+    /**
      * A study's phase-timing footer (emitted by runStudy only under
      * `--set timing=1`). The default implementation renders the text
      * footer through text(), so text-flavored sinks inherit it.
@@ -161,6 +176,8 @@ class TextReportSink : public ReportSink
                  const ChipMap &map) override;
     void nocHeatmap(const std::string &name,
                     const NocHeatmap &map) override;
+    void artifact(const std::string &name,
+                  const std::string &json) override;
 
   private:
     void exportArtifact(const std::string &name,
@@ -204,6 +221,8 @@ class JsonReportSink : public ReportSink
                  const ChipMap &map) override;
     void nocHeatmap(const std::string &name,
                     const NocHeatmap &map) override;
+    void artifact(const std::string &name,
+                  const std::string &json) override;
     void timing(const std::string &study,
                 const StudyTiming &t) override;
     void finish() override;
@@ -237,6 +256,8 @@ class CsvReportSink : public ReportSink
                  const ChipMap &map) override;
     void nocHeatmap(const std::string &name,
                     const NocHeatmap &map) override;
+    void artifact(const std::string &name,
+                  const std::string &json) override;
     /** CSV rows carry no timing; the footer is dropped. */
     void
     timing(const std::string &study, const StudyTiming &t) override

@@ -26,7 +26,7 @@ namespace
 {
 
 constexpr std::uint32_t recordMagic = 0x43444352; // "CDCR"
-constexpr std::uint32_t recordFormat = 1;
+constexpr std::uint32_t recordFormat = 2;
 
 std::uint64_t
 fnv1a64(const void *data, std::size_t size, std::uint64_t seed)
@@ -221,6 +221,18 @@ serializeResult(ByteWriter &w, const RunResult &r)
     w.f64(r.energy.mem);
     w.f64Vec(r.ipcTrace);
     w.u64(r.ipcBinCycles);
+    w.u32(static_cast<std::uint32_t>(r.memCtrlAccesses.size()));
+    for (std::uint64_t n : r.memCtrlAccesses)
+        w.u64(n);
+    w.u32(static_cast<std::uint32_t>(r.epochTrace.size()));
+    for (const EpochRecord &rec : r.epochTrace) {
+        w.i64(rec.epoch);
+        w.i64(rec.activeThreads);
+        w.i64(rec.churnDelta);
+        w.f64(rec.aggIpc);
+        w.i64(rec.placementMoves);
+        w.u64(rec.movedLines);
+    }
 }
 
 bool
@@ -267,6 +279,30 @@ deserializeResult(ByteReader &r, RunResult *out)
           r.f64(&out->energy.llc) && r.f64(&out->energy.mem) &&
           r.f64Vec(&out->ipcTrace) && r.u64(&out->ipcBinCycles))) {
         return false;
+    }
+    std::uint32_t num_ctrls;
+    if (!r.u32(&num_ctrls) || r.remaining() / 8 < num_ctrls)
+        return false;
+    out->memCtrlAccesses.resize(num_ctrls);
+    for (std::uint64_t &n : out->memCtrlAccesses) {
+        if (!r.u64(&n))
+            return false;
+    }
+    std::uint32_t num_epochs;
+    if (!r.u32(&num_epochs) || r.remaining() / 48 < num_epochs)
+        return false;
+    out->epochTrace.resize(num_epochs);
+    for (EpochRecord &rec : out->epochTrace) {
+        std::int64_t epoch, active, delta, moves;
+        if (!(r.i64(&epoch) && r.i64(&active) && r.i64(&delta) &&
+              r.f64(&rec.aggIpc) && r.i64(&moves) &&
+              r.u64(&rec.movedLines))) {
+            return false;
+        }
+        rec.epoch = static_cast<int>(epoch);
+        rec.activeThreads = static_cast<int>(active);
+        rec.churnDelta = static_cast<int>(delta);
+        rec.placementMoves = static_cast<int>(moves);
     }
     return true;
 }

@@ -20,6 +20,26 @@
 namespace cdcs
 {
 
+/**
+ * One epoch of the dynamic-traffic trace. Recorded for every epoch
+ * (warmup included) whenever the traffic layer is attached; empty on
+ * the static-traffic path.
+ */
+struct EpochRecord
+{
+    int epoch = 0;
+    /** Active (non-departed) threads during this epoch. */
+    int activeThreads = 0;
+    /** Net arrivals (+) / departures (-) applied entering it. */
+    int churnDelta = 0;
+    /** Sum of instrs / mean cycles over the active threads. */
+    double aggIpc = 0.0;
+    /** Threads re-placed by this epoch's reconfiguration. */
+    int placementMoves = 0;
+    /** Lines moved or invalidated by this epoch's reconfiguration. */
+    std::uint64_t movedLines = 0;
+};
+
 /** Aggregated results of one run (post-warmup unless noted). */
 struct RunResult
 {
@@ -66,6 +86,46 @@ struct RunResult
     /** Aggregate-IPC trace (whole run, no warmup trim). */
     std::vector<double> ipcTrace;
     Cycles ipcBinCycles = 0;
+
+    /**
+     * Memory accesses served per controller (post-warmup); the
+     * skew_sweep study's load-imbalance signal.
+     */
+    std::vector<std::uint64_t> memCtrlAccesses;
+
+    /** Per-epoch dynamic-traffic trace (whole run, no warmup trim). */
+    std::vector<EpochRecord> epochTrace;
+
+    /** Max/mean per-controller memory load; 0 with no accesses. */
+    double memCtrlImbalance() const;
+
+    /**
+     * Per-active-thread IPC of one traced epoch (aggIpc spread over
+     * the active threads); 0 when out of range or no one is active.
+     */
+    double perThreadIpc(int epoch) const;
+
+    /**
+     * Weighted-speedup-recovery latency after the churn event at
+     * `event_epoch`: epochs until per-active-thread IPC first
+     * reaches `threshold` x its settled value (the last epoch before
+     * the next churn event, or the end of the run). Returns -1 when
+     * the trace has no such epoch or the settled IPC is zero.
+     */
+    int recoveryEpochsAfter(int event_epoch,
+                            double threshold = 0.95) const;
+
+    /**
+     * Reconfiguration latency after the churn event at `event_epoch`:
+     * epochs (counting the event epoch) until thread placement stops
+     * changing, within the same window recoveryEpochsAfter uses.
+     * 0 means the placement never moved after the event; -1 when the
+     * trace has no such epoch.
+     */
+    int reconfigLatencyAfter(int event_epoch) const;
+
+    /** Epochs of churn (nonzero churnDelta), in trace order. */
+    std::vector<int> churnEpochs() const;
 
     double
     avgOnChipLatency() const

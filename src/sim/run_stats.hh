@@ -10,6 +10,7 @@
 #define CDCS_SIM_RUN_STATS_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "common/types.hh"
 #include "runtime/cdcs_runtime.hh"
@@ -33,6 +34,12 @@ struct RunStats
     RuntimeStepTimes timeSums;
     double onChipLatSum = 0.0;
     double offChipLatSum = 0.0;
+    /**
+     * Memory accesses served per controller (lazily sized by the
+     * AccessPath; empty until the first post-reset memory access).
+     * The skew studies read the max/mean imbalance off it.
+     */
+    std::vector<std::uint64_t> memCtrlAccesses;
 };
 
 } // namespace cdcs

@@ -76,6 +76,18 @@ System::System(const SystemConfig &config, const SchemeSpec &scheme,
       path(cfg, platform, mix, threadCore, stats),
       controller(cfg, platform, path, mix, threadCore, stats)
 {
+    if (cfg.dynamicTraffic()) {
+        TrafficConfig traffic;
+        traffic.skewAlpha = cfg.skewAlpha;
+        traffic.skewFraction = cfg.skewFraction;
+        traffic.skewLines = cfg.skewLines;
+        traffic.skewHotLines = cfg.skewHotLines;
+        traffic.skewDriftEpochs = cfg.skewDriftEpochs;
+        traffic.skewDriftFraction = cfg.skewDriftFraction;
+        traffic.churn = cfg.churn;
+        traffic.seed = cfg.seed;
+        mix.attachTraffic(traffic);
+    }
 }
 
 const PartitionedNucaPolicy *

@@ -165,6 +165,37 @@ struct SystemConfig
         return memPlacement;
     }
 
+    // ---- Dynamic multi-tenant traffic (src/workload/traffic.hh).
+    // All knobs default off: with skewAlpha == 0 and an empty churn
+    // string no TrafficSchedule is attached and every RNG draw is
+    // identical to the static-traffic code path (CI byte-diffs this).
+
+    /** Zipf skew of the hot-object overlay; 0 disables it. */
+    double skewAlpha = 0.0;
+    /** Share of accesses redirected to the overlay (when on). */
+    double skewFraction = 0.2;
+    /** Overlay footprint in lines (shared by all tenants). */
+    std::uint64_t skewLines = 65536;
+    /** Hottest ranks routed through the drifting hot-set table. */
+    std::uint64_t skewHotLines = 1024;
+    /** Re-seat part of the hot set every N epochs; 0 = static. */
+    int skewDriftEpochs = 0;
+    /** Fraction of the hot-set table re-seated per drift. */
+    double skewDriftFraction = 0.25;
+    /**
+     * Thread churn schedule: comma-separated "epoch:-k" (k active
+     * threads depart entering that epoch) and "epoch:+k" (k departed
+     * threads rejoin, most recent first). Empty = no churn.
+     */
+    std::string churn;
+
+    /** Whether any dynamic-traffic feature is enabled. */
+    bool
+    dynamicTraffic() const
+    {
+        return skewAlpha > 0.0 || !churn.empty();
+    }
+
     std::uint64_t accessesPerThreadEpoch = 50000;
     int epochs = 6;
     int warmupEpochs = 2;

@@ -1,6 +1,7 @@
 #include "workload/mix.hh"
 
 #include "common/log.hh"
+#include "workload/traffic.hh"
 
 namespace cdcs
 {
@@ -57,6 +58,13 @@ WorkloadMix::WorkloadMix(const std::vector<const AppProfile *> &apps,
     globalGen = std::make_unique<StreamGen>(
         StreamSpec{{1.0, PatternKind::Uniform, globalLines}},
         mix64(seed ^ 0x610BA1));
+    activeFlags.assign(threads.size(), 1);
+}
+
+void
+WorkloadMix::attachTraffic(const TrafficConfig &config)
+{
+    trafficSched = std::make_unique<TrafficSchedule>(config);
 }
 
 WorkloadMix
@@ -96,6 +104,15 @@ WorkloadMix::nextAccess(ThreadId t)
 {
     ThreadCtx &thr = threads[t];
     const double r = rng.uniform();
+    if (trafficSched != nullptr && trafficSched->skewEnabled() &&
+        r < trafficSched->hotFraction()) {
+        // Hot-object overlay: a skewed draw over a footprint every
+        // tenant shares (the global VC), offset past the uniform
+        // global region so the two stay disjoint.
+        return {thr.globalVc,
+                lineIn(thr.globalVc,
+                       globalLines + trafficSched->nextHotLine(rng))};
+    }
     if (r < globalFraction) {
         return {thr.globalVc, lineIn(thr.globalVc, globalGen->next())};
     }

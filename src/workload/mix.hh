@@ -16,6 +16,7 @@
 
 #include "common/rng.hh"
 #include "workload/app_profile.hh"
+#include "workload/traffic.hh"
 
 namespace cdcs
 {
@@ -94,6 +95,46 @@ class WorkloadMix
     /** Draw the next access of thread t. */
     AccessSample nextAccess(ThreadId t);
 
+    /**
+     * Attach the dynamic-traffic layer (Zipf hot-object overlay +
+     * churn schedule). Without an attached schedule the mix behaves
+     * — draw for draw — like the static code path.
+     */
+    void attachTraffic(const TrafficConfig &config);
+
+    /** The attached traffic schedule, or nullptr (static traffic). */
+    TrafficSchedule *traffic() { return trafficSched.get(); }
+    const TrafficSchedule *traffic() const
+    {
+        return trafficSched.get();
+    }
+
+    /**
+     * Tenant-churn active flags. All threads start active; the
+     * EpochController toggles them at churn boundaries. Inactive
+     * threads issue no accesses and their clocks freeze.
+     */
+    bool
+    threadActive(ThreadId t) const
+    {
+        return activeFlags[static_cast<std::size_t>(t)] != 0;
+    }
+
+    void
+    setThreadActive(ThreadId t, bool active)
+    {
+        activeFlags[static_cast<std::size_t>(t)] = active ? 1 : 0;
+    }
+
+    int
+    numActiveThreads() const
+    {
+        int n = 0;
+        for (char f : activeFlags)
+            n += f != 0 ? 1 : 0;
+        return n;
+    }
+
     /** Map a VC-relative line offset into the global address space. */
     static LineAddr
     lineIn(VcId vc, std::uint64_t offset)
@@ -116,6 +157,10 @@ class WorkloadMix
     static constexpr std::uint64_t globalLines = 4096;
     static constexpr double globalFraction = 0.003;
     std::unique_ptr<StreamGen> globalGen;
+    /// Dynamic-traffic layer; null on the static code path.
+    std::unique_ptr<TrafficSchedule> trafficSched;
+    /// Per-thread churn flags (1 = active); all 1 without churn.
+    std::vector<char> activeFlags;
 };
 
 } // namespace cdcs

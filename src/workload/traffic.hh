@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Dynamic multi-tenant traffic: the TrafficSchedule layers two
+ * production-shaped behaviors over a static WorkloadMix.
+ *
+ * (1) A Zipfian hot-object overlay: a configurable share of every
+ * thread's accesses is redirected to a skewed popularity distribution
+ * over a shared footprint (the global VC), modeling millions of users
+ * hammering few hot objects. The rank-to-line mapping of the hottest
+ * ranks goes through an explicit, seeded hot-set table that *drifts*:
+ * every few epochs a fraction of the entries is re-seated at fresh
+ * lines, so the hot working set moves under the placement loop the
+ * way trending keys move in a serving fleet (DistCache's skew model,
+ * PAPERS.md).
+ *
+ * (2) Epoch-boundary thread churn: a declarative schedule
+ * ("5:-8,8:+8" — 8 threads depart entering epoch 5, 8 rejoin entering
+ * epoch 8) drives tenant arrivals and departures. Departing threads
+ * are chosen by a seeded draw; arrivals reactivate the most recently
+ * departed threads (LIFO), so a depart/arrive pair models the same
+ * tenants leaving and coming back.
+ *
+ * Everything is seeded and deterministic: two runs with the same
+ * (SystemConfig, MixSpec) see identical drift and identical churn,
+ * regardless of worker count or scheme, so schemes remain comparable
+ * under dynamic traffic. With both features off (skewAlpha == 0 and
+ * an empty churn string) no TrafficSchedule is attached at all and
+ * the simulator's behavior — including every RNG draw — is
+ * byte-identical to the static-traffic code path.
+ */
+
+#ifndef CDCS_WORKLOAD_TRAFFIC_HH
+#define CDCS_WORKLOAD_TRAFFIC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace cdcs
+{
+
+/** The dynamic-traffic knobs (mirrored from SystemConfig). */
+struct TrafficConfig
+{
+    /** Zipf skew of the hot-object overlay; 0 disables it. */
+    double skewAlpha = 0.0;
+    /** Share of every thread's accesses redirected to the overlay. */
+    double skewFraction = 0.2;
+    /** Overlay footprint (lines) the Zipf ranks map over. */
+    std::uint64_t skewLines = 65536;
+    /** Ranks routed through the drifting hot-set table. */
+    std::uint64_t skewHotLines = 1024;
+    /** Re-seat part of the hot set every this many epochs; 0 never. */
+    int skewDriftEpochs = 0;
+    /** Fraction of the hot-set table re-seated per drift. */
+    double skewDriftFraction = 0.25;
+    /** Churn schedule ("epoch:+k" / "epoch:-k", comma-separated). */
+    std::string churn;
+    /** Seed every schedule stream derives from (cfg.seed). */
+    std::uint64_t seed = 42;
+};
+
+/** One churn event: `delta` threads join (+) or depart (-). */
+struct ChurnEvent
+{
+    int epoch = 0;
+    int delta = 0;
+};
+
+/** Thread ids to deactivate/reactivate at one epoch boundary. */
+struct ChurnActions
+{
+    std::vector<int> depart;
+    std::vector<int> arrive;
+};
+
+/** The drifting-hot-set + churn schedule of one run. */
+class TrafficSchedule
+{
+  public:
+    explicit TrafficSchedule(const TrafficConfig &config);
+
+    /**
+     * Parse a churn schedule string: comma-separated "epoch:+k" /
+     * "epoch:-k" events with epoch >= 1 and k >= 1 (epoch 0 is the
+     * initial configuration, not churn). An empty string is a valid
+     * empty schedule. Events are kept in epoch order (stable for
+     * equal epochs). Returns false with a message in `err` on any
+     * malformed event.
+     */
+    static bool parseChurn(const std::string &spec,
+                           std::vector<ChurnEvent> *out,
+                           std::string *err = nullptr);
+
+    const TrafficConfig &config() const { return cfg; }
+
+    bool skewEnabled() const { return cfg.skewAlpha > 0.0; }
+    double hotFraction() const { return cfg.skewFraction; }
+
+    /**
+     * Draw one overlay line offset in [0, skewLines): a Zipf rank
+     * from the caller's rng, mapped through the hot-set table (hot
+     * ranks) or a static salted hash (the tail).
+     */
+    std::uint64_t nextHotLine(Rng &rng);
+
+    /**
+     * Epoch boundary hook: when a drift is due, re-seat
+     * skewDriftFraction of the hot-set table at fresh lines (drawn
+     * from the schedule's private stream). Returns true when a drift
+     * happened.
+     */
+    bool epochBoundary(int epoch);
+
+    /** Hot-set entries re-seated so far (drift progress). */
+    std::uint64_t driftedEntries() const { return drifted; }
+
+    /** The parsed churn schedule, epoch-ordered. */
+    const std::vector<ChurnEvent> &churnEvents() const
+    {
+        return events;
+    }
+
+    /**
+     * Resolve the churn events scheduled at `epoch` against the
+     * currently active thread ids (ascending): departures are drawn
+     * from the schedule's private stream among the active set,
+     * arrivals reactivate the most recently departed threads first.
+     * Events are consumed in schedule order; a departure event larger
+     * than the active set empties it, an arrival event larger than
+     * the departed stack drains it.
+     */
+    ChurnActions actionsAt(int epoch,
+                           const std::vector<int> &active_ids);
+
+  private:
+    TrafficConfig cfg;
+    /** rank -> line for the hottest ranks; drifts over epochs. */
+    std::vector<std::uint64_t> hotLine;
+    ZipfSampler zipf;
+    /** Private stream for drift re-seats and departure draws. */
+    Rng scheduleRng;
+    std::vector<ChurnEvent> events;
+    /** Threads departed and not yet returned (LIFO arrival order). */
+    std::vector<int> departedStack;
+    std::size_t driftCursor = 0;
+    std::uint64_t drifted = 0;
+};
+
+} // namespace cdcs
+
+#endif // CDCS_WORKLOAD_TRAFFIC_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Doc-sync lint: every `--set` key the Overrides parser recognizes
+ * must be documented in EXPERIMENTS.md (as `key` in backticks), so
+ * new knobs cannot land without their docs. Built with
+ * CDCS_REPO_ROOT pointing at the source tree.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/overrides.hh"
+
+#ifndef CDCS_REPO_ROOT
+#define CDCS_REPO_ROOT "."
+#endif
+
+namespace cdcs
+{
+namespace
+{
+
+std::string
+readFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return "";
+    std::string out;
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    std::fclose(f);
+    return out;
+}
+
+TEST(DocSyncTest, EveryOverrideKeyDocumentedInExperimentsMd)
+{
+    const std::string doc =
+        readFile(std::string(CDCS_REPO_ROOT) + "/EXPERIMENTS.md");
+    ASSERT_FALSE(doc.empty())
+        << "EXPERIMENTS.md not found under " << CDCS_REPO_ROOT;
+    for (const auto &[key, type] : Overrides::knownKeys()) {
+        EXPECT_NE(doc.find("`" + key + "`"), std::string::npos)
+            << "--set key '" << key << "' (" << type
+            << ") is missing from EXPERIMENTS.md";
+    }
+}
+
+TEST(DocSyncTest, KnownKeysAreUniqueAndTyped)
+{
+    const auto keys = Overrides::knownKeys();
+    ASSERT_FALSE(keys.empty());
+    for (std::size_t i = 0; i < keys.size(); i++) {
+        EXPECT_FALSE(keys[i].first.empty());
+        EXPECT_FALSE(keys[i].second.empty()) << keys[i].first;
+        for (std::size_t j = i + 1; j < keys.size(); j++)
+            EXPECT_NE(keys[i].first, keys[j].first);
+    }
+}
+
+} // anonymous namespace
+} // namespace cdcs

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for the dynamic-traffic layer: churn schedule parsing, the
+ * seeded hot-set drift, churn resolution (departure draws, LIFO
+ * arrivals), and the WorkloadMix overlay's byte-identity contract
+ * when the layer is disabled.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "workload/mix.hh"
+#include "workload/traffic.hh"
+
+namespace cdcs
+{
+namespace
+{
+
+TEST(ChurnParseTest, ValidSchedules)
+{
+    std::vector<ChurnEvent> events;
+    EXPECT_TRUE(TrafficSchedule::parseChurn("", &events));
+    EXPECT_TRUE(events.empty());
+
+    EXPECT_TRUE(TrafficSchedule::parseChurn("5:-8", &events));
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].epoch, 5);
+    EXPECT_EQ(events[0].delta, -8);
+
+    EXPECT_TRUE(
+        TrafficSchedule::parseChurn("8:+4,5:-8,5:+2", &events));
+    ASSERT_EQ(events.size(), 3u);
+    // Epoch-sorted, stable for equal epochs.
+    EXPECT_EQ(events[0].epoch, 5);
+    EXPECT_EQ(events[0].delta, -8);
+    EXPECT_EQ(events[1].epoch, 5);
+    EXPECT_EQ(events[1].delta, 2);
+    EXPECT_EQ(events[2].epoch, 8);
+    EXPECT_EQ(events[2].delta, 4);
+}
+
+TEST(ChurnParseTest, MalformedSchedulesRejected)
+{
+    std::string err;
+    for (const char *bad :
+         {"5", "5:", ":-8", "5:-0", "0:-8", "-1:+2", "5:-8,",
+          "5:8", "a:-8", "5:-b", "5 : -8"}) {
+        std::vector<ChurnEvent> events;
+        EXPECT_FALSE(
+            TrafficSchedule::parseChurn(bad, &events, &err))
+            << bad;
+        EXPECT_FALSE(err.empty()) << bad;
+    }
+}
+
+TEST(TrafficScheduleTest, SkewDisabledAtAlphaZero)
+{
+    TrafficConfig cfg;
+    cfg.skewAlpha = 0.0;
+    TrafficSchedule sched(cfg);
+    EXPECT_FALSE(sched.skewEnabled());
+}
+
+TEST(TrafficScheduleTest, HotLinesSeededAndInRange)
+{
+    TrafficConfig cfg;
+    cfg.skewAlpha = 1.0;
+    cfg.skewLines = 4096;
+    cfg.skewHotLines = 64;
+    TrafficSchedule a(cfg), b(cfg);
+    Rng ra(1), rb(1);
+    for (int i = 0; i < 1000; i++) {
+        const std::uint64_t line = a.nextHotLine(ra);
+        EXPECT_LT(line, cfg.skewLines);
+        EXPECT_EQ(line, b.nextHotLine(rb)); // Same seed, same stream.
+    }
+}
+
+TEST(TrafficScheduleTest, DifferentSeedsDifferentHotSets)
+{
+    TrafficConfig cfg;
+    cfg.skewAlpha = 1.2;
+    TrafficConfig other = cfg;
+    other.seed = cfg.seed + 1;
+    TrafficSchedule a(cfg), b(other);
+    Rng ra(1), rb(1);
+    int differs = 0;
+    for (int i = 0; i < 200; i++) {
+        if (a.nextHotLine(ra) != b.nextHotLine(rb))
+            differs++;
+    }
+    EXPECT_GT(differs, 0);
+}
+
+TEST(TrafficScheduleTest, DriftReseatsOnSchedule)
+{
+    TrafficConfig cfg;
+    cfg.skewAlpha = 1.0;
+    cfg.skewHotLines = 100;
+    cfg.skewDriftEpochs = 2;
+    cfg.skewDriftFraction = 0.25;
+    TrafficSchedule sched(cfg);
+    EXPECT_FALSE(sched.epochBoundary(0)); // Epoch 0 never drifts.
+    EXPECT_FALSE(sched.epochBoundary(1));
+    EXPECT_EQ(sched.driftedEntries(), 0u);
+    EXPECT_TRUE(sched.epochBoundary(2));
+    EXPECT_EQ(sched.driftedEntries(), 25u);
+    EXPECT_FALSE(sched.epochBoundary(3));
+    EXPECT_TRUE(sched.epochBoundary(4));
+    EXPECT_EQ(sched.driftedEntries(), 50u);
+}
+
+TEST(TrafficScheduleTest, NoDriftWhenDisabled)
+{
+    TrafficConfig cfg;
+    cfg.skewAlpha = 1.0;
+    cfg.skewDriftEpochs = 0;
+    TrafficSchedule sched(cfg);
+    for (int e = 0; e < 10; e++)
+        EXPECT_FALSE(sched.epochBoundary(e));
+}
+
+TEST(TrafficScheduleTest, ChurnActionsDepartThenReturnLifo)
+{
+    TrafficConfig cfg;
+    cfg.churn = "3:-2,5:-1,7:+3";
+    TrafficSchedule sched(cfg);
+    std::vector<int> active = {0, 1, 2, 3};
+
+    EXPECT_TRUE(sched.actionsAt(1, active).depart.empty());
+
+    const ChurnActions down = sched.actionsAt(3, active);
+    EXPECT_EQ(down.depart.size(), 2u);
+    EXPECT_TRUE(down.arrive.empty());
+    for (int t : down.depart) {
+        EXPECT_GE(t, 0);
+        EXPECT_LE(t, 3);
+        active.erase(std::find(active.begin(), active.end(), t));
+    }
+
+    const ChurnActions down2 = sched.actionsAt(5, active);
+    ASSERT_EQ(down2.depart.size(), 1u);
+    active.erase(
+        std::find(active.begin(), active.end(), down2.depart[0]));
+
+    // All three departed threads return, most recent first.
+    const ChurnActions back = sched.actionsAt(7, active);
+    ASSERT_EQ(back.arrive.size(), 3u);
+    EXPECT_EQ(back.arrive[0], down2.depart[0]);
+}
+
+TEST(TrafficScheduleTest, ChurnOverdrawClamps)
+{
+    TrafficConfig cfg;
+    cfg.churn = "2:-10,4:+10";
+    TrafficSchedule sched(cfg);
+    std::vector<int> active = {4, 7};
+    const ChurnActions down = sched.actionsAt(2, active);
+    EXPECT_EQ(down.depart.size(), 2u); // Can't exceed the active set.
+    const ChurnActions up = sched.actionsAt(4, {});
+    EXPECT_EQ(up.arrive.size(), 2u); // Can't exceed the departed stack.
+}
+
+TEST(TrafficScheduleTest, ChurnDrawsAreSeedStable)
+{
+    TrafficConfig cfg;
+    cfg.churn = "2:-4";
+    TrafficSchedule a(cfg), b(cfg);
+    const std::vector<int> active = {0, 1, 2, 3, 4, 5, 6, 7};
+    EXPECT_EQ(a.actionsAt(2, active).depart,
+              b.actionsAt(2, active).depart);
+}
+
+TEST(WorkloadMixTrafficTest, NoScheduleWithoutAttach)
+{
+    WorkloadMix mix = WorkloadMix::fromNames({"milc", "omnetpp"}, 7);
+    EXPECT_EQ(mix.traffic(), nullptr);
+    EXPECT_EQ(mix.numActiveThreads(), mix.numThreads());
+}
+
+TEST(WorkloadMixTrafficTest, SkewOverlayRedirectsToGlobalVc)
+{
+    WorkloadMix mix = WorkloadMix::fromNames({"milc", "omnetpp"}, 7);
+    TrafficConfig cfg;
+    cfg.skewAlpha = 1.0;
+    cfg.skewFraction = 1.0; // Every access goes to the overlay.
+    mix.attachTraffic(cfg);
+    ASSERT_NE(mix.traffic(), nullptr);
+    for (int i = 0; i < 200; i++) {
+        const AccessSample sample = mix.nextAccess(0);
+        EXPECT_EQ(sample.vc, mix.thread(0).globalVc);
+    }
+}
+
+TEST(WorkloadMixTrafficTest, ActiveFlagsToggle)
+{
+    WorkloadMix mix = WorkloadMix::fromNames({"milc", "omnetpp"}, 7);
+    EXPECT_TRUE(mix.threadActive(0));
+    mix.setThreadActive(0, false);
+    EXPECT_FALSE(mix.threadActive(0));
+    EXPECT_EQ(mix.numActiveThreads(), mix.numThreads() - 1);
+    mix.setThreadActive(0, true);
+    EXPECT_EQ(mix.numActiveThreads(), mix.numThreads());
+}
+
+} // anonymous namespace
+} // namespace cdcs

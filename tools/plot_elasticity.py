@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Plot an elasticity epoch trace exported by the elasticity study.
+
+Consumes the ``elasticity_trace_<level>_<scheme>.json`` artifacts
+that ``cdcs_studies run elasticity --set jsonDir=DIR`` writes
+(schema: ``{"level", "scheme", "events": [down, up], "trace":
+[{"epoch", "active", "delta", "aggIpc", "moves", "movedLines"},
+...]}``) and renders aggregate IPC and active-thread count over
+epochs, with the churn events marked. Passing several artifacts of
+the same level overlays the schemes on one figure.
+
+matplotlib is imported lazily so the ``--check`` mode (schema
+validation, used by CI) runs anywhere.
+
+Usage:
+    plot_elasticity.py trace.json... [-o out.png]
+    plot_elasticity.py --check trace.json...
+"""
+
+import argparse
+import json
+import sys
+
+RECORD_KEYS = {"epoch", "active", "delta", "aggIpc", "moves", "movedLines"}
+
+
+def load_trace(path):
+    """Parse and validate one trace artifact; exits on bad schema."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    for key in ("level", "scheme", "events", "trace"):
+        if key not in doc:
+            sys.exit(f"{path}: missing key '{key}'")
+    if len(doc["events"]) != 2 or doc["events"][0] >= doc["events"][1]:
+        sys.exit(f"{path}: events must be [down, up] with down < up")
+    if not doc["trace"]:
+        sys.exit(f"{path}: empty trace (was churn enabled?)")
+    for i, rec in enumerate(doc["trace"]):
+        missing = RECORD_KEYS - rec.keys()
+        if missing:
+            sys.exit(f"{path}: record {i} missing keys {sorted(missing)}")
+        if rec["epoch"] != i:
+            sys.exit(f"{path}: record {i} has epoch {rec['epoch']}")
+        if rec["active"] <= 0:
+            sys.exit(f"{path}: record {i} has no active threads")
+        if rec["aggIpc"] < 0 or rec["moves"] < 0 or rec["movedLines"] < 0:
+            sys.exit(f"{path}: record {i} has a negative metric")
+    churn = sum(rec["delta"] for rec in doc["trace"])
+    if churn != 0:
+        sys.exit(f"{path}: churn deltas do not balance (sum {churn})")
+    return doc
+
+
+def check(paths):
+    for path in paths:
+        doc = load_trace(path)
+        down, up = doc["events"]
+        moves = sum(rec["moves"] for rec in doc["trace"])
+        print(
+            f"{path}: {doc['scheme']} under '{doc['level']}' churn, "
+            f"{len(doc['trace'])} epochs, events at {down}/{up}, "
+            f"{moves} thread moves"
+        )
+    print(f"{len(paths)} artifact(s) OK")
+
+
+def plot(paths, out):
+    try:
+        import matplotlib
+    except ImportError:
+        sys.exit(
+            "matplotlib is required for plotting; install it or use "
+            "--check for schema validation only"
+        )
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    docs = [load_trace(path) for path in paths]
+    fig, (ax_ipc, ax_active) = plt.subplots(
+        2, 1, sharex=True, figsize=(8, 6), height_ratios=[2, 1]
+    )
+    for doc in docs:
+        epochs = [rec["epoch"] for rec in doc["trace"]]
+        label = f"{doc['scheme']} ({doc['level']})"
+        ax_ipc.plot(
+            epochs, [rec["aggIpc"] for rec in doc["trace"]],
+            marker="o", label=label,
+        )
+        ax_active.step(
+            epochs, [rec["active"] for rec in doc["trace"]],
+            where="post", label=label,
+        )
+    for event, name in zip(docs[0]["events"], ("depart", "arrive")):
+        for ax in (ax_ipc, ax_active):
+            ax.axvline(event, color="grey", linestyle="--", linewidth=1)
+        ax_ipc.annotate(
+            name, (event, ax_ipc.get_ylim()[1]),
+            ha="center", va="bottom", fontsize=8, color="grey",
+        )
+    ax_ipc.set_ylabel("aggregate IPC (active threads)")
+    ax_ipc.legend(fontsize=8)
+    ax_active.set_ylabel("active threads")
+    ax_active.set_xlabel("epoch")
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("artifacts", nargs="+", help="trace JSON")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="validate the artifact schema and exit (no matplotlib)",
+    )
+    parser.add_argument(
+        "-o", "--output", help="output image (default: <first input>.png)"
+    )
+    args = parser.parse_args()
+
+    if args.check:
+        check(args.artifacts)
+        return
+    out = args.output or args.artifacts[0].rsplit(".", 1)[0] + ".png"
+    plot(args.artifacts, out)
+
+
+if __name__ == "__main__":
+    main()
