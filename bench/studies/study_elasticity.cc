@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "sim/report.hh"
 #include "sim/study.hh"
 #include "noc_studies.hh"
 
@@ -52,26 +53,19 @@ appendF(std::string &out, const char *fmt, ...)
     out += buf;
 }
 
+/**
+ * The per-epoch churn trace, on the shared metrics-trace schema with
+ * the study's own keys (churn level, event epochs) folded in as
+ * extra top-level fields.
+ */
 std::string
 traceJson(const char *level, const std::string &scheme, int down,
           int up, const RunResult &run)
 {
-    std::string out = "{";
-    appendF(out, "\"level\": \"%s\", \"scheme\": \"%s\", ", level,
-            scheme.c_str());
-    appendF(out, "\"events\": [%d, %d], \"trace\": [", down, up);
-    for (std::size_t i = 0; i < run.epochTrace.size(); i++) {
-        const EpochRecord &rec = run.epochTrace[i];
-        appendF(out,
-                "%s{\"epoch\": %d, \"active\": %d, \"delta\": %d, "
-                "\"aggIpc\": %.17g, \"moves\": %d, "
-                "\"movedLines\": %llu}",
-                i > 0 ? "," : "", rec.epoch, rec.activeThreads,
-                rec.churnDelta, rec.aggIpc, rec.placementMoves,
-                static_cast<unsigned long long>(rec.movedLines));
-    }
-    out += "]}";
-    return out;
+    std::string extra;
+    appendF(extra, "\"level\": \"%s\", \"events\": [%d, %d], ",
+            level, down, up);
+    return metricsTraceJson(scheme, run, extra);
 }
 
 const StudyRegistrar registrar([] {

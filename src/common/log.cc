@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace cdcs
 {
@@ -9,15 +10,37 @@ namespace cdcs
 namespace
 {
 
+thread_local int logWorker = -1;
+
+std::mutex &
+logMu()
+{
+    static std::mutex mu;
+    return mu;
+}
+
 void
 vreport(const char *tag, const char *fmt, va_list args)
 {
-    std::fprintf(stderr, "%s: ", tag);
-    std::vfprintf(stderr, fmt, args);
-    std::fprintf(stderr, "\n");
+    // Format into a local buffer first, then emit the whole line in
+    // one mutex-guarded write: concurrent pool workers must not
+    // interleave fragments of each other's diagnostics.
+    char msg[4096];
+    std::vsnprintf(msg, sizeof(msg), fmt, args);
+    std::lock_guard<std::mutex> lock(logMu());
+    if (logWorker >= 0)
+        std::fprintf(stderr, "%s[w%d]: %s\n", tag, logWorker, msg);
+    else
+        std::fprintf(stderr, "%s: %s\n", tag, msg);
 }
 
 } // anonymous namespace
+
+void
+setLogWorker(int worker)
+{
+    logWorker = worker;
+}
 
 void
 panic(const char *fmt, ...)

@@ -46,6 +46,13 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /**
+ * Tag this thread's log lines with a worker id ("warn[w3]: ...").
+ * Pool workers call this at spawn so parallel-sweep diagnostics stay
+ * attributable; pass a negative id to clear. Thread-local.
+ */
+void setLogWorker(int worker);
+
+/**
  * Assert-like helper used on hot paths; compiled in all build types
  * because simulation correctness depends on these invariants.
  */

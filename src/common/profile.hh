@@ -24,6 +24,8 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/trace.hh"
+
 namespace cdcs
 {
 
@@ -36,6 +38,35 @@ enum class ProfPhase : int
     CacheIo,     ///< Persistent result-store reads/writes.
     NumPhases
 };
+
+/** Stable phase label, used by the footer and the execution tracer. */
+constexpr const char *
+profPhaseName(ProfPhase phase)
+{
+    switch (phase) {
+      case ProfPhase::Access:
+        return "access";
+      case ProfPhase::NocQuery:
+        return "noc-query";
+      case ProfPhase::Reconfig:
+        return "reconfig";
+      case ProfPhase::CacheIo:
+        return "cache-io";
+      default:
+        return "?";
+    }
+}
+
+/**
+ * Phases coarse enough to trace as spans. NocQuery fires per cache
+ * access — millions of times per epoch — so it stays timer-only; the
+ * others fire at most once per epoch per run.
+ */
+constexpr bool
+profPhaseTraceable(ProfPhase phase)
+{
+    return phase != ProfPhase::NocQuery;
+}
 
 /** Process-wide phase-time accumulator (thread-local counters). */
 class Profiler
@@ -142,19 +173,28 @@ class Profiler
     static inline std::atomic<bool> enabledFlag{false};
 };
 
-/** Scoped timer charging its lifetime to one phase (when enabled). */
+/**
+ * Scoped timer charging its lifetime to one phase (when the profiler
+ * is enabled) and, for coarse phases, emitting a tracer span (when a
+ * trace file is open). Both default off to two relaxed loads.
+ */
 class ProfTimer
 {
   public:
     explicit ProfTimer(ProfPhase phase_)
-        : phase(phase_), active(Profiler::enabled())
+        : phase(phase_), active(Profiler::enabled()),
+          tracing(profPhaseTraceable(phase_) && Tracer::enabled())
     {
         if (active)
             start = std::chrono::steady_clock::now();
+        if (tracing)
+            Tracer::begin(profPhaseName(phase_));
     }
 
     ~ProfTimer()
     {
+        if (tracing)
+            Tracer::end(profPhaseName(phase));
         if (!active)
             return;
         const auto elapsed =
@@ -173,6 +213,7 @@ class ProfTimer
   private:
     ProfPhase phase;
     bool active;
+    bool tracing;
     std::chrono::steady_clock::time_point start;
 };
 

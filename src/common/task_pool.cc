@@ -1,7 +1,13 @@
 #include "common/task_pool.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <string>
+
+#include "common/log.hh"
+#include "obs/stat_registry.hh"
+#include "obs/trace.hh"
 
 namespace cdcs
 {
@@ -13,6 +19,12 @@ namespace
 /// nested run() calls then execute inline instead of blocking on the
 /// pool they are running inside of.
 thread_local bool inside_pool = false;
+
+// Registry mirrors of the pool's native counters, so `stats=pool`
+// lands them in the per-epoch metrics trace alongside everything else.
+const StatId kPoolSteals = StatRegistry::counter("pool.steals");
+const StatId kPoolWakeups = StatRegistry::counter("pool.wakeups");
+const StatId kPoolIdleNs = StatRegistry::counter("pool.idle_ns");
 
 } // anonymous namespace
 
@@ -64,8 +76,14 @@ WorkStealingPool::runOneTask(unsigned self)
     // loses a CAS race reports nullptr like an empty deque; that is
     // fine, because the worker re-checks `queued` before sleeping.
     ChaseLevDeque::Task *task = nullptr;
-    for (unsigned i = 0; i < numWorkers && task == nullptr; i++)
+    for (unsigned i = 0; i < numWorkers && task == nullptr; i++) {
         task = deques[(self + i) % numWorkers]->steal();
+        if (task != nullptr && i > 0) {
+            // Found in a victim's deque, not the own share.
+            steals.fetch_add(1);
+            StatRegistry::add(kPoolSteals);
+        }
+    }
     if (task == nullptr)
         return false;
 
@@ -82,6 +100,8 @@ void
 WorkStealingPool::workerLoop(unsigned self)
 {
     inside_pool = true;
+    setLogWorker(static_cast<int>(self));
+    Tracer::nameThread("worker-" + std::to_string(self));
     while (true) {
         if (runOneTask(self))
             continue;
@@ -91,9 +111,17 @@ WorkStealingPool::workerLoop(unsigned self)
         // worker either sees the new tasks in its predicate or is
         // counted idle and gets a notify.
         idleCount.fetch_add(1);
+        const auto park = std::chrono::steady_clock::now();
         workCv.wait(lock, [this]() {
             return stopping.load() || queued.load() > 0;
         });
+        const auto parked = std::chrono::steady_clock::now() - park;
+        const auto parked_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                parked)
+                .count());
+        idleNs.fetch_add(parked_ns);
+        StatRegistry::add(kPoolIdleNs, parked_ns);
         idleCount.fetch_sub(1);
         if (stopping.load())
             return;
@@ -141,6 +169,7 @@ WorkStealingPool::run(std::vector<std::function<void()>> tasks)
     const unsigned idle = idleCount.load();
     if (idle > 0) {
         wakeups.fetch_add(1);
+        StatRegistry::add(kPoolWakeups);
         {
             // Empty critical section: a worker between its idle
             // increment and its sleep holds sleepMu, so this

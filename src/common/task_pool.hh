@@ -79,6 +79,20 @@ class WorkStealingPool
         return wakeups.load();
     }
 
+    /** Tasks a worker took from another worker's deque. */
+    std::uint64_t
+    stealCount() const
+    {
+        return steals.load();
+    }
+
+    /** Total nanoseconds workers spent parked on the sleep cv. */
+    std::uint64_t
+    idleNanos() const
+    {
+        return idleNs.load();
+    }
+
     /**
      * CDCS_WORKERS environment override, else the hardware thread
      * count (CDCS_WORKERS=1 forces serial execution everywhere).
@@ -108,6 +122,8 @@ class WorkStealingPool
     std::atomic<std::uint64_t> pending{0};   ///< Unfinished tasks.
     std::atomic<unsigned> idleCount{0};      ///< Parked workers.
     std::atomic<std::uint64_t> wakeups{0};   ///< Submit-side notifies.
+    std::atomic<std::uint64_t> steals{0};    ///< Cross-deque takes.
+    std::atomic<std::uint64_t> idleNs{0};    ///< Parked wall time.
     std::atomic<bool> stopping{false};
     std::atomic<unsigned> nextQueue{0};      ///< Round-robin cursor.
 };

@@ -2,8 +2,18 @@
 
 #include <algorithm>
 
+#include "obs/stat_registry.hh"
+
 namespace cdcs
 {
+
+namespace
+{
+
+/// Pages re-pinned to another controller per epoch.
+const StatId kMemMigrations = StatRegistry::counter("mem.migrations");
+
+} // anonymous namespace
 
 D2ChoiceMemPlacement::D2ChoiceMemPlacement(const Mesh &mesh,
                                            double smoothing_)
@@ -203,6 +213,7 @@ ContentionMemPlacement::epochUpdate(NocModel &noc,
         info->ctrl = best;
         info->lastMoveEpoch = epochCount;
         migrated++;
+        StatRegistry::add(kMemMigrations);
     }
 
     epochCount++;

@@ -3,9 +3,21 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "obs/stat_registry.hh"
 
 namespace cdcs
 {
+
+namespace
+{
+
+// Per-epoch NoC stats: flits offered across all links, and links the
+// M/D/1 estimator clamped at the saturation limit.
+const StatId kNocLinkFlits = StatRegistry::counter("noc.link_flits");
+const StatId kNocSaturatedLinks =
+    StatRegistry::counter("noc.saturated_links");
+
+} // anonymous namespace
 
 ContentionNoc::ContentionNoc(const Mesh &mesh, double inj_scale,
                              double max_util)
@@ -195,7 +207,10 @@ ContentionNoc::epochUpdate(double elapsed_cycles)
     const double cycles = std::max(elapsed_cycles, 1.0);
     const double service =
         static_cast<double>(topo.config().linkCycles);
+    std::uint64_t epoch_flits = 0;
+    std::uint64_t saturated = 0;
     for (std::size_t l = 0; l < linkFlits.size(); l++) {
+        epoch_flits += linkFlits[l] - prevFlits[l];
         const double delta = static_cast<double>(
             linkFlits[l] - prevFlits[l]);
         prevFlits[l] = linkFlits[l];
@@ -207,7 +222,11 @@ ContentionNoc::epochUpdate(double elapsed_cycles)
         // M/D/1 mean waiting time with deterministic service.
         linkWait[l] = service * rho / (2.0 * (1.0 - rho));
         linkUtil[l] = rho;
+        if (rho >= maxUtil)
+            saturated++;
     }
+    StatRegistry::add(kNocLinkFlits, epoch_flits);
+    StatRegistry::add(kNocSaturatedLinks, saturated);
     // Waits changed: reflatten the route-wait tables once, so every
     // access-path query until the next epoch stays a table read.
     rebuildWaitTables();

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Process-wide hierarchical statistic registry behind the `--set
+ * stats=<filter>` study knob. Subsystems register named counters and
+ * fixed-bucket histograms once (typically from namespace-scope
+ * initializers, so every stat exists before main()), then bump them
+ * from hot paths. Counters are sharded per thread like the Profiler's
+ * phase timers: the increment is an unsynchronized relaxed add into a
+ * thread-local slot array, and collection points fold the shards.
+ *
+ * Disabled (the default) a bump is a single relaxed atomic load, so
+ * instrumented paths pay nothing measurable and stats never influence
+ * simulated results — which is why the `stats` knobs stay out of the
+ * runner cache key.
+ *
+ * Names are dot-hierarchical ("noc.link_flits", "pool.steals"); the
+ * `stats=` filter selects whole subtrees by comma-separated prefixes,
+ * or everything with "1"/"all".
+ */
+
+#ifndef CDCS_OBS_STAT_REGISTRY_HH
+#define CDCS_OBS_STAT_REGISTRY_HH
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cdcs
+{
+
+/** Index of a registered stat slot; stable for the process lifetime. */
+using StatId = int;
+
+class StatRegistry
+{
+  public:
+    /**
+     * Fixed slot budget. Registration is rare (a few dozen stats at
+     * static init); a fixed array keeps the thread-local shard a flat
+     * block with no growth races against concurrent bumps.
+     */
+    static constexpr std::size_t maxSlots = 128;
+
+    /** A histogram is a run of consecutive counter slots. */
+    struct HistId
+    {
+        StatId base = -1;
+        int buckets = 0;
+        /** Upper bound of the first bucket; doubles per bucket. */
+        std::uint64_t firstBound = 1;
+    };
+
+    /** Folded (or per-thread) values of every registered slot. */
+    struct Snapshot
+    {
+        std::array<std::uint64_t, maxSlots> v{};
+
+        std::uint64_t
+        operator[](StatId id) const
+        {
+            return v[static_cast<std::size_t>(id)];
+        }
+    };
+
+    static bool
+    enabled()
+    {
+        return enabledFlag.load(std::memory_order_relaxed);
+    }
+
+    static void setEnabled(bool on);
+
+    /**
+     * Register (or look up) the counter `name`. Idempotent: a second
+     * registration of the same name returns the same id, so static
+     * initializers in different translation units cannot collide.
+     */
+    static StatId counter(const std::string &name);
+
+    /**
+     * Register a log2-bucketed histogram: `buckets` consecutive
+     * counter slots named `name.le_<bound>` (last bucket
+     * `name.le_inf`), with bucket upper bounds `first_bound`,
+     * `2*first_bound`, ... Selection by the `name` prefix picks up
+     * every bucket.
+     */
+    static HistId histogram(const std::string &name, int buckets,
+                            std::uint64_t first_bound);
+
+    /** Add `n` to `id` in this thread's shard (no-op when disabled). */
+    static void
+    add(StatId id, std::uint64_t n = 1)
+    {
+        if (!enabled())
+            return;
+        local().v[static_cast<std::size_t>(id)].fetch_add(
+            n, std::memory_order_relaxed);
+    }
+
+    /** Count `value` into its histogram bucket (no-op when disabled). */
+    static void
+    observe(const HistId &h, std::uint64_t value)
+    {
+        if (!enabled())
+            return;
+        std::uint64_t bound = h.firstBound;
+        int b = 0;
+        while (b < h.buckets - 1 && value > bound) {
+            bound *= 2;
+            b++;
+        }
+        local().v[static_cast<std::size_t>(h.base + b)].fetch_add(
+            1, std::memory_order_relaxed);
+    }
+
+    /** Number of slots registered so far. */
+    static std::size_t numStats();
+
+    /** Name of slot `id` ("" when unregistered). */
+    static std::string name(StatId id);
+
+    /** Sum every thread's shard (process-wide totals). */
+    static Snapshot snapshot();
+
+    /**
+     * This thread's shard only. Each study run executes on a single
+     * worker thread start to finish, so per-epoch deltas of the local
+     * shard attribute stats to the right run even while other workers
+     * simulate concurrently.
+     */
+    static Snapshot localSnapshot();
+
+    /**
+     * Resolve a `stats=` filter into slot ids, sorted by name so the
+     * exported column order is deterministic. "" and "0" select
+     * nothing; "1", "all", "true", "on" select everything; anything
+     * else is a comma-separated list of names or dot-prefixes
+     * ("noc,pool.steals" matches noc.* and pool.steals exactly).
+     */
+    static std::vector<StatId> select(const std::string &filter);
+
+    /** Implementation detail, public only so the registry block in
+     * stat_registry.cc can hold `Shard *` without friendship. */
+    struct Shard
+    {
+        std::array<std::atomic<std::uint64_t>, maxSlots> v{};
+    };
+
+  private:
+    /**
+     * This thread's shard, registered globally on first use and never
+     * freed (snapshot() must still see counts from exited workers;
+     * the leak is bounded by the thread count).
+     */
+    static Shard &local();
+
+    static inline std::atomic<bool> enabledFlag{false};
+};
+
+} // namespace cdcs
+
+#endif // CDCS_OBS_STAT_REGISTRY_HH

@@ -1,11 +1,27 @@
 #include "sim/epoch_controller.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "common/profile.hh"
+#include "obs/trace.hh"
 
 namespace cdcs
 {
+
+namespace
+{
+
+// Reconfiguration-pipeline stats (registered at static init so any
+// `stats=` filter can select them before the first run starts).
+const StatId kRuntimeReconfigs =
+    StatRegistry::counter("runtime.reconfigs");
+const StatId kRuntimePlaceMoves =
+    StatRegistry::counter("runtime.place_moves");
+const StatId kRuntimeMovedLines =
+    StatRegistry::counter("runtime.moved_lines");
+
+} // anonymous namespace
 
 EpochController::EpochController(const SystemConfig &config,
                                  Platform &plat, AccessPath &access,
@@ -17,6 +33,12 @@ EpochController::EpochController(const SystemConfig &config,
 {
     instrOffset.assign(mix.numThreads(), 0.0);
     cycleOffset.assign(mix.numThreads(), 0.0);
+    if (cfg.statsEnabled()) {
+        statSel = StatRegistry::select(cfg.statsFilter);
+        statNames.reserve(statSel.size());
+        for (StatId id : statSel)
+            statNames.push_back(StatRegistry::name(id));
+    }
 }
 
 RuntimeInput
@@ -100,6 +122,10 @@ EpochController::applyDirective(const EpochDirective &directive)
 {
     if (!directive.reconfigured)
         return;
+    StatRegistry::add(kRuntimeReconfigs);
+    StatRegistry::add(kRuntimeMovedLines,
+                      directive.movedLines +
+                          directive.invalidatedLines);
     stats.reconfigs++;
     stats.timeSums.allocUs += directive.times.allocUs;
     stats.timeSums.threadPlaceUs += directive.times.threadPlaceUs;
@@ -108,6 +134,7 @@ EpochController::applyDirective(const EpochDirective &directive)
     stats.bulkInvalidated += directive.invalidatedLines;
     lastMovedLines = directive.movedLines + directive.invalidatedLines;
     if (!directive.newThreadCore.empty()) {
+        const int moves_before = lastPlacementMoves;
         for (std::size_t t = 0;
              t < directive.newThreadCore.size() &&
              t < threadCore.size();
@@ -115,6 +142,10 @@ EpochController::applyDirective(const EpochDirective &directive)
             if (directive.newThreadCore[t] != threadCore[t])
                 lastPlacementMoves++;
         }
+        StatRegistry::add(
+            kRuntimePlaceMoves,
+            static_cast<std::uint64_t>(lastPlacementMoves -
+                                       moves_before));
         threadCore = directive.newThreadCore;
     }
     if (directive.pauseCycles > 0) {
@@ -176,11 +207,21 @@ EpochController::runEpochs()
 {
     const int num_threads = mix.numThreads();
     TrafficSchedule *traffic = mix.traffic();
+    // The epoch trace is recorded for dynamic traffic (as always) and
+    // whenever a `stats=` selection wants per-epoch registry deltas.
+    const bool stats_on = !statSel.empty();
+    const bool record = traffic != nullptr || stats_on;
+    if (stats_on)
+        statBase = StatRegistry::localSnapshot();
     for (int epoch = 0; epoch < cfg.epochs; epoch++) {
+        if (Tracer::enabled())
+            Tracer::instant("epoch " + std::to_string(epoch));
         int churn_delta = 0;
         if (traffic != nullptr) {
             churn_delta = applyChurn(epoch);
             traffic->epochBoundary(epoch);
+        }
+        if (record) {
             lastPlacementMoves = 0;
             lastMovedLines = 0;
             epochStartInstr.resize(
@@ -262,7 +303,7 @@ EpochController::runEpochs()
             reconfigStartMean = path.meanActiveCycles();
         }
 
-        if (traffic != nullptr) {
+        if (record) {
             EpochRecord rec;
             rec.epoch = epoch;
             rec.activeThreads = mix.numActiveThreads();
@@ -282,6 +323,17 @@ EpochController::runEpochs()
                 rec.aggIpc = d_instr / (d_cycles / n_active);
             rec.placementMoves = lastPlacementMoves;
             rec.movedLines = lastMovedLines;
+            if (stats_on &&
+                epoch % cfg.statsEvery == cfg.statsEvery - 1) {
+                // Deltas of this thread's shard since the previous
+                // sampled epoch: everything this run bumped, nothing
+                // a concurrently-simulating worker did.
+                const auto snap = StatRegistry::localSnapshot();
+                rec.stats.reserve(statSel.size());
+                for (StatId id : statSel)
+                    rec.stats.push_back(snap[id] - statBase[id]);
+                statBase = snap;
+            }
             trace.push_back(rec);
         }
     }
@@ -362,6 +414,7 @@ EpochController::assemble() const
     res.memCtrlAccesses.resize(
         static_cast<std::size_t>(platform.mesh.numMemCtrls()), 0);
     res.epochTrace = trace;
+    res.statNames = statNames;
 
     if (cfg.traceIpc) {
         res.ipcBinCycles = cfg.traceBinCycles;

@@ -11,9 +11,11 @@
 #ifndef CDCS_SIM_EPOCH_CONTROLLER_HH
 #define CDCS_SIM_EPOCH_CONTROLLER_HH
 
+#include <string>
 #include <vector>
 
 #include "common/curve.hh"
+#include "obs/stat_registry.hh"
 #include "runtime/placement_cost.hh"
 #include "sim/access_path.hh"
 #include "sim/platform.hh"
@@ -87,6 +89,16 @@ class EpochController
     std::uint64_t lastMovedLines = 0;
     /// Whole-run per-epoch trace (assembled into the RunResult).
     std::vector<EpochRecord> trace;
+
+    // ---- Metrics-trace bookkeeping (inert without `stats=`).
+
+    /// Resolved `stats=` selection and its (sorted) names.
+    std::vector<StatId> statSel;
+    std::vector<std::string> statNames;
+    /// This thread's registry shard at the last sampled epoch. The
+    /// whole run executes on one worker thread, so local deltas
+    /// attribute stats to this run even under a parallel sweep.
+    StatRegistry::Snapshot statBase;
 };
 
 } // namespace cdcs

@@ -9,6 +9,7 @@
 #include "common/log.hh"
 #include "common/profile.hh"
 #include "common/stats.hh"
+#include "obs/trace.hh"
 
 namespace cdcs
 {
@@ -324,6 +325,13 @@ ExperimentRunner::runJob(const Job &job)
         stats.shardSkipped++;
         return RunResult{};
     }
+    // One span per simulated job, on whichever worker ran it; cache
+    // hits deliberately emit nothing (near-zero duration, and the
+    // interesting question is where simulation time goes).
+    TraceSpan job_span(Tracer::enabled()
+                           ? job.scheme.name + " mix" +
+                               std::to_string(job.mix.seed)
+                           : std::string());
     RunResult res = runScheme(job.cfg, job.scheme, job.mix);
     if (cacheable) {
         // Write-back to the persistent tier first: the in-memory

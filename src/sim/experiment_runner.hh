@@ -175,6 +175,9 @@ class ExperimentRunner
 
     unsigned workers() const { return pool.workerCount(); }
 
+    /** The shared pool (steal/wakeup/idle counters for reporting). */
+    const WorkStealingPool &taskPool() const { return pool; }
+
     const Options &options() const { return opts; }
 
     /** Snapshot of the result-cache counters. */

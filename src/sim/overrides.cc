@@ -214,6 +214,15 @@ const KeyDef configKeys[] = {
      /*min=*/1},
     {"seed", "uint",
      [](SystemConfig &c, const Override &v) { c.seed = v.u; }},
+    {"stats", "string",
+     [](SystemConfig &c, const Override &v) {
+         c.statsFilter = v.value;
+     }},
+    {"statsEvery", "int",
+     [](SystemConfig &c, const Override &v) {
+         c.statsEvery = static_cast<int>(v.i);
+     },
+     /*min=*/1},
     {"allocGranuleLines", "double",
      [](SystemConfig &c, const Override &v) {
          c.allocGranuleLines = v.d;
@@ -252,6 +261,7 @@ const KeyDef knobKeys[] = {
     {"cacheDir", "string", nullptr},  // CDCS_CACHE_DIR
     {"cacheStats", "bool", nullptr},  // CDCS_CACHE_STATS
     {"timing", "bool", nullptr},      // CDCS_TIMING
+    {"trace", "string", nullptr},     // CDCS_TRACE
     {"jsonDir", "string", nullptr},   // CDCS_JSON_DIR
 };
 

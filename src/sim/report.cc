@@ -75,6 +75,24 @@ csvField(const std::string &s)
     return out;
 }
 
+/** Scheme display name -> artifact-name fragment ("S-NUCA" ->
+ * "s-nuca"): lowercase, non-alphanumerics folded to '-'. */
+std::string
+artifactFragment(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c >= 'A' && c <= 'Z')
+            out.push_back(static_cast<char>(c - 'A' + 'a'));
+        else if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9'))
+            out.push_back(c);
+        else
+            out.push_back('-');
+    }
+    return out;
+}
+
 } // anonymous namespace
 
 void
@@ -97,6 +115,25 @@ ReportSink::printf(const char *fmt, ...)
 }
 
 void
+ReportSink::sweep(const std::string &name, const SweepResult &result)
+{
+    onSweep(name, result);
+    // Auto-export the per-epoch metrics traces (one per scheme) when
+    // the sweep's runs carried a `stats=` selection. firstRun holds
+    // the mix-0 results, the canonical per-run exemplar elsewhere in
+    // the report layer too.
+    for (std::size_t s = 0; s < result.firstRun.size(); s++) {
+        if (result.firstRun[s].statNames.empty())
+            continue;
+        const std::string scheme = s < result.schemes.size()
+            ? result.schemes[s].name : std::to_string(s);
+        artifact("metrics_trace_" + name + "_" +
+                     artifactFragment(scheme),
+                 metricsTraceJson(scheme, result.firstRun[s]));
+    }
+}
+
+void
 ReportSink::timing(const std::string &study, const StudyTiming &t)
 {
     (void)study; // One footer right after the study's own output.
@@ -107,10 +144,14 @@ ReportSink::timing(const std::string &study, const StudyTiming &t)
         ? 100.0 * t.nocQuerySec / t.accessSec : 0.0;
     printf("[timing: wall %.3f s; access %.3f s (%.1f%%), "
            "reconfig %.3f s (%.1f%%), cache-io %.3f s (%.1f%%); "
-           "noc-query %.3f s (%.1f%% of access)]\n",
+           "noc-query %.3f s (%.1f%% of access); "
+           "pool %llu steals, %llu wakeups, idle %.3f s]\n",
            t.wallSec, t.accessSec, pct(t.accessSec), t.reconfigSec,
            pct(t.reconfigSec), t.cacheIoSec, pct(t.cacheIoSec),
-           t.nocQuerySec, noc_share);
+           t.nocQuerySec, noc_share,
+           static_cast<unsigned long long>(t.poolSteals),
+           static_cast<unsigned long long>(t.poolWakeups),
+           t.poolIdleSec);
 }
 
 // ------------------------------------------------------------------
@@ -245,6 +286,46 @@ traceToJson(const std::string &name, const RunResult &run)
     return out;
 }
 
+std::string
+metricsTraceJson(const std::string &scheme, const RunResult &run,
+                 const std::string &extra_fields)
+{
+    std::string out = "{";
+    out += "\"schema\": \"cdcs-metrics-trace-v1\", ";
+    out += "\"scheme\": " + jsonString(scheme) + ", ";
+    out += extra_fields;
+    out += "\"stats\": [";
+    for (std::size_t i = 0; i < run.statNames.size(); i++) {
+        out += i > 0 ? "," : "";
+        out += jsonString(run.statNames[i]);
+    }
+    out += "], \"trace\": [";
+    for (std::size_t i = 0; i < run.epochTrace.size(); i++) {
+        const EpochRecord &rec = run.epochTrace[i];
+        out += i > 0 ? ", " : "";
+        appendF(out,
+                "{\"epoch\": %d, \"active\": %d, \"delta\": %d, "
+                "\"aggIpc\": %.17g, \"moves\": %d, "
+                "\"movedLines\": %llu",
+                rec.epoch, rec.activeThreads, rec.churnDelta,
+                rec.aggIpc, rec.placementMoves,
+                static_cast<unsigned long long>(rec.movedLines));
+        if (!rec.stats.empty()) {
+            // Absent (not empty) on epochs statsEvery skipped.
+            out += ", \"stats\": [";
+            for (std::size_t v = 0; v < rec.stats.size(); v++) {
+                appendF(out, "%s%llu", v > 0 ? "," : "",
+                        static_cast<unsigned long long>(
+                            rec.stats[v]));
+            }
+            out += "]";
+        }
+        out += "}";
+    }
+    out += "]}";
+    return out;
+}
+
 // ------------------------------------------------------------------
 // TextReportSink
 
@@ -276,8 +357,8 @@ TextReportSink::exportArtifact(const std::string &name,
 }
 
 void
-TextReportSink::sweep(const std::string &name,
-                      const SweepResult &result)
+TextReportSink::onSweep(const std::string &name,
+                        const SweepResult &result)
 {
     if (!jsonDir.empty())
         exportArtifact(name, result.toJson());
@@ -337,8 +418,8 @@ JsonReportSink::beginStudy(const StudySpec &spec)
 }
 
 void
-JsonReportSink::sweep(const std::string &name,
-                      const SweepResult &result)
+JsonReportSink::onSweep(const std::string &name,
+                        const SweepResult &result)
 {
     const std::string json = result.toJson();
     exportArtifactFile(jsonDir, name, json);
@@ -406,9 +487,13 @@ JsonReportSink::timing(const std::string &study,
     appendF(json,
             "\"wallSec\": %.17g, \"accessSec\": %.17g, "
             "\"nocQuerySec\": %.17g, \"reconfigSec\": %.17g, "
-            "\"cacheIoSec\": %.17g}",
+            "\"cacheIoSec\": %.17g, \"poolSteals\": %llu, "
+            "\"poolWakeups\": %llu, \"poolIdleSec\": %.17g}",
             t.wallSec, t.accessSec, t.nocQuerySec, t.reconfigSec,
-            t.cacheIoSec);
+            t.cacheIoSec,
+            static_cast<unsigned long long>(t.poolSteals),
+            static_cast<unsigned long long>(t.poolWakeups),
+            t.poolIdleSec);
     doc += anyArtifact ? ",\n" : "\n";
     anyArtifact = true;
     doc += "   {\"name\": \"timing\", \"kind\": \"timing\", "
@@ -476,8 +561,8 @@ CsvReportSink::artifact(const std::string &name,
 }
 
 void
-CsvReportSink::sweep(const std::string &name,
-                     const SweepResult &result)
+CsvReportSink::onSweep(const std::string &name,
+                       const SweepResult &result)
 {
     if (!jsonDir.empty())
         exportArtifactFile(jsonDir, name, result.toJson());

@@ -14,6 +14,7 @@
 #ifndef CDCS_SIM_REPORT_HH
 #define CDCS_SIM_REPORT_HH
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <string_view>
@@ -75,6 +76,12 @@ struct StudyTiming
     double nocQuerySec = 0.0;  ///< NoC wait queries (inside access).
     double reconfigSec = 0.0;  ///< Epoch-boundary runtime reconfig.
     double cacheIoSec = 0.0;   ///< Persistent result-store I/O.
+
+    // Work-stealing pool counters over the same window (all zero on
+    // serial runs, where the pool never spawns workers).
+    std::uint64_t poolSteals = 0;   ///< Cross-deque task takes.
+    std::uint64_t poolWakeups = 0;  ///< Submissions that woke sleepers.
+    double poolIdleSec = 0.0;       ///< Worker time parked on the cv.
 };
 
 /** Where study output goes; default implementations discard. */
@@ -97,13 +104,14 @@ class ReportSink
     /** Emitted once per run batch/document (sink lifetime). */
     virtual void finish() {}
 
-    /** A completed scheme x mix sweep. */
-    virtual void
-    sweep(const std::string &name, const SweepResult &result)
-    {
-        (void)name;
-        (void)result;
-    }
+    /**
+     * A completed scheme x mix sweep. Non-virtual template method:
+     * dispatches to the sink's onSweep() rendering, then auto-exports
+     * a metrics_trace_* artifact for every scheme whose mix-0 run
+     * sampled registry stats (`stats=` active), so every sink flavor
+     * gets the metrics traces without reimplementing the export.
+     */
+    void sweep(const std::string &name, const SweepResult &result);
 
     /** A per-run IPC trace (Fig. 17). */
     virtual void
@@ -151,6 +159,15 @@ class ReportSink
      */
     virtual void timing(const std::string &study,
                         const StudyTiming &t);
+
+  protected:
+    /** Sink-specific sweep rendering (see sweep()). */
+    virtual void
+    onSweep(const std::string &name, const SweepResult &result)
+    {
+        (void)name;
+        (void)result;
+    }
 };
 
 /**
@@ -168,8 +185,8 @@ class TextReportSink : public ReportSink
 
     void text(std::string_view s) override;
     void flush() override;
-    void sweep(const std::string &name,
-               const SweepResult &result) override;
+    void onSweep(const std::string &name,
+                 const SweepResult &result) override;
     void trace(const std::string &name,
                const RunResult &run) override;
     void chipMap(const std::string &name,
@@ -213,8 +230,8 @@ class JsonReportSink : public ReportSink
                             std::string json_dir = "");
 
     void beginStudy(const StudySpec &spec) override;
-    void sweep(const std::string &name,
-               const SweepResult &result) override;
+    void onSweep(const std::string &name,
+                 const SweepResult &result) override;
     void trace(const std::string &name,
                const RunResult &run) override;
     void chipMap(const std::string &name,
@@ -248,8 +265,8 @@ class CsvReportSink : public ReportSink
                            std::string json_dir = "");
 
     void beginStudy(const StudySpec &spec) override;
-    void sweep(const std::string &name,
-               const SweepResult &result) override;
+    void onSweep(const std::string &name,
+                 const SweepResult &result) override;
     void trace(const std::string &name,
                const RunResult &run) override;
     void chipMap(const std::string &name,
@@ -276,6 +293,18 @@ class CsvReportSink : public ReportSink
 
 /** Serialize a per-run IPC trace (Fig. 17) as JSON. */
 std::string traceToJson(const std::string &name, const RunResult &run);
+
+/**
+ * Serialize a run's per-epoch metrics trace (schema
+ * "cdcs-metrics-trace-v1"): the EpochRecord stream plus the sampled
+ * StatRegistry columns (when the run had a `stats=` selection).
+ * `extra_fields` is injected verbatim after the scheme field — a
+ * study can add its own top-level keys (e.g. the elasticity study's
+ * churn-event epochs) as `"key": value, ` pairs.
+ */
+std::string metricsTraceJson(const std::string &scheme,
+                             const RunResult &run,
+                             const std::string &extra_fields = "");
 
 // ------------------------------------------------------------------
 // The legacy bench_util.hh printers, rendering through a sink.

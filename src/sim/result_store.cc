@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include "common/log.hh"
+#include "obs/stat_registry.hh"
 
 // CMake injects the `git describe` string for this source file only;
 // builds outside a git checkout (or without the definition) degrade
@@ -26,7 +27,18 @@ namespace
 {
 
 constexpr std::uint32_t recordMagic = 0x43444352; // "CDCR"
-constexpr std::uint32_t recordFormat = 2;
+// Format 3: records carry the metrics-trace columns (RunResult
+// statNames + per-epoch stat deltas). Older records are rejected.
+constexpr std::uint32_t recordFormat = 3;
+
+// Store traffic stats; the record-size histogram buckets by power of
+// two from 4 KiB.
+const StatId kStoreHits = StatRegistry::counter("store.hits");
+const StatId kStoreMisses = StatRegistry::counter("store.misses");
+const StatId kStoreCorrupt = StatRegistry::counter("store.corrupt");
+const StatId kStoreWrites = StatRegistry::counter("store.writes");
+const StatRegistry::HistId kStoreRecordBytes =
+    StatRegistry::histogram("store.record_bytes", 6, 4096);
 
 std::uint64_t
 fnv1a64(const void *data, std::size_t size, std::uint64_t seed)
@@ -232,7 +244,13 @@ serializeResult(ByteWriter &w, const RunResult &r)
         w.f64(rec.aggIpc);
         w.i64(rec.placementMoves);
         w.u64(rec.movedLines);
+        w.u32(static_cast<std::uint32_t>(rec.stats.size()));
+        for (std::uint64_t v : rec.stats)
+            w.u64(v);
     }
+    w.u32(static_cast<std::uint32_t>(r.statNames.size()));
+    for (const std::string &name : r.statNames)
+        w.str(name);
 }
 
 bool
@@ -303,6 +321,22 @@ deserializeResult(ByteReader &r, RunResult *out)
         rec.activeThreads = static_cast<int>(active);
         rec.churnDelta = static_cast<int>(delta);
         rec.placementMoves = static_cast<int>(moves);
+        std::uint32_t num_stats;
+        if (!r.u32(&num_stats) || r.remaining() / 8 < num_stats)
+            return false;
+        rec.stats.resize(num_stats);
+        for (std::uint64_t &v : rec.stats) {
+            if (!r.u64(&v))
+                return false;
+        }
+    }
+    std::uint32_t num_names;
+    if (!r.u32(&num_names) || r.remaining() / 4 < num_names)
+        return false;
+    out->statNames.resize(num_names);
+    for (std::string &name : out->statNames) {
+        if (!r.str(&name))
+            return false;
     }
     return true;
 }
@@ -412,12 +446,14 @@ ResultStore::load(const std::string &key, RunResult *out)
     const std::uint64_t hash = keyHash(key);
     std::string blob;
     if (!readFile(recordPath(hash), &blob)) {
+        StatRegistry::add(kStoreMisses);
         std::lock_guard<std::mutex> lock(mu);
         counters.misses++;
         return false;
     }
 
     const auto reject = [&](bool corrupt) {
+        StatRegistry::add(corrupt ? kStoreCorrupt : kStoreMisses);
         std::lock_guard<std::mutex> lock(mu);
         (corrupt ? counters.corrupt : counters.misses)++;
         return false;
@@ -454,6 +490,7 @@ ResultStore::load(const std::string &key, RunResult *out)
         return reject(true);
 
     *out = std::move(res);
+    StatRegistry::add(kStoreHits);
     std::lock_guard<std::mutex> lock(mu);
     counters.hits++;
     return true;
@@ -504,6 +541,10 @@ ResultStore::save(const std::string &key, const RunResult &result)
     }
     ::flock(lockFd, LOCK_UN);
 
+    if (ok) {
+        StatRegistry::add(kStoreWrites);
+        StatRegistry::observe(kStoreRecordBytes, blob.size());
+    }
     std::lock_guard<std::mutex> lock(mu);
     if (ok) {
         counters.writes++;

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
@@ -21,9 +22,9 @@ namespace cdcs
 {
 
 /**
- * One epoch of the dynamic-traffic trace. Recorded for every epoch
- * (warmup included) whenever the traffic layer is attached; empty on
- * the static-traffic path.
+ * One epoch of the dynamic-traffic / metrics trace. Recorded for
+ * every epoch (warmup included) whenever the traffic layer is
+ * attached or a `stats=` selection is active; empty otherwise.
  */
 struct EpochRecord
 {
@@ -38,6 +39,12 @@ struct EpochRecord
     int placementMoves = 0;
     /** Lines moved or invalidated by this epoch's reconfiguration. */
     std::uint64_t movedLines = 0;
+    /**
+     * StatRegistry deltas since the previous sampled epoch, one per
+     * RunResult::statNames entry. Empty on epochs the `statsEvery`
+     * schedule skipped (and always when stats are off).
+     */
+    std::vector<std::uint64_t> stats;
 };
 
 /** Aggregated results of one run (post-warmup unless noted). */
@@ -95,6 +102,13 @@ struct RunResult
 
     /** Per-epoch dynamic-traffic trace (whole run, no warmup trim). */
     std::vector<EpochRecord> epochTrace;
+
+    /**
+     * Names of the stats sampled into EpochRecord::stats (sorted;
+     * empty when the run recorded none). Column header of the
+     * metrics-trace export.
+     */
+    std::vector<std::string> statNames;
 
     /** Max/mean per-controller memory load; 0 with no accesses. */
     double memCtrlImbalance() const;

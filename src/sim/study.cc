@@ -8,6 +8,8 @@
 #include "common/json.hh"
 #include "common/log.hh"
 #include "common/profile.hh"
+#include "obs/stat_registry.hh"
+#include "obs/trace.hh"
 #include "sim/experiment.hh"
 
 namespace cdcs
@@ -111,9 +113,20 @@ runStudy(const StudySpec &spec, const Overrides &overrides,
         overrides.knob("timing", "CDCS_TIMING", 0) != 0;
     if (timing_on)
         Profiler::setEnabled(true);
+    // Turn counting on before any run starts; each run resolves its
+    // own `stats=` selection from its config. Left on once enabled (a
+    // later study in the same batch may still be sampling).
+    if (cfg.statsEnabled())
+        StatRegistry::setEnabled(true);
+    const WorkStealingPool &pool = runner.taskPool();
+    const std::uint64_t steals_before = pool.stealCount();
+    const std::uint64_t wakeups_before = pool.wakeupCount();
+    const std::uint64_t idle_before = pool.idleNanos();
     const Profiler::Snapshot prof_before = Profiler::snapshot();
     const auto wall_before = std::chrono::steady_clock::now();
     sink.beginStudy(spec);
+    if (Tracer::enabled())
+        Tracer::instant("study " + spec.name);
     spec.run(ctx);
     if (runner.options().cacheResults) {
         // The runner (and cache) is shared across the studies of one
@@ -180,6 +193,10 @@ runStudy(const StudySpec &spec, const Overrides &overrides,
             d[ProfPhase::Reconfig]);
         t.cacheIoSec = 1e-9 * static_cast<double>(
             d[ProfPhase::CacheIo]);
+        t.poolSteals = pool.stealCount() - steals_before;
+        t.poolWakeups = pool.wakeupCount() - wakeups_before;
+        t.poolIdleSec = 1e-9 * static_cast<double>(
+            pool.idleNanos() - idle_before);
         sink.timing(spec.name, t);
     }
     sink.endStudy(spec);
@@ -200,8 +217,14 @@ studyMain(const char *name)
         runnerOptions(none, spec->repeatedLineup));
     TextReportSink sink(
         stdout, none.strKnob("jsonDir", "CDCS_JSON_DIR", ""));
-    const int rc = runStudy(*spec, none, runner, sink);
+    const std::string trace_path =
+        none.strKnob("trace", "CDCS_TRACE", "");
+    if (!trace_path.empty())
+        Tracer::open(trace_path);
+    int rc = runStudy(*spec, none, runner, sink);
     sink.finish();
+    if (!Tracer::close())
+        rc |= 1;
     return rc;
 }
 
@@ -431,10 +454,17 @@ studiesCliMain(int argc, char **argv)
         }
     }
     ExperimentRunner runner(ropts);
+    const std::string trace_path =
+        overrides.strKnob("trace", "CDCS_TRACE", "");
+    if (!trace_path.empty())
+        Tracer::open(trace_path);
     int rc = 0;
     for (const StudySpec *spec : specs)
         rc |= runStudy(*spec, overrides, runner, *sink);
     sink->finish();
+    // One trace file per invocation, covering every study run.
+    if (!Tracer::close())
+        rc |= 1;
     if (sharded) {
         char suffix[64];
         std::snprintf(suffix, sizeof(suffix),

@@ -196,6 +196,25 @@ struct SystemConfig
         return skewAlpha > 0.0 || !churn.empty();
     }
 
+    // ---- Observability (src/obs/). Stats never affect simulated
+    // results, so these knobs stay out of the runner cache key and
+    // default off (CI byte-diffs the default output).
+
+    /**
+     * StatRegistry selection recorded per epoch into the metrics
+     * trace: "" or "0" = off, "1"/"all" = everything, else a comma-
+     * separated list of dot-hierarchical prefixes ("noc,pool").
+     */
+    std::string statsFilter;
+    /** Record the selected stats every Nth epoch. */
+    int statsEvery = 1;
+
+    bool
+    statsEnabled() const
+    {
+        return !statsFilter.empty() && statsFilter != "0";
+    }
+
     std::uint64_t accessesPerThreadEpoch = 50000;
     int epochs = 6;
     int warmupEpochs = 2;

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the stat registry behind `--set stats=`: idempotent
+ * registration across translation units, the disabled default
+ * recording nothing, per-thread sharding folded by snapshot() while
+ * localSnapshot() isolates the calling thread, log2 histogram
+ * bucketing, and the `stats=` filter grammar (prefix subtrees, exact
+ * names, all/none, name-sorted column order).
+ */
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/stat_registry.hh"
+
+namespace cdcs
+{
+namespace
+{
+
+TEST(StatRegistryTest, RegistrationIsIdempotent)
+{
+    const StatId a = StatRegistry::counter("test.idem");
+    const StatId b = StatRegistry::counter("test.idem");
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(StatRegistry::name(a), "test.idem");
+    const StatId c = StatRegistry::counter("test.idem2");
+    EXPECT_NE(a, c);
+}
+
+TEST(StatRegistryTest, DisabledAddsRecordNothing)
+{
+    const StatId id = StatRegistry::counter("test.disabled");
+    StatRegistry::setEnabled(false);
+    StatRegistry::add(id, 100);
+    EXPECT_EQ(StatRegistry::snapshot()[id], 0u);
+}
+
+TEST(StatRegistryTest, SnapshotFoldsShardsAcrossThreads)
+{
+    const StatId id = StatRegistry::counter("test.folded");
+    const std::uint64_t before = StatRegistry::snapshot()[id];
+    StatRegistry::setEnabled(true);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; t++) {
+        threads.emplace_back([id] {
+            for (int i = 0; i < 1000; i++)
+                StatRegistry::add(id);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    StatRegistry::setEnabled(false);
+    EXPECT_EQ(StatRegistry::snapshot()[id] - before, 4000u);
+}
+
+TEST(StatRegistryTest, LocalSnapshotIsolatesTheCallingThread)
+{
+    const StatId id = StatRegistry::counter("test.local");
+    const std::uint64_t before = StatRegistry::localSnapshot()[id];
+    StatRegistry::setEnabled(true);
+    StatRegistry::add(id, 7);
+    // Another thread's bumps must not leak into this thread's shard.
+    std::thread other([id] { StatRegistry::add(id, 1000); });
+    other.join();
+    StatRegistry::setEnabled(false);
+    EXPECT_EQ(StatRegistry::localSnapshot()[id] - before, 7u);
+}
+
+TEST(StatRegistryTest, HistogramBucketsByLog2Bound)
+{
+    const auto h = StatRegistry::histogram("test.hist", 4, 10);
+    ASSERT_EQ(h.buckets, 4);
+    EXPECT_EQ(StatRegistry::name(h.base), "test.hist.le_10");
+    EXPECT_EQ(StatRegistry::name(h.base + 1), "test.hist.le_20");
+    EXPECT_EQ(StatRegistry::name(h.base + 2), "test.hist.le_40");
+    EXPECT_EQ(StatRegistry::name(h.base + 3), "test.hist.le_inf");
+
+    StatRegistry::setEnabled(true);
+    StatRegistry::observe(h, 0);   // le_10
+    StatRegistry::observe(h, 10);  // le_10 (inclusive bound)
+    StatRegistry::observe(h, 11);  // le_20
+    StatRegistry::observe(h, 40);  // le_40
+    StatRegistry::observe(h, 41);  // le_inf (overflow bucket)
+    StatRegistry::observe(h, 1u << 30);
+    StatRegistry::setEnabled(false);
+
+    const auto snap = StatRegistry::localSnapshot();
+    EXPECT_EQ(snap[h.base], 2u);
+    EXPECT_EQ(snap[h.base + 1], 1u);
+    EXPECT_EQ(snap[h.base + 2], 1u);
+    EXPECT_EQ(snap[h.base + 3], 2u);
+}
+
+TEST(StatRegistryTest, SelectFilterGrammar)
+{
+    const StatId ax = StatRegistry::counter("sel.a.x");
+    const StatId ay = StatRegistry::counter("sel.a.y");
+    const StatId b = StatRegistry::counter("sel.b");
+    StatRegistry::counter("selx.other"); // Prefix must not match this.
+
+    EXPECT_TRUE(StatRegistry::select("").empty());
+    EXPECT_TRUE(StatRegistry::select("0").empty());
+
+    const auto all = StatRegistry::select("all");
+    EXPECT_EQ(all.size(), StatRegistry::numStats());
+    EXPECT_EQ(StatRegistry::select("1").size(), all.size());
+
+    // A dot-prefix selects the subtree; an exact name just itself.
+    const auto sub = StatRegistry::select("sel.a");
+    ASSERT_EQ(sub.size(), 2u);
+    EXPECT_EQ(sub[0], ax); // Sorted by name.
+    EXPECT_EQ(sub[1], ay);
+
+    const auto mixed = StatRegistry::select("sel.b,sel.a.y");
+    ASSERT_EQ(mixed.size(), 2u);
+    EXPECT_EQ(mixed[0], ay);
+    EXPECT_EQ(mixed[1], b);
+
+    // "sel" subtree, but never the unrelated "selx" sibling.
+    const auto tree = StatRegistry::select("sel");
+    EXPECT_EQ(tree.size(), 3u);
+}
+
+} // anonymous namespace
+} // namespace cdcs

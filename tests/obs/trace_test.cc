@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for the Chrome-trace execution tracer behind `--set trace=`:
+ * hooks are inert while closed, an open/span/instant/close cycle
+ * writes parseable JSON with balanced B/E pairs and thread-name
+ * metadata, and close() reports file-write failure.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.hh"
+
+namespace cdcs
+{
+namespace
+{
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+std::size_t
+countOf(const std::string &text, const std::string &needle)
+{
+    std::size_t n = 0;
+    for (std::size_t pos = text.find(needle);
+         pos != std::string::npos;
+         pos = text.find(needle, pos + needle.size()))
+        n++;
+    return n;
+}
+
+TEST(TracerTest, InertWhileClosed)
+{
+    ASSERT_FALSE(Tracer::enabled());
+    // None of these may crash or open a file.
+    Tracer::begin("x");
+    Tracer::end("x");
+    Tracer::instant("y");
+    { TraceSpan span("z"); }
+    EXPECT_TRUE(Tracer::close()); // Never opened: trivially ok.
+}
+
+TEST(TracerTest, WritesBalancedChromeTraceJson)
+{
+    const std::string path = ::testing::TempDir() + "trace_test.json";
+    Tracer::open(path);
+    ASSERT_TRUE(Tracer::enabled());
+    Tracer::nameThread("test-main");
+    {
+        TraceSpan outer("outer");
+        {
+            TraceSpan inner("inner");
+            Tracer::instant("mark");
+        }
+    }
+    ASSERT_TRUE(Tracer::close());
+    EXPECT_FALSE(Tracer::enabled());
+
+    const std::string text = slurp(path);
+    ASSERT_FALSE(text.empty());
+    // Array document with balanced begin/end pairs, the instant, and
+    // the sticky thread-name metadata.
+    EXPECT_EQ(text.front(), '[');
+    EXPECT_EQ(countOf(text, "\"ph\":\"B\""), 2u);
+    EXPECT_EQ(countOf(text, "\"ph\":\"E\""), 2u);
+    EXPECT_EQ(countOf(text, "\"ph\":\"i\""), 1u);
+    EXPECT_EQ(countOf(text, "\"name\":\"outer\""), 2u);
+    EXPECT_EQ(countOf(text, "\"name\":\"mark\""), 1u);
+    EXPECT_GE(countOf(text, "\"test-main\""), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(TracerTest, CloseReportsUnwritablePath)
+{
+    Tracer::open("/nonexistent-dir/trace.json");
+    Tracer::instant("x");
+    EXPECT_FALSE(Tracer::close());
+    EXPECT_FALSE(Tracer::enabled());
+}
+
+} // anonymous namespace
+} // namespace cdcs

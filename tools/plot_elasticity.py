@@ -2,10 +2,13 @@
 """Plot an elasticity epoch trace exported by the elasticity study.
 
 Consumes the ``elasticity_trace_<level>_<scheme>.json`` artifacts
-that ``cdcs_studies run elasticity --set jsonDir=DIR`` writes
-(schema: ``{"level", "scheme", "events": [down, up], "trace":
-[{"epoch", "active", "delta", "aggIpc", "moves", "movedLines"},
-...]}``) and renders aggregate IPC and active-thread count over
+that ``cdcs_studies run elasticity --set jsonDir=DIR`` writes.
+These are shared-schema metrics traces (``"schema":
+"cdcs-metrics-trace-v1"``, see tools/check_trace.py) with the
+study's extra keys: ``{"level", "scheme", "events": [down, up],
+"trace": [{"epoch", "active", "delta", "aggIpc", "moves",
+"movedLines"}, ...]}``. Renders aggregate IPC and active-thread
+count over
 epochs, with the churn events marked. Passing several artifacts of
 the same level overlays the schemes on one figure.
 
