@@ -27,7 +27,7 @@ PartitionedBank::growTables(VcId vc)
 }
 
 std::uint32_t
-PartitionedBank::pickVictim(std::uint32_t set, VcId vc)
+PartitionedBank::pickVictim(std::uint32_t set, VcId /*vc*/)
 {
     // Victim priority: (1) LRU line of an over-budget VC — including
     // the inserting VC itself once it exceeds its own target, which is

@@ -66,7 +66,10 @@ jsonEscape(std::string_view s)
 inline std::string
 jsonString(std::string_view s)
 {
-    return "\"" + jsonEscape(s) + "\"";
+    std::string out = jsonEscape(s);
+    out.insert(out.begin(), '"');
+    out.push_back('"');
+    return out;
 }
 
 } // namespace cdcs

@@ -163,11 +163,15 @@ class Profiler
         return mu;
     }
 
+    // Heap-allocated and never destroyed: if the vector were a
+    // plain static it would be destroyed at exit and drop the only
+    // references to the counter blocks, which LeakSanitizer would
+    // then report as leaks.
     static std::vector<Counters *> &
     registry()
     {
-        static std::vector<Counters *> blocks;
-        return blocks;
+        static auto *blocks = new std::vector<Counters *>();
+        return *blocks;
     }
 
     static inline std::atomic<bool> enabledFlag{false};
@@ -186,7 +190,7 @@ class ProfTimer
           tracing(profPhaseTraceable(phase_) && Tracer::enabled())
     {
         if (active)
-            start = std::chrono::steady_clock::now();
+            start = std::chrono::steady_clock::now(); // lint:allow(wallclock)
         if (tracing)
             Tracer::begin(profPhaseName(phase_));
     }
@@ -197,7 +201,7 @@ class ProfTimer
             Tracer::end(profPhaseName(phase));
         if (!active)
             return;
-        const auto elapsed =
+        const auto elapsed = // lint:allow(wallclock)
             std::chrono::steady_clock::now() - start;
         Profiler::add(
             phase,

@@ -111,10 +111,11 @@ WorkStealingPool::workerLoop(unsigned self)
         // worker either sees the new tasks in its predicate or is
         // counted idle and gets a notify.
         idleCount.fetch_add(1);
-        const auto park = std::chrono::steady_clock::now();
+        const auto park = std::chrono::steady_clock::now(); // lint:allow(wallclock)
         workCv.wait(lock, [this]() {
             return stopping.load() || queued.load() > 0;
         });
+        // lint:allow(wallclock): idle-time stat, reporting-only
         const auto parked = std::chrono::steady_clock::now() - park;
         const auto parked_ns = static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(

@@ -117,6 +117,7 @@ ContentionMemPlacement::epochUpdate(NocModel &noc,
 
     const double mean = total / static_cast<double>(ctrls);
     if (mean <= 0.0) {
+        // lint:allow(unordered-iter): order-independent reset
         for (auto &[page, info] : pages)
             info.epochAccesses = 0;
         return;
@@ -127,6 +128,7 @@ ContentionMemPlacement::epochUpdate(NocModel &noc,
     // deterministic regardless of hash-map iteration order.
     const double overload = cfg.overloadFactor * mean;
     std::vector<std::pair<std::uint64_t, PageInfo *>> hot;
+    // lint:allow(unordered-iter): result sorted below, page-id ties
     for (auto &[page, info] : pages) {
         if (info.epochAccesses > 0 &&
             ctrlLoad[static_cast<std::size_t>(info.ctrl)] > overload &&
@@ -217,6 +219,7 @@ ContentionMemPlacement::epochUpdate(NocModel &noc,
     }
 
     epochCount++;
+    // lint:allow(unordered-iter): order-independent reset
     for (auto &[page, info] : pages)
         info.epochAccesses = 0;
 }

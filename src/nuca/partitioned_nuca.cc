@@ -43,7 +43,7 @@ PartitionedNucaPolicy::PartitionedNucaPolicy(
 }
 
 MapResult
-PartitionedNucaPolicy::map(ThreadId thread, TileId core, VcId vc,
+PartitionedNucaPolicy::map(ThreadId thread, TileId /*core*/, VcId vc,
                            LineAddr line)
 {
     cdcs_assert(thread < vtbs.size(), "thread out of range");

@@ -177,7 +177,7 @@ class NucaPolicy
      * owning VC for partitioned schemes, 0 for unpartitioned ones.
      */
     virtual VcId
-    partitionTag(VcId vc) const
+    partitionTag(VcId /*vc*/) const
     {
         return 0;
     }
@@ -187,8 +187,8 @@ class NucaPolicy
      * the system's bank array (for walks/moves/target updates).
      */
     virtual EpochDirective
-    endEpoch(const RuntimeInput &input,
-             std::vector<PartitionedBank> &banks)
+    endEpoch(const RuntimeInput & /*input*/,
+             std::vector<PartitionedBank> & /*banks*/)
     {
         return {};
     }
@@ -200,7 +200,8 @@ class NucaPolicy
      * @return Lines invalidated by this step.
      */
     virtual std::uint64_t
-    advanceWalk(Cycles elapsed, std::vector<PartitionedBank> &banks)
+    advanceWalk(Cycles /*elapsed*/,
+                std::vector<PartitionedBank> & /*banks*/)
     {
         return 0;
     }

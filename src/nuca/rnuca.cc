@@ -10,7 +10,8 @@ RNucaPolicy::RNucaPolicy(const Mesh *mesh_ptr, int banks_per_tile,
 }
 
 MapResult
-RNucaPolicy::map(ThreadId thread, TileId core, VcId vc, LineAddr line)
+RNucaPolicy::map(ThreadId /*thread*/, TileId core, VcId /*vc*/,
+                 LineAddr line)
 {
     MapResult res;
     const std::uint64_t page = pageOf(line);

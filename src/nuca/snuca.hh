@@ -26,7 +26,8 @@ class SNucaPolicy : public NucaPolicy
     }
 
     MapResult
-    map(ThreadId thread, TileId core, VcId vc, LineAddr line) override
+    map(ThreadId /*thread*/, TileId /*core*/, VcId /*vc*/,
+        LineAddr line) override
     {
         MapResult res;
         res.bank = static_cast<TileId>(mix64(line ^ hashSeed) %

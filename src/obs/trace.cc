@@ -1,5 +1,6 @@
 #include "obs/trace.hh"
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -35,15 +36,25 @@ struct TraceState
     std::mutex mu;
     std::vector<ThreadBuf *> bufs;  // never freed; bounded by threads
     std::string path;
-    Clock::time_point start{};
+    /**
+     * Trace-start time as nanoseconds on the steady clock, atomic
+     * because record() reads it without the mutex: the release store
+     * of the enabled flag publishes it, but a close()/open() cycle
+     * may rewrite it while a straggler thread sits between its
+     * enabled() check and the read.
+     */
+    std::atomic<std::int64_t> startNs{0};
     int nextTid = 0;
 };
 
+// Heap-allocated and never destroyed: ThreadBufs must stay
+// reachable from a static root at exit, or LeakSanitizer reports
+// the (bounded, intentional) per-thread blocks as leaks.
 TraceState &
 state()
 {
-    static TraceState s;
-    return s;
+    static TraceState *s = new TraceState();
+    return *s;
 }
 
 ThreadBuf &
@@ -64,14 +75,16 @@ void
 record(char ph, const std::string &name)
 {
     auto &s = state();
-    const auto now = Clock::now();
-    // Safe unlocked: open() publishes start via the release store the
-    // caller's enabled() check acquired.
-    const auto since = now - s.start;
+    const std::int64_t now_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now().time_since_epoch()) // lint:allow(wallclock)
+            .count();
+    // Safe unlocked: open() publishes startNs via the release store
+    // the caller's enabled() check acquired.
+    const std::int64_t since_ns =
+        now_ns - s.startNs.load(std::memory_order_relaxed);
     Event ev;
-    ev.ts_ns = static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(since)
-            .count());
+    ev.ts_ns = since_ns > 0 ? static_cast<std::uint64_t>(since_ns) : 0;
     ev.name = name;
     ev.ph = ph;
     localBuf().events.push_back(std::move(ev));
@@ -106,7 +119,11 @@ Tracer::open(const std::string &path)
     if (enabled())
         fatal("trace already open (%s)", s.path.c_str());
     s.path = path;
-    s.start = Clock::now();
+    s.startNs.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now().time_since_epoch()) // lint:allow(wallclock)
+            .count(),
+        std::memory_order_relaxed);
     for (ThreadBuf *buf : s.bufs)
         buf->events.clear();
     enabledFlag.store(true, std::memory_order_release);

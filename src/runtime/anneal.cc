@@ -90,8 +90,8 @@ annealData(std::vector<std::vector<double>> alloc,
            const std::vector<double> &sizes,
            const std::vector<std::vector<double>> &access,
            const std::vector<TileId> &thread_core, const Mesh &mesh,
-           double tile_capacity_lines, double granule, int iterations,
-           Rng &rng)
+           double /*tile_capacity_lines*/, double granule,
+           int iterations, Rng &rng)
 {
     const std::size_t num_vcs = alloc.size();
     if (num_vcs == 0 || iterations <= 0)

@@ -18,7 +18,7 @@ namespace
 double
 microsSince(std::chrono::steady_clock::time_point start)
 {
-    const auto now = std::chrono::steady_clock::now();
+    const auto now = std::chrono::steady_clock::now(); // lint:allow(wallclock)
     return std::chrono::duration<double, std::micro>(now - start).count();
 }
 
@@ -147,7 +147,7 @@ CdcsRuntime::reconfigure(const RuntimeInput &input)
     RuntimeOutput out;
 
     // Step 1: latency-aware capacity allocation.
-    auto t0 = std::chrono::steady_clock::now();
+    auto t0 = std::chrono::steady_clock::now(); // lint:allow(wallclock)
     const std::vector<double> sizes = allocate(input);
     out.times.allocUs = microsSince(t0);
 
@@ -155,7 +155,7 @@ CdcsRuntime::reconfigure(const RuntimeInput &input)
         static_cast<double>(input.bankLines) * input.banksPerTile;
 
     // Steps 2 + 3: optimistic placement informs thread placement.
-    t0 = std::chrono::steady_clock::now();
+    t0 = std::chrono::steady_clock::now(); // lint:allow(wallclock)
     std::vector<TileId> cores = input.threadCore;
     if (options.placeThreads) {
         // Anchor the optimistic placement to the VCs' current
@@ -174,7 +174,7 @@ CdcsRuntime::reconfigure(const RuntimeInput &input)
     out.times.threadPlaceUs = microsSince(t0);
 
     // Step 4: refined placement (greedy + optional trades).
-    t0 = std::chrono::steady_clock::now();
+    t0 = std::chrono::steady_clock::now(); // lint:allow(wallclock)
     RefinedPlacerConfig place_cfg;
     place_cfg.granule = std::max<double>(options.placeGranule,
                                          input.allocGranule);

@@ -31,7 +31,7 @@ struct Segment
 
 std::vector<double>
 peekaheadAllocate(const std::vector<Curve> &curves, double total_capacity,
-                  bool allow_unused, double granule)
+                  bool /*allow_unused*/, double granule)
 {
     const std::size_t num_vcs = curves.size();
     std::vector<double> alloc(num_vcs, 0.0);

@@ -233,7 +233,7 @@ refinePlace(const std::vector<double> &sizes,
 
 double
 onChipCost(const std::vector<std::vector<double>> &alloc,
-           const std::vector<double> &sizes,
+           const std::vector<double> & /*sizes*/,
            const std::vector<std::vector<double>> &access,
            const std::vector<TileId> &thread_core, const Mesh &mesh)
 {

@@ -123,6 +123,7 @@ runStudy(const StudySpec &spec, const Overrides &overrides,
     const std::uint64_t wakeups_before = pool.wakeupCount();
     const std::uint64_t idle_before = pool.idleNanos();
     const Profiler::Snapshot prof_before = Profiler::snapshot();
+    // lint:allow(wallclock): wall-time footer, reporting-only
     const auto wall_before = std::chrono::steady_clock::now();
     sink.beginStudy(spec);
     if (Tracer::enabled())
@@ -179,7 +180,7 @@ runStudy(const StudySpec &spec, const Overrides &overrides,
         }
     }
     if (timing_on) {
-        const std::chrono::duration<double> wall =
+        const std::chrono::duration<double> wall = // lint:allow(wallclock)
             std::chrono::steady_clock::now() - wall_before;
         const Profiler::Snapshot d =
             Profiler::snapshot().since(prof_before);

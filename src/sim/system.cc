@@ -53,13 +53,16 @@ SchemeSpec::factor(bool l, bool t, bool d)
     spec.cdcsOpts.refineTrades = d;
     spec.name = "Jigsaw+R";
     if (l || t || d) {
-        spec.name = "+";
+        // Built in a local first: repeated assign-then-append on the
+        // member trips GCC 12's -Wrestrict false positive.
+        std::string name = "+";
         if (l)
-            spec.name += "L";
+            name += "L";
         if (t)
-            spec.name += "T";
+            name += "T";
         if (d)
-            spec.name += "D";
+            name += "D";
+        spec.name = std::move(name);
     }
     if (l && t && d) {
         spec.name = "CDCS(+LTD)";

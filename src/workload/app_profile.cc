@@ -23,6 +23,24 @@ mb(std::uint64_t megabytes)
 }
 
 /**
+ * Build a profile from the four scalar knobs plus the private stream;
+ * the OMP-only fields (threads, sharedFraction, sharedStream) keep
+ * their single-thread defaults and are assigned where needed.
+ */
+AppProfile
+profile(const char *name, double apki, double cpi_exe, double mlp,
+        StreamSpec stream)
+{
+    AppProfile app;
+    app.name = name;
+    app.apki = apki;
+    app.cpiExe = cpi_exe;
+    app.mlp = mlp;
+    app.privateStream = std::move(stream);
+    return app;
+}
+
+/**
  * The SPEC CPU2006 profile table. Intensities (apki: LLC accesses ==
  * L2 misses per kilo-instruction) and miss-curve shapes follow Fig. 2
  * and the published UCP/Jigsaw characterizations; see DESIGN.md.
@@ -42,53 +60,53 @@ makeSpecCpu2006()
 {
     std::vector<AppProfile> apps;
 
-    apps.push_back({"bzip2", 9.0, 0.9, 2.5,
-                    {{0.3, PatternKind::Uniform, kb(128)},
-                     {0.7, PatternKind::Zipf, mb(1), 0.4}}});
-    apps.push_back({"gcc", 7.0, 1.0, 2.0,
-                    {{0.4, PatternKind::Zipf, kb(256), 0.8},
-                     {0.6, PatternKind::Zipf, mb(2), 0.3}}});
-    apps.push_back({"bwaves", 16.0, 0.8, 5.0,
-                    {{0.9, PatternKind::Scan, mb(16)},
-                     {0.1, PatternKind::Uniform, kb(256)}}});
-    apps.push_back({"mcf", 55.0, 1.1, 2.2,
-                    {{0.25, PatternKind::Zipf, kb(512), 0.7},
-                     {0.75, PatternKind::Zipf, mb(12), 0.3}}});
-    apps.push_back({"milc", 20.0, 0.9, 5.0,
-                    {{0.97, PatternKind::Scan, mb(48)},
-                     {0.03, PatternKind::Uniform, kb(64)}}});
-    apps.push_back({"zeusmp", 9.0, 0.9, 3.0,
-                    {{0.5, PatternKind::Uniform, mb(4)},
-                     {0.5, PatternKind::Zipf, kb(512), 0.6}}});
-    apps.push_back({"cactusADM", 7.0, 1.0, 3.0,
-                    {{0.8, PatternKind::Uniform, kb(1536)},
-                     {0.2, PatternKind::Uniform, kb(128)}}});
-    apps.push_back({"leslie3d", 14.0, 0.85, 4.5,
-                    {{0.92, PatternKind::Scan, mb(24)},
-                     {0.08, PatternKind::Uniform, kb(256)}}});
-    apps.push_back({"calculix", 6.0, 0.8, 2.5,
-                    {{0.7, PatternKind::Zipf, kb(384), 0.6},
-                     {0.3, PatternKind::Uniform, kb(64)}}});
-    apps.push_back({"GemsFDTD", 17.0, 0.9, 4.5,
-                    {{0.9, PatternKind::Scan, mb(20)},
-                     {0.1, PatternKind::Uniform, kb(512)}}});
-    apps.push_back({"libquantum", 24.0, 0.75, 6.0,
-                    {{1.0, PatternKind::Scan, mb(32)}}});
-    apps.push_back({"lbm", 19.0, 0.8, 5.5,
-                    {{0.95, PatternKind::Scan, mb(28)},
-                     {0.05, PatternKind::Uniform, kb(128)}}});
-    apps.push_back({"astar", 10.0, 1.05, 1.8,
-                    {{0.45, PatternKind::Zipf, kb(256), 0.8},
-                     {0.55, PatternKind::Zipf, mb(2), 0.35}}});
-    apps.push_back({"omnetpp", 95.0, 0.8, 4.0,
-                    {{0.88, PatternKind::Scan, kb(2560)},
-                     {0.12, PatternKind::Uniform, kb(96)}}});
-    apps.push_back({"sphinx3", 13.0, 0.95, 2.8,
-                    {{0.35, PatternKind::Zipf, kb(512), 0.7},
-                     {0.65, PatternKind::Zipf, mb(8), 0.45}}});
-    apps.push_back({"xalancbmk", 23.0, 1.0, 2.2,
-                    {{0.8, PatternKind::Scan, mb(4)},
-                     {0.2, PatternKind::Zipf, kb(256), 0.7}}});
+    apps.push_back(profile("bzip2", 9.0, 0.9, 2.5,
+                           {{0.3, PatternKind::Uniform, kb(128)},
+                            {0.7, PatternKind::Zipf, mb(1), 0.4}}));
+    apps.push_back(profile("gcc", 7.0, 1.0, 2.0,
+                           {{0.4, PatternKind::Zipf, kb(256), 0.8},
+                            {0.6, PatternKind::Zipf, mb(2), 0.3}}));
+    apps.push_back(profile("bwaves", 16.0, 0.8, 5.0,
+                           {{0.9, PatternKind::Scan, mb(16)},
+                            {0.1, PatternKind::Uniform, kb(256)}}));
+    apps.push_back(profile("mcf", 55.0, 1.1, 2.2,
+                           {{0.25, PatternKind::Zipf, kb(512), 0.7},
+                            {0.75, PatternKind::Zipf, mb(12), 0.3}}));
+    apps.push_back(profile("milc", 20.0, 0.9, 5.0,
+                           {{0.97, PatternKind::Scan, mb(48)},
+                            {0.03, PatternKind::Uniform, kb(64)}}));
+    apps.push_back(profile("zeusmp", 9.0, 0.9, 3.0,
+                           {{0.5, PatternKind::Uniform, mb(4)},
+                            {0.5, PatternKind::Zipf, kb(512), 0.6}}));
+    apps.push_back(profile("cactusADM", 7.0, 1.0, 3.0,
+                           {{0.8, PatternKind::Uniform, kb(1536)},
+                            {0.2, PatternKind::Uniform, kb(128)}}));
+    apps.push_back(profile("leslie3d", 14.0, 0.85, 4.5,
+                           {{0.92, PatternKind::Scan, mb(24)},
+                            {0.08, PatternKind::Uniform, kb(256)}}));
+    apps.push_back(profile("calculix", 6.0, 0.8, 2.5,
+                           {{0.7, PatternKind::Zipf, kb(384), 0.6},
+                            {0.3, PatternKind::Uniform, kb(64)}}));
+    apps.push_back(profile("GemsFDTD", 17.0, 0.9, 4.5,
+                           {{0.9, PatternKind::Scan, mb(20)},
+                            {0.1, PatternKind::Uniform, kb(512)}}));
+    apps.push_back(profile("libquantum", 24.0, 0.75, 6.0,
+                           {{1.0, PatternKind::Scan, mb(32)}}));
+    apps.push_back(profile("lbm", 19.0, 0.8, 5.5,
+                           {{0.95, PatternKind::Scan, mb(28)},
+                            {0.05, PatternKind::Uniform, kb(128)}}));
+    apps.push_back(profile("astar", 10.0, 1.05, 1.8,
+                           {{0.45, PatternKind::Zipf, kb(256), 0.8},
+                            {0.55, PatternKind::Zipf, mb(2), 0.35}}));
+    apps.push_back(profile("omnetpp", 95.0, 0.8, 4.0,
+                           {{0.88, PatternKind::Scan, kb(2560)},
+                            {0.12, PatternKind::Uniform, kb(96)}}));
+    apps.push_back(profile("sphinx3", 13.0, 0.95, 2.8,
+                           {{0.35, PatternKind::Zipf, kb(512), 0.7},
+                            {0.65, PatternKind::Zipf, mb(8), 0.45}}));
+    apps.push_back(profile("xalancbmk", 23.0, 1.0, 2.2,
+                           {{0.8, PatternKind::Scan, mb(4)},
+                            {0.2, PatternKind::Zipf, kb(256), 0.7}}));
     return apps;
 }
 
@@ -103,61 +121,61 @@ makeSpecOmp2012()
 {
     std::vector<AppProfile> apps;
 
-    AppProfile ilbdc{"ilbdc", 16.0, 0.9, 2.5,
-                     {{1.0, PatternKind::Uniform, kb(64)}}};
+    AppProfile ilbdc = profile("ilbdc", 16.0, 0.9, 2.5,
+                               {{1.0, PatternKind::Uniform, kb(64)}});
     ilbdc.threads = 8;
     ilbdc.sharedFraction = 0.85;
     ilbdc.sharedStream = {{1.0, PatternKind::Uniform, kb(512)}};
     apps.push_back(ilbdc);
 
-    AppProfile md{"md", 5.0, 0.9, 2.0,
-                  {{1.0, PatternKind::Uniform, kb(32)}}};
+    AppProfile md = profile("md", 5.0, 0.9, 2.0,
+                            {{1.0, PatternKind::Uniform, kb(32)}});
     md.threads = 8;
     md.sharedFraction = 0.9;
     md.sharedStream = {{0.6, PatternKind::Zipf, mb(1), 0.6},
                        {0.4, PatternKind::Uniform, kb(128)}};
     apps.push_back(md);
 
-    AppProfile nab{"nab", 8.0, 1.0, 2.5,
-                   {{1.0, PatternKind::Uniform, kb(64)}}};
+    AppProfile nab = profile("nab", 8.0, 1.0, 2.5,
+                             {{1.0, PatternKind::Uniform, kb(64)}});
     nab.threads = 8;
     nab.sharedFraction = 0.8;
     nab.sharedStream = {{1.0, PatternKind::Zipf, mb(2), 0.5}};
     apps.push_back(nab);
 
-    AppProfile mgrid{"mgrid", 22.0, 0.85, 3.5,
-                     {{0.85, PatternKind::Scan, kb(1536)},
-                      {0.15, PatternKind::Uniform, kb(128)}}};
+    AppProfile mgrid = profile("mgrid", 22.0, 0.85, 3.5,
+                               {{0.85, PatternKind::Scan, kb(1536)},
+                                {0.15, PatternKind::Uniform, kb(128)}});
     mgrid.threads = 8;
     mgrid.sharedFraction = 0.08;
     mgrid.sharedStream = {{1.0, PatternKind::Uniform, kb(256)}};
     apps.push_back(mgrid);
 
-    AppProfile applu{"applu331", 12.0, 0.9, 3.0,
-                     {{0.7, PatternKind::Uniform, mb(1)},
-                      {0.3, PatternKind::Zipf, kb(128), 0.8}}};
+    AppProfile applu = profile("applu331", 12.0, 0.9, 3.0,
+                               {{0.7, PatternKind::Uniform, mb(1)},
+                                {0.3, PatternKind::Zipf, kb(128), 0.8}});
     applu.threads = 8;
     applu.sharedFraction = 0.3;
     applu.sharedStream = {{1.0, PatternKind::Uniform, mb(1)}};
     apps.push_back(applu);
 
-    AppProfile swim{"swim", 24.0, 0.8, 5.0,
-                    {{1.0, PatternKind::Scan, mb(6)}}};
+    AppProfile swim = profile("swim", 24.0, 0.8, 5.0,
+                              {{1.0, PatternKind::Scan, mb(6)}});
     swim.threads = 8;
     swim.sharedFraction = 0.15;
     swim.sharedStream = {{1.0, PatternKind::Uniform, kb(512)}};
     apps.push_back(swim);
 
-    AppProfile fma3d{"fma3d", 10.0, 1.0, 2.5,
-                     {{1.0, PatternKind::Uniform, kb(256)}}};
+    AppProfile fma3d = profile("fma3d", 10.0, 1.0, 2.5,
+                               {{1.0, PatternKind::Uniform, kb(256)}});
     fma3d.threads = 8;
     fma3d.sharedFraction = 0.6;
     fma3d.sharedStream = {{1.0, PatternKind::Zipf, mb(4), 0.4}};
     apps.push_back(fma3d);
 
-    AppProfile bt{"bt331", 14.0, 0.9, 3.0,
-                  {{0.8, PatternKind::Zipf, mb(2), 0.35},
-                   {0.2, PatternKind::Uniform, kb(128)}}};
+    AppProfile bt = profile("bt331", 14.0, 0.9, 3.0,
+                            {{0.8, PatternKind::Zipf, mb(2), 0.35},
+                             {0.2, PatternKind::Uniform, kb(128)}});
     bt.threads = 8;
     bt.sharedFraction = 0.35;
     bt.sharedStream = {{1.0, PatternKind::Uniform, mb(1)}};

@@ -8,6 +8,7 @@
  * submit throughput regression this suite exists to pin).
  */
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <mutex>
@@ -176,6 +177,49 @@ TEST(TaskPoolTest, NestedRunExecutesInlineWithoutDeadlock)
     }
     pool.run(std::move(outer));
     EXPECT_EQ(inner.load(), 32);
+}
+
+TEST(TaskPoolTest, StressFourThievesTwentyThousandTasks)
+{
+    // Sanitizer stress (the TSan CI job runs this under
+    // CDCS_SANITIZE=thread): 4 worker threads hammering the
+    // Chase-Lev deques with 20k tiny tasks submitted in uneven
+    // batches, so push/take/steal interleavings — including the
+    // last-task CAS races — are exercised densely. Functional
+    // assertion: exactly-once execution and a correct sum.
+    constexpr int numTasks = 20000;
+    WorkStealingPool pool(4);
+    std::vector<std::atomic<int>> ran(numTasks);
+    for (auto &r : ran)
+        r.store(0);
+    std::atomic<long long> sum{0};
+
+    int next = 0;
+    int batch_size = 1;
+    while (next < numTasks) {
+        std::vector<std::function<void()>> batch;
+        const int end = std::min(numTasks, next + batch_size);
+        batch.reserve(static_cast<std::size_t>(end - next));
+        for (int i = next; i < end; i++) {
+            batch.push_back([&ran, &sum, i] {
+                ran[static_cast<std::size_t>(i)].fetch_add(1);
+                sum.fetch_add(i);
+            });
+        }
+        pool.run(std::move(batch));
+        next = end;
+        // Uneven batches: singletons through ~4k-task storms.
+        batch_size = batch_size >= 4096 ? 1 : batch_size * 4;
+    }
+
+    long long expected = 0;
+    for (int i = 0; i < numTasks; i++) {
+        EXPECT_EQ(ran[static_cast<std::size_t>(i)].load(), 1)
+            << "task " << i;
+        expected += i;
+    }
+    EXPECT_EQ(sum.load(), expected);
+    EXPECT_GT(pool.stealCount(), 0u);
 }
 
 TEST(TaskPoolTest, SubmitToBusyPoolDoesNotWakeAnyone)

@@ -36,7 +36,8 @@ freshDir(const char *tag)
         (base != nullptr && *base != '\0') ? base : "/tmp";
     dir += "/cdcs_store_test_";
     dir += tag;
-    dir += "_" + std::to_string(::getpid());
+    dir += "_";
+    dir += std::to_string(::getpid());
     // Start clean: drop records from a previous crashed run.
     std::system(("rm -rf '" + dir + "'").c_str());
     return dir;

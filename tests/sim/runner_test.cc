@@ -37,6 +37,15 @@ twoSchemes()
     return {SchemeSpec::snuca(), SchemeSpec::cdcs()};
 }
 
+ExperimentRunner::Options
+runnerOpts(int workers, bool memoize_baseline)
+{
+    ExperimentRunner::Options opts;
+    opts.workers = workers;
+    opts.memoizeBaseline = memoize_baseline;
+    return opts;
+}
+
 void
 expectSameRun(const RunResult &a, const RunResult &b)
 {
@@ -86,11 +95,9 @@ TEST(RunnerTest, SerialAndParallelSweepsAreBitIdentical)
     const auto mix_of = [](int m) { return MixSpec::cpu(4, 500 + m); };
 
     ExperimentRunner serial(
-        ExperimentRunner::Options{/*workers=*/1,
-                                  /*memoizeBaseline=*/true});
+        runnerOpts(/*workers=*/1, /*memoize=*/true));
     ExperimentRunner parallel(
-        ExperimentRunner::Options{/*workers=*/4,
-                                  /*memoizeBaseline=*/true});
+        runnerOpts(/*workers=*/4, /*memoize=*/true));
 
     const SweepResult a = serial.sweep(cfg, twoSchemes(), 3, mix_of);
     const SweepResult b = parallel.sweep(cfg, twoSchemes(), 3, mix_of);
@@ -102,8 +109,7 @@ TEST(RunnerTest, RepeatedSweepsAreBitIdentical)
     const SystemConfig cfg = smallConfig();
     const auto mix_of = [](int m) { return MixSpec::cpu(4, 700 + m); };
     ExperimentRunner runner(
-        ExperimentRunner::Options{/*workers=*/4,
-                                  /*memoizeBaseline=*/false});
+        runnerOpts(/*workers=*/4, /*memoize=*/false));
     const SweepResult a = runner.sweep(cfg, twoSchemes(), 2, mix_of);
     const SweepResult b = runner.sweep(cfg, twoSchemes(), 2, mix_of);
     expectSameSweep(a, b);
@@ -114,11 +120,9 @@ TEST(RunnerTest, MemoizationDoesNotChangeResults)
     const SystemConfig cfg = smallConfig();
     const auto mix_of = [](int m) { return MixSpec::cpu(4, 900 + m); };
     ExperimentRunner memo(
-        ExperimentRunner::Options{/*workers=*/2,
-                                  /*memoizeBaseline=*/true});
+        runnerOpts(/*workers=*/2, /*memoize=*/true));
     ExperimentRunner fresh(
-        ExperimentRunner::Options{/*workers=*/2,
-                                  /*memoizeBaseline=*/false});
+        runnerOpts(/*workers=*/2, /*memoize=*/false));
     // Run the memoizing runner twice: the second sweep serves every
     // S-NUCA baseline from the memo.
     memo.sweep(cfg, twoSchemes(), 2, mix_of);
@@ -141,8 +145,7 @@ TEST(RunnerTest, RunSchemesKeepsSchemeOrder)
     const SystemConfig cfg = smallConfig();
     const MixSpec mix = MixSpec::cpu(4, 43);
     ExperimentRunner runner(
-        ExperimentRunner::Options{/*workers=*/4,
-                                  /*memoizeBaseline=*/true});
+        runnerOpts(/*workers=*/4, /*memoize=*/true));
     const auto results = runner.runSchemes(cfg, twoSchemes(), mix);
     ASSERT_EQ(results.size(), 2u);
     expectSameRun(results[0],
@@ -153,8 +156,7 @@ TEST(RunnerTest, RunSchemesKeepsSchemeOrder)
 TEST(RunnerTest, ForEachVisitsEveryIndexOnce)
 {
     ExperimentRunner runner(
-        ExperimentRunner::Options{/*workers=*/4,
-                                  /*memoizeBaseline=*/true});
+        runnerOpts(/*workers=*/4, /*memoize=*/true));
     std::vector<std::atomic<int>> hits(128);
     runner.forEach(128, [&](int i) { hits[i].fetch_add(1); });
     for (const auto &h : hits)
@@ -171,8 +173,7 @@ TEST(RunnerTest, SweepHandlesZeroWorkRunsWithoutNan)
     SystemConfig cfg = smallConfig();
     cfg.accessesPerThreadEpoch = 0;
     ExperimentRunner runner(
-        ExperimentRunner::Options{/*workers=*/1,
-                                  /*memoizeBaseline=*/true});
+        runnerOpts(/*workers=*/1, /*memoize=*/true));
     // Weighted speedup is undefined with a zero-throughput baseline,
     // so sweep() cannot be used; check the per-run aggregation path.
     const RunResult r =
@@ -201,8 +202,7 @@ TEST(RunnerTest, ResultCacheDoesNotChangeResults)
     cached_opts.cacheResults = true;
     ExperimentRunner cached(cached_opts);
     ExperimentRunner fresh(
-        ExperimentRunner::Options{/*workers=*/2,
-                                  /*memoizeBaseline=*/false});
+        runnerOpts(/*workers=*/2, /*memoize=*/false));
     // Second sweep is served entirely from the cache.
     cached.sweep(cfg, twoSchemes(), 2, mix_of);
     const SweepResult a = cached.sweep(cfg, twoSchemes(), 2, mix_of);
@@ -251,8 +251,7 @@ TEST(RunnerTest, DefaultModeCountsOnlyBaselineMemo)
 {
     const SystemConfig cfg = smallConfig();
     ExperimentRunner runner(
-        ExperimentRunner::Options{/*workers=*/1,
-                                  /*memoizeBaseline=*/true});
+        runnerOpts(/*workers=*/1, /*memoize=*/true));
     const MixSpec mix = MixSpec::cpu(4, 1500);
     // Non-baseline schemes bypass the cache entirely.
     runner.run(cfg, SchemeSpec::cdcs(), mix);
@@ -270,8 +269,7 @@ TEST(RunnerTest, JsonExportContainsPerMixAndAggregateData)
 {
     const SystemConfig cfg = smallConfig();
     ExperimentRunner runner(
-        ExperimentRunner::Options{/*workers=*/2,
-                                  /*memoizeBaseline=*/true});
+        runnerOpts(/*workers=*/2, /*memoize=*/true));
     const SweepResult sweep = runner.sweep(
         cfg, twoSchemes(), 2,
         [](int m) { return MixSpec::cpu(4, 1100 + m); });

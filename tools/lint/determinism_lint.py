@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Determinism lint: ban nondeterminism sources in simulator code.
+
+The simulator's contract is that a run is a pure function of its
+configuration (ROADMAP: sweeps byte-diff across worker counts and
+machines, and the result cache replays runs by config key). Anything
+that lets wall-clock time, ASLR, or hash-map iteration order leak into
+simulated results silently breaks that contract, so this lint bans the
+usual sources outright in src/:
+
+  rand            C rand()/srand() (use cdcs::Rng, seeded per run)
+  random-device   std::random_device (nondeterministic seeding)
+  time-seed       time(nullptr)/time(NULL)/time(0)
+  wallclock       *_clock::now() / Clock::now() (wall time)
+  unordered-iter  range-for over a container declared unordered_map/
+                  unordered_set anywhere in src/ (iteration order is
+                  unspecified and varies across libstdc++ versions)
+  ptr-order       uintptr_t (pointer values depend on ASLR; ordering
+                  or hashing by address is nondeterministic)
+
+Legitimate uses (profiling, trace timestamps, order-independent
+resets) are annotated in place:
+
+    foo();  // lint:allow(wallclock)
+    // lint:allow(unordered-iter): order-independent reset
+    for (auto &kv : pages) ...
+
+An allow comment covers matches of the named rule(s) on its own line
+and on the immediately following line. Allows carry an implicit
+justification requirement: keep the reason in the comment or directly
+above it.
+
+Stdlib-only; runs as a ctest case (see CMakeLists.txt) and in CI.
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+RULES = {
+    "rand": re.compile(r"\bs?rand\s*\("),
+    "random-device": re.compile(r"\brandom_device\b"),
+    "time-seed": re.compile(r"\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)"),
+    "wallclock": re.compile(r"::now\s*\("),
+    "ptr-order": re.compile(r"\buintptr_t\b"),
+}
+
+ALLOW_RE = re.compile(r"lint:allow\(([a-z\-, ]+)\)")
+
+UNORDERED_DECL_RE = re.compile(
+    r"unordered_(?:map|set)\s*<[^;{}]*?>\s+(\w+)\s*[;{=(]", re.S)
+
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*?:\s*([\w.\->]+)\s*\)")
+
+SOURCE_EXTS = (".cc", ".hh")
+
+
+def strip_comments_and_strings(line):
+    """Blank out string/char literals and // comments (single line).
+
+    Block comments spanning lines are handled by the caller via a
+    simple in-comment flag; this repo's style keeps them rare.
+    """
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            out.append(" ")
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    i += 1
+                    break
+                i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def collect_files(repo):
+    files = []
+    for root, _dirs, names in os.walk(os.path.join(repo, "src")):
+        for name in sorted(names):
+            if name.endswith(SOURCE_EXTS):
+                files.append(os.path.join(root, name))
+    return sorted(files)
+
+
+def collect_unordered_names(paths):
+    names = set()
+    for path in paths:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        for m in UNORDERED_DECL_RE.finditer(text):
+            names.add(m.group(1))
+    return names
+
+
+def allowed_rules(lines, idx):
+    """Rules allowed on line idx (0-based): same line or the one above."""
+    rules = set()
+    for j in (idx, idx - 1):
+        if 0 <= j < len(lines):
+            m = ALLOW_RE.search(lines[j])
+            if m:
+                rules.update(r.strip() for r in m.group(1).split(","))
+    return rules
+
+
+def lint_file(path, repo, unordered_names, findings):
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    rel = os.path.relpath(path, repo)
+    in_block_comment = False
+    for idx, raw in enumerate(lines):
+        line = raw
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = " " * (end + 2) + line[end + 2:]
+            in_block_comment = False
+        start = line.find("/*")
+        if start >= 0:
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block_comment = True
+            else:
+                line = line[:start] + " " * (end + 2 - start) + \
+                    line[end + 2:]
+        code = strip_comments_and_strings(line)
+        allows = allowed_rules(lines, idx)
+        for rule, pat in RULES.items():
+            if pat.search(code) and rule not in allows:
+                findings.append(
+                    (rel, idx + 1, rule, raw.strip()))
+        if "unordered-iter" not in allows:
+            for m in RANGE_FOR_RE.finditer(code):
+                container = re.split(r"[.\->]+", m.group(1))[-1]
+                if container in unordered_names:
+                    findings.append(
+                        (rel, idx + 1, "unordered-iter", raw.strip()))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo", required=True,
+                        help="repository root (scans <repo>/src)")
+    args = parser.parse_args()
+
+    if not os.path.isdir(os.path.join(args.repo, "src")):
+        print(f"determinism_lint: no src/ under {args.repo}",
+              file=sys.stderr)
+        return 2
+
+    paths = collect_files(args.repo)
+    unordered_names = collect_unordered_names(paths)
+    findings = []
+    for path in paths:
+        lint_file(path, args.repo, unordered_names, findings)
+
+    for rel, line, rule, text in findings:
+        print(f"{rel}:{line}: [{rule}] {text}")
+    if findings:
+        print(f"determinism_lint: {len(findings)} finding(s); "
+              "annotate legitimate uses with // lint:allow(<rule>)",
+              file=sys.stderr)
+        return 1
+    print(f"determinism_lint: {len(paths)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

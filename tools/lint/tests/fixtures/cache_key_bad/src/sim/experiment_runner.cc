@@ -1,0 +1,18 @@
+// Fixture: cacheKey covering meshWidth and seed only.
+#include "sim/experiment_runner.hh"
+
+namespace cdcs
+{
+
+std::string
+ExperimentRunner::cacheKey(const SystemConfig &cfg,
+                           const SchemeSpec &scheme,
+                           const MixSpec &mix)
+{
+    std::string key;
+    appendF(key, "cfg:%d,%llu|", cfg.meshWidth,
+            static_cast<unsigned long long>(cfg.seed));
+    return key;
+}
+
+} // namespace cdcs

@@ -1,0 +1,27 @@
+// Fixture: override tables including a key for the unkeyed fooKnob
+// and a study knob (mystery) with no allowlist rationale.
+#include "sim/overrides.hh"
+
+namespace cdcs
+{
+namespace
+{
+
+const KeyDef configKeys[] = {
+    {"meshWidth", "int",
+     [](SystemConfig &c, const Override &v) {
+         c.meshWidth = static_cast<int>(v.i);
+     }},
+    {"fooKnob", "double",
+     [](SystemConfig &c, const Override &v) { c.fooKnob = v.d; }},
+    {"seed", "uint",
+     [](SystemConfig &c, const Override &v) { c.seed = v.u; }},
+};
+
+const KeyDef knobKeys[] = {
+    {"workers", "uint", nullptr},
+    {"mystery", "uint", nullptr},
+};
+
+} // anonymous namespace
+} // namespace cdcs

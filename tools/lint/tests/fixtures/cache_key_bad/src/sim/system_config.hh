@@ -1,0 +1,31 @@
+// Fixture: SystemConfig with a seeded unkeyed behavior knob
+// (fooKnob) and a stale `via` alias (memPlacement).
+#ifndef FIXTURE_SYSTEM_CONFIG_HH
+#define FIXTURE_SYSTEM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace cdcs
+{
+
+struct SystemConfig
+{
+    int meshWidth = 8;
+    std::uint64_t seed = 42;
+
+    /** Behavior knob the cache key forgot. */
+    double fooKnob = 1.0;
+
+    std::string memPlacement = "interleave";
+
+    std::uint64_t
+    llcLines() const
+    {
+        return static_cast<std::uint64_t>(meshWidth);
+    }
+};
+
+} // namespace cdcs
+
+#endif

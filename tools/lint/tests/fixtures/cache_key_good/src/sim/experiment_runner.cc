@@ -1,0 +1,19 @@
+// Fixture: cacheKey covering every behavior field.
+#include "sim/experiment_runner.hh"
+
+namespace cdcs
+{
+
+std::string
+ExperimentRunner::cacheKey(const SystemConfig &cfg,
+                           const SchemeSpec &scheme,
+                           const MixSpec &mix)
+{
+    std::string key;
+    appendF(key, "cfg:%d,%llu|", cfg.meshWidth,
+            static_cast<unsigned long long>(cfg.seed));
+    appendF(key, "memp:%s|", cfg.effectiveMemPlacement().c_str());
+    return key;
+}
+
+} // namespace cdcs

@@ -1,0 +1,27 @@
+// Fixture: override tables matching the clean cacheKey.
+#include "sim/overrides.hh"
+
+namespace cdcs
+{
+namespace
+{
+
+const KeyDef configKeys[] = {
+    {"meshWidth", "int",
+     [](SystemConfig &c, const Override &v) {
+         c.meshWidth = static_cast<int>(v.i);
+     }},
+    {"seed", "uint",
+     [](SystemConfig &c, const Override &v) { c.seed = v.u; }},
+    {"stats", "string",
+     [](SystemConfig &c, const Override &v) {
+         c.statsFilter = v.value;
+     }},
+};
+
+const KeyDef knobKeys[] = {
+    {"workers", "uint", nullptr},
+};
+
+} // anonymous namespace
+} // namespace cdcs

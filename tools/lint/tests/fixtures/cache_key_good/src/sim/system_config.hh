@@ -1,0 +1,33 @@
+// Fixture: fully accounted-for SystemConfig (clean run).
+#ifndef FIXTURE_SYSTEM_CONFIG_HH
+#define FIXTURE_SYSTEM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace cdcs
+{
+
+struct SystemConfig
+{
+    int meshWidth = 8;
+    std::uint64_t seed = 42;
+
+    /** Reporting-only; allowlisted. */
+    std::string statsFilter;
+
+    bool numaAwareMem = false;
+    std::string memPlacement = "interleave";
+
+    std::string
+    effectiveMemPlacement() const
+    {
+        if (memPlacement == "interleave" && numaAwareMem)
+            return "first-touch";
+        return memPlacement;
+    }
+};
+
+} // namespace cdcs
+
+#endif

@@ -1,0 +1,53 @@
+// Fixture: one instance of every banned nondeterminism source, none
+// annotated. The determinism lint must flag all six rules.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <unordered_map>
+
+namespace fixture
+{
+
+int
+seedFromWallClock()
+{
+    return static_cast<int>(time(nullptr));
+}
+
+int
+legacyRand()
+{
+    return rand();
+}
+
+unsigned
+hardwareEntropy()
+{
+    std::random_device dev;
+    return dev();
+}
+
+long
+nowNanos()
+{
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+int
+sumInMapOrder()
+{
+    std::unordered_map<int, int> table;
+    int sum = 0;
+    for (const auto &kv : table)
+        sum += kv.second;
+    return sum;
+}
+
+unsigned long
+orderByAddress(const int *p)
+{
+    return reinterpret_cast<uintptr_t>(p);
+}
+
+} // namespace fixture

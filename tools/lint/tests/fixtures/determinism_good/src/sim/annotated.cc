@@ -1,0 +1,61 @@
+// Fixture: the same constructs as determinism_bad, every one either
+// escaped with lint:allow or only mentioned in comments/strings --
+// the lint must stay silent.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <unordered_map>
+
+namespace fixture
+{
+
+// A comment mentioning rand() or random_device must not trigger.
+const char *kDoc = "call rand() and time(nullptr) at your peril";
+
+int
+seedFromWallClock()
+{
+    return static_cast<int>(time(nullptr)); // lint:allow(time-seed)
+}
+
+int
+legacyRand()
+{
+    return rand(); // lint:allow(rand)
+}
+
+unsigned
+hardwareEntropy()
+{
+    // lint:allow(random-device): fixture exercises preceding-line allow
+    std::random_device dev;
+    return dev();
+}
+
+long
+nowNanos()
+{
+    return std::chrono::steady_clock::now() // lint:allow(wallclock)
+        .time_since_epoch()
+        .count();
+}
+
+int
+sumInMapOrder()
+{
+    std::unordered_map<int, int> table;
+    int sum = 0;
+    // lint:allow(unordered-iter): order-independent sum
+    for (const auto &kv : table)
+        sum += kv.second;
+    return sum;
+}
+
+unsigned long
+orderByAddress(const int *p)
+{
+    return reinterpret_cast<uintptr_t>(p); // lint:allow(ptr-order)
+}
+
+} // namespace fixture

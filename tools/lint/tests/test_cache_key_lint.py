@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Fixture tests for tools/lint/cache_key_lint.py.
+
+Negative coverage: a mini repo tree with a seeded unkeyed behavior
+knob, a knob with no rationale, and three flavors of stale allowlist
+entry must each produce a finding. Positive coverage: a clean fixture
+tree and the real repository must both pass.
+"""
+
+import os
+import subprocess
+import sys
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+LINT = os.path.join(HERE, "..", "cache_key_lint.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+REPO = os.path.normpath(os.path.join(HERE, "..", "..", ".."))
+
+
+def run_lint(repo):
+    return subprocess.run(
+        [sys.executable, LINT, "--repo", repo],
+        capture_output=True, text=True, check=False)
+
+
+class CacheKeyLintTest(unittest.TestCase):
+
+    def test_seeded_violations_all_reported(self):
+        res = run_lint(os.path.join(FIXTURES, "cache_key_bad"))
+        self.assertEqual(res.returncode, 1, res.stdout + res.stderr)
+        out = res.stdout
+        # The unkeyed behavior knob, both as a field and through its
+        # override key.
+        self.assertIn("field 'fooKnob' is not in", out)
+        self.assertIn("override key 'fooKnob' sets cfg.fooKnob", out)
+        # The knob with no written rationale.
+        self.assertIn("study knob 'mystery' has no knob:mystery", out)
+        # Stale allowlist entries, all three flavors.
+        self.assertIn("stale allowlist entry 'seed'", out)
+        self.assertIn("stale allowlist entry 'ghostField'", out)
+        self.assertIn("cacheKey never calls cfg.effectiveMemPlacement()",
+                      out)
+        # No false positives on the keyed fields.
+        self.assertNotIn("'meshWidth'", out)
+
+    def test_clean_fixture_passes(self):
+        res = run_lint(os.path.join(FIXTURES, "cache_key_good"))
+        self.assertEqual(res.returncode, 0, res.stdout + res.stderr)
+
+    def test_missing_allowlist_is_an_error(self):
+        res = run_lint(os.path.join(FIXTURES, "determinism_bad"))
+        self.assertEqual(res.returncode, 2, res.stdout + res.stderr)
+
+    def test_real_repository_is_clean(self):
+        res = run_lint(REPO)
+        self.assertEqual(res.returncode, 0, res.stdout + res.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Fixture tests for tools/lint/determinism_lint.py.
+
+Negative coverage: one un-annotated instance of each banned construct
+(rand, random_device, time(nullptr), ::now(), unordered iteration,
+uintptr_t) must each produce a finding naming its rule. Positive
+coverage: the same constructs behind lint:allow escapes (same-line and
+preceding-line), plus mentions inside comments and string literals,
+must stay silent -- as must the real repository.
+"""
+
+import os
+import subprocess
+import sys
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+LINT = os.path.join(HERE, "..", "determinism_lint.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+REPO = os.path.normpath(os.path.join(HERE, "..", "..", ".."))
+
+
+def run_lint(repo):
+    return subprocess.run(
+        [sys.executable, LINT, "--repo", repo],
+        capture_output=True, text=True, check=False)
+
+
+class DeterminismLintTest(unittest.TestCase):
+
+    def test_seeded_violations_all_reported(self):
+        res = run_lint(os.path.join(FIXTURES, "determinism_bad"))
+        self.assertEqual(res.returncode, 1, res.stdout + res.stderr)
+        for rule in ("rand", "random-device", "time-seed", "wallclock",
+                     "unordered-iter", "ptr-order"):
+            self.assertIn(f"[{rule}]", res.stdout,
+                          f"rule {rule} not reported:\n{res.stdout}")
+        # Exactly the six seeded findings, no double counting.
+        findings = [l for l in res.stdout.splitlines()
+                    if l.startswith("src/")]
+        self.assertEqual(len(findings), 6, res.stdout)
+
+    def test_allow_escapes_silence_every_rule(self):
+        res = run_lint(os.path.join(FIXTURES, "determinism_good"))
+        self.assertEqual(res.returncode, 0, res.stdout + res.stderr)
+
+    def test_real_repository_is_clean(self):
+        res = run_lint(REPO)
+        self.assertEqual(res.returncode, 0, res.stdout + res.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
