@@ -61,6 +61,28 @@ flitWeightedMeanMemWait(const RunResult &run)
     return flits > 0.0 ? wait_flits / flits : 0.0;
 }
 
+/**
+ * Flit-weighted mean far-attach wait of one run (cycles): the
+ * queueing delay the average flit pays on a far-memory attach link.
+ * Zero with no far tier (no far links exist) and under models that
+ * track no links. Near attach links are excluded — memCtrl is set on
+ * both tiers' attach links, so filter on the far flag, not memCtrl.
+ */
+inline double
+flitWeightedMeanFarMemWait(const RunResult &run)
+{
+    double wait_flits = 0.0;
+    double flits = 0.0;
+    for (const NocLinkStat &link : run.nocLinks) {
+        if (!link.far)
+            continue;
+        wait_flits += link.waitCycles *
+            static_cast<double>(link.flits);
+        flits += static_cast<double>(link.flits);
+    }
+    return flits > 0.0 ? wait_flits / flits : 0.0;
+}
+
 } // namespace cdcs
 
 #endif // CDCS_BENCH_STUDIES_NOC_STUDIES_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared page-migration machinery of the memory layers.
+ *
+ * recordPageMigration is the single accounting path every migration —
+ * a contention-policy controller re-pin or a tiering-policy
+ * promotion/demotion — goes through: it charges the page's copy
+ * flits to the NoC (out of the source tier's attach link, across the
+ * mesh, into the destination tier's attach link), bumps the
+ * StatRegistry counters ("mem.migrations", and "mem.tier_promotions"
+ * / "mem.tier_demotions" for tier moves) and the caller's migrated
+ * counter in one place, so the stat, RunResult::memMigratedPages and
+ * the flit charging can never drift apart.
+ *
+ * rowBudgetSelect is the DRAM-row-locality throttle both movers use:
+ * candidates are grouped by row (mem_tier.hh), rows are ranked by
+ * their summed weight, and the budget is spent in whole rows —
+ * preferring row-buffer-friendly bulk moves over the same number of
+ * scattered single-page copies.
+ */
+
+#ifndef CDCS_MEM_MEM_MIGRATION_HH
+#define CDCS_MEM_MEM_MIGRATION_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mem/mem_tier.hh"
+#include "mesh/mesh.hh"
+#include "net/noc_model.hh"
+
+namespace cdcs
+{
+
+/**
+ * Account one page's migration from (src_ctrl, src_tier) to
+ * (dst_ctrl, dst_tier): the page's lines stream out of the source
+ * tier's attach link, cross the mesh to the destination controller's
+ * tile, and enter through the destination tier's attach link. Bumps
+ * "mem.migrations" (and the tier promotion/demotion stats when the
+ * tier changes) plus the caller's `migrated` counter.
+ */
+void recordPageMigration(NocModel &noc, const Mesh &topo,
+                         int src_ctrl, MemTier src_tier,
+                         int dst_ctrl, MemTier dst_tier,
+                         std::uint64_t &migrated);
+
+/**
+ * Spend a migration budget in DRAM rows: group `pages` by row, rank
+ * rows by summed weight (descending; row id breaks ties so the
+ * selection is deterministic), and keep every candidate of the top
+ * `row_budget` rows. Returns the kept indices into `pages`, ordered
+ * hottest row first and, within a row, in the caller's candidate
+ * order — so a caller that pre-sorts candidates hottest-first
+ * processes whole rows hottest-page-first.
+ */
+std::vector<std::size_t>
+rowBudgetSelect(const std::vector<std::uint64_t> &pages,
+                const std::vector<double> &weights, int row_budget);
+
+} // namespace cdcs
+
+#endif // CDCS_MEM_MEM_MIGRATION_HH

@@ -2,18 +2,10 @@
 
 #include <algorithm>
 
-#include "obs/stat_registry.hh"
+#include "mem/mem_migration.hh"
 
 namespace cdcs
 {
-
-namespace
-{
-
-/// Pages re-pinned to another controller per epoch.
-const StatId kMemMigrations = StatRegistry::counter("mem.migrations");
-
-} // anonymous namespace
 
 D2ChoiceMemPlacement::D2ChoiceMemPlacement(const Mesh &mesh,
                                            double smoothing_)
@@ -144,11 +136,29 @@ ContentionMemPlacement::epochUpdate(NocModel &noc,
                           b.second->epochAccesses;
                   return a.first < b.first;
               });
-    if (hot.size() > static_cast<std::size_t>(cfg.topPages))
-        hot.resize(static_cast<std::size_t>(cfg.topPages));
 
-    const std::uint32_t page_flits =
-        linesPerPage * topo.config().dataFlits();
+    // Spend the migration budget in DRAM rows, not pages: rank rows
+    // by their summed hotness and keep whole rows, so the copy engine
+    // streams row-buffer hits instead of scattered single pages.
+    {
+        std::vector<std::uint64_t> cand_pages;
+        std::vector<double> cand_weights;
+        cand_pages.reserve(hot.size());
+        cand_weights.reserve(hot.size());
+        for (const auto &[page, info] : hot) {
+            cand_pages.push_back(page);
+            cand_weights.push_back(
+                static_cast<double>(info->epochAccesses));
+        }
+        const std::vector<std::size_t> kept = rowBudgetSelect(
+            cand_pages, cand_weights, cfg.migrateRowBudget);
+        std::vector<std::pair<std::uint64_t, PageInfo *>> selected;
+        selected.reserve(kept.size());
+        for (const std::size_t i : kept)
+            selected.push_back(hot[i]);
+        hot = std::move(selected);
+    }
+
     const double ctrl_flits =
         static_cast<double>(topo.config().ctrlFlits());
     const double data_flits =
@@ -204,18 +214,10 @@ ContentionMemPlacement::epochUpdate(NocModel &noc,
         src_load = std::max(0.0, src_load - load);
         ctrlLoad[static_cast<std::size_t>(best)] += load;
 
-        // The page's lines stream out of the old controller, cross
-        // the mesh to the new controller's tile, and enter through
-        // its attach link.
-        const TileId dst_tile = topo.memCtrlTile(best);
-        noc.addMemResponse(TrafficClass::Other, info->ctrl, dst_tile,
-                           page_flits);
-        noc.addMemTraffic(TrafficClass::Other, dst_tile, best,
-                          page_flits);
+        recordPageMigration(noc, topo, info->ctrl, MemTier::Near,
+                            best, MemTier::Near, migrated);
         info->ctrl = best;
         info->lastMoveEpoch = epochCount;
-        migrated++;
-        StatRegistry::add(kMemMigrations);
     }
 
     epochCount++;

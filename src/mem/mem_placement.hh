@@ -8,10 +8,16 @@
  * saturated controllers each epoch (the memory-side counterpart of
  * the Fig. 11d discussion's future work).
  *
- * The hot-path query is controllerFor(core, line); policies keep
- * whatever page map and per-controller accounting they need. Epoch
- * dynamics run in epochUpdate, driven by the EpochController right
- * after the NoC's contention refresh, so a rebalancing policy scores
+ * The hot-path query is placementFor(core, line), a two-level
+ * decision: the policy's controllerFor picks the controller (the
+ * classic page-to-controller mapping), and the attached
+ * MemTieringPolicy — when a far memory tier is configured — picks the
+ * capacity tier behind it. With no tiering policy attached every
+ * placement pins MemTier::Near and the decision collapses to the
+ * legacy controller-only mapping, bit for bit. Policies keep whatever
+ * page map and per-controller accounting they need. Epoch dynamics
+ * run in epochUpdate, driven by the EpochController right after the
+ * NoC's contention refresh, so a rebalancing policy scores
  * controllers on the same measured route waits the access path will
  * pay — and charges the migration traffic it causes back to the NoC.
  */
@@ -24,6 +30,8 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "mem/mem_tier.hh"
+#include "mem/mem_tiering.hh"
 #include "mesh/mesh.hh"
 #include "net/noc_model.hh"
 
@@ -54,6 +62,33 @@ class MemPlacementPolicy
     virtual int controllerFor(TileId core, LineAddr line) = 0;
 
     /**
+     * The full two-level placement of `line`: the policy's controller
+     * decision plus the attached tiering policy's residency decision.
+     * With no tiering attached (no far tier configured) the tier pins
+     * MemTier::Near and this is exactly controllerFor.
+     */
+    MemPlacement
+    placementFor(TileId core, LineAddr line)
+    {
+        MemPlacement p;
+        p.ctrl = controllerFor(core, line);
+        if (tiering != nullptr)
+            p.tier = tiering->onAccess(line, p.ctrl);
+        return p;
+    }
+
+    /**
+     * Attach the capacity-tiering policy deciding near/far residency
+     * behind the controllers. Platform calls this once, at build
+     * time, only when a far tier is configured; the policy outlives
+     * this object's use (Platform owns both).
+     */
+    void attachTiering(MemTieringPolicy *t) { tiering = t; }
+
+    /** The attached tiering policy, or nullptr (no far tier). */
+    MemTieringPolicy *tieringPolicy() const { return tiering; }
+
+    /**
      * Epoch boundary, invoked right after the NoC's contention
      * refresh with the epoch's mean active cycles. Rebalancing
      * policies re-pin pages here and charge the migration traffic to
@@ -80,6 +115,10 @@ class MemPlacementPolicy
 
   protected:
     const Mesh &topo;
+
+  private:
+    /** Tier decider behind the controllers; nullptr = all near. */
+    MemTieringPolicy *tiering = nullptr;
 };
 
 /**
@@ -177,14 +216,18 @@ struct ContentionMemPlacementParams
      */
     double smoothing = 0.5;
     /**
-     * Hot pages considered for migration per epoch. Each copy's
-     * flit burst crosses both controllers' attach links (scaled by
-     * the injection knob like all measured traffic), so a small
-     * per-epoch budget amortized over hot pages wins; large budgets
-     * spend more on copies than the steering recovers (measured on
-     * the mem_placement study lineup).
+     * DRAM rows of hot pages considered for migration per epoch
+     * (rowBudgetSelect groups candidates by row and spends the
+     * budget in whole rows, preferring row-buffer-friendly bulk
+     * moves). Each copy's flit burst crosses both controllers'
+     * attach links (scaled by the injection knob like all measured
+     * traffic), so a small per-epoch budget amortized over hot rows
+     * wins; large budgets spend more on copies than the steering
+     * recovers (measured on the mem_placement study lineup). At 4
+     * pages per row this bounds an epoch at 16 pages — the magnitude
+     * the pre-row-throttle flat page budget was tuned to.
      */
-    int topPages = 16;
+    int migrateRowBudget = 4;
     /** A controller is overloaded above this multiple of the mean. */
     double overloadFactor = 1.15;
     /**

@@ -1,0 +1,71 @@
+#include "mem/mem_tiering_registry.hh"
+
+#include <functional>
+#include <map>
+
+#include "common/log.hh"
+
+namespace cdcs
+{
+
+namespace
+{
+
+using Factory = std::function<std::unique_ptr<MemTieringPolicy>(
+    const Mesh &, const MemTieringParams &)>;
+
+const std::map<std::string, Factory> &
+makers()
+{
+    static const std::map<std::string, Factory> registry = {
+        {"static",
+         [](const Mesh &mesh, const MemTieringParams &params) {
+             return std::make_unique<StaticTieringPolicy>(mesh,
+                                                          params);
+         }},
+        {"hotness",
+         [](const Mesh &mesh, const MemTieringParams &params) {
+             return std::make_unique<HotnessTieringPolicy>(mesh,
+                                                           params);
+         }},
+    };
+    return registry;
+}
+
+} // anonymous namespace
+
+std::unique_ptr<MemTieringPolicy>
+MemTieringRegistry::build(const std::string &name, const Mesh &mesh,
+                          const MemTieringParams &params)
+{
+    const auto it = makers().find(name);
+    if (it == makers().end()) {
+        std::string known;
+        for (const std::string &n : names()) {
+            if (!known.empty())
+                known += ", ";
+            known += n;
+        }
+        fatal("unknown mem tiering policy '%s' (registered: %s)",
+              name.c_str(), known.c_str());
+    }
+    return it->second(mesh, params);
+}
+
+bool
+MemTieringRegistry::known(const std::string &name)
+{
+    return makers().find(name) != makers().end();
+}
+
+std::vector<std::string>
+MemTieringRegistry::names()
+{
+    std::vector<std::string> out;
+    out.reserve(makers().size());
+    for (const auto &[name, make] : makers())
+        out.push_back(name); // std::map iteration is name-sorted.
+    return out;
+}
+
+} // namespace cdcs

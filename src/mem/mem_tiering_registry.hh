@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Name -> factory registry of the capacity-tiering policies, the
+ * tiering counterpart of MemPlacementRegistry. Platform builds the
+ * policy SystemConfig::memTiering names (only when a far tier is
+ * configured); overrides.cc validates the name against the registry
+ * at parse time.
+ */
+
+#ifndef CDCS_MEM_MEM_TIERING_REGISTRY_HH
+#define CDCS_MEM_MEM_TIERING_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/mem_tiering.hh"
+
+namespace cdcs
+{
+
+class MemTieringRegistry
+{
+  public:
+    /**
+     * Build the policy registered under `name` ("static",
+     * "hotness"). Fatals with the known names if `name` is not
+     * registered.
+     */
+    static std::unique_ptr<MemTieringPolicy>
+    build(const std::string &name, const Mesh &mesh,
+          const MemTieringParams &params);
+
+    /** True iff `name` is a registered tiering policy. */
+    static bool known(const std::string &name);
+
+    /** Registered names, sorted. */
+    static std::vector<std::string> names();
+};
+
+} // namespace cdcs
+
+#endif // CDCS_MEM_MEM_TIERING_REGISTRY_HH

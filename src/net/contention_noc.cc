@@ -20,15 +20,20 @@ const StatId kNocSaturatedLinks =
 } // anonymous namespace
 
 ContentionNoc::ContentionNoc(const Mesh &mesh, double inj_scale,
-                             double max_util)
+                             double max_util, bool far_links)
     : NocModel(mesh), injScale(inj_scale), maxUtil(max_util),
+      farLinks(far_links),
       attachBase(static_cast<std::size_t>(mesh.numTiles()) * 4)
 {
     cdcs_assert(injScale > 0.0, "injection scale must be positive");
     cdcs_assert(maxUtil > 0.0 && maxUtil < 1.0,
                 "utilization clamp must be in (0, 1)");
-    const std::size_t links =
-        attachBase + static_cast<std::size_t>(mesh.numMemCtrls());
+    // Far attach links, when configured, occupy a second controller
+    // block after the near attach block; with no far tier the link
+    // population (and everything derived from it) is unchanged.
+    const std::size_t links = attachBase +
+        static_cast<std::size_t>(mesh.numMemCtrls()) *
+            (farLinks ? 2 : 1);
     linkFlits.assign(links, 0);
     prevFlits.assign(links, 0);
     linkWait.assign(links, 0.0);
@@ -125,6 +130,27 @@ ContentionNoc::rebuildWaitTables()
                                  t];
         }
     }
+
+    // Far legs share the mesh route and substitute the far attach
+    // link's wait for the near one.
+    if (farLinks) {
+        farReqTbl.assign(tiles * ctrls, 0.0);
+        farRespTbl.assign(ctrls * tiles, 0.0);
+        for (std::size_t c = 0; c < ctrls; c++) {
+            const TileId ctrl_tile =
+                topo.memCtrlTile(static_cast<int>(c));
+            const double attach =
+                linkWait[farAttachLink(static_cast<int>(c))];
+            for (std::size_t t = 0; t < tiles; t++) {
+                farReqTbl[t * ctrls + c] =
+                    waitTbl[t * tiles + ctrl_tile] + attach;
+                farRespTbl[c * tiles + t] = attach +
+                    waitTbl[static_cast<std::size_t>(ctrl_tile) *
+                                tiles +
+                            t];
+            }
+        }
+    }
 }
 
 double
@@ -154,6 +180,27 @@ ContentionNoc::memResponsePathWait(int ctrl, TileId tile) const
 }
 
 double
+ContentionNoc::farMemPathWait(TileId tile, int ctrl) const
+{
+    if (!farLinks)
+        return memPathWait(tile, ctrl);
+    return farReqTbl[static_cast<std::size_t>(tile) *
+                         static_cast<std::size_t>(
+                             topo.numMemCtrls()) +
+                     static_cast<std::size_t>(ctrl)];
+}
+
+double
+ContentionNoc::farMemResponsePathWait(int ctrl, TileId tile) const
+{
+    if (!farLinks)
+        return memResponsePathWait(ctrl, tile);
+    return farRespTbl[static_cast<std::size_t>(ctrl) *
+                          static_cast<std::size_t>(topo.numTiles()) +
+                      tile];
+}
+
+double
 ContentionNoc::memLatency(TileId tile, int ctrl,
                           std::uint32_t payload_flits) const
 {
@@ -173,6 +220,27 @@ ContentionNoc::memResponseLatency(int ctrl, TileId tile,
                topo.latency(topo.hopsToCtrl(tile, ctrl),
                             payload_flits)) +
         memResponsePathWait(ctrl, tile);
+}
+
+double
+ContentionNoc::farMemLatency(TileId tile, int ctrl,
+                             std::uint32_t payload_flits) const
+{
+    return static_cast<double>(
+               topo.latency(topo.hopsToCtrl(tile, ctrl),
+                            payload_flits)) +
+        farMemPathWait(tile, ctrl);
+}
+
+double
+ContentionNoc::farMemResponseLatency(int ctrl, TileId tile,
+                                     std::uint32_t payload_flits)
+    const
+{
+    return static_cast<double>(
+               topo.latency(topo.hopsToCtrl(tile, ctrl),
+                            payload_flits)) +
+        farMemResponsePathWait(ctrl, tile);
 }
 
 void
@@ -198,6 +266,30 @@ ContentionNoc::routeMemResponse(int ctrl, TileId tile,
     // directions; the mesh legs of the response use the
     // reverse-direction links of the request route.
     linkFlits[attachLink(ctrl)] += flits;
+    routeMsg(topo.memCtrlTile(ctrl), tile, flits);
+}
+
+void
+ContentionNoc::routeFarMemMsg(TileId tile, int ctrl,
+                              std::uint32_t flits)
+{
+    if (!farLinks) {
+        routeMemMsg(tile, ctrl, flits);
+        return;
+    }
+    routeMsg(tile, topo.memCtrlTile(ctrl), flits);
+    linkFlits[farAttachLink(ctrl)] += flits;
+}
+
+void
+ContentionNoc::routeFarMemResponse(int ctrl, TileId tile,
+                                   std::uint32_t flits)
+{
+    if (!farLinks) {
+        routeMemResponse(ctrl, tile, flits);
+        return;
+    }
+    linkFlits[farAttachLink(ctrl)] += flits;
     routeMsg(topo.memCtrlTile(ctrl), tile, flits);
 }
 
@@ -279,6 +371,20 @@ ContentionNoc::linkStats() const
         stat.util = linkUtil[link];
         stat.waitCycles = linkWait[link];
         out.push_back(stat);
+    }
+    if (farLinks) {
+        for (int ctrl = 0; ctrl < topo.numMemCtrls(); ctrl++) {
+            NocLinkStat stat;
+            stat.src = topo.memCtrlTile(ctrl);
+            stat.dst = invalidTile;
+            stat.memCtrl = ctrl;
+            stat.far = true;
+            const std::size_t link = farAttachLink(ctrl);
+            stat.flits = linkFlits[link];
+            stat.util = linkUtil[link];
+            stat.waitCycles = linkWait[link];
+            out.push_back(stat);
+        }
     }
     return out;
 }

@@ -35,9 +35,13 @@ class ContentionNoc final : public NocModel
      *        (injection-rate scaling; 1.0 models the workload as-is).
      * @param max_util Utilization clamp of the M/D/1 waiting time
      *        (keeps the wait finite as links saturate).
+     * @param far_links Give each controller a second, far-tier attach
+     *        link (capacity disaggregation). Off by default so the
+     *        link population — and therefore every epoch update and
+     *        stat — is untouched when no far tier is configured.
      */
     ContentionNoc(const Mesh &mesh, double inj_scale,
-                  double max_util);
+                  double max_util, bool far_links = false);
 
     const char *name() const override { return "contention"; }
 
@@ -48,6 +52,11 @@ class ContentionNoc final : public NocModel
     double memResponseLatency(int ctrl, TileId tile,
                               std::uint32_t payload_flits)
         const override;
+    double farMemLatency(TileId tile, int ctrl,
+                         std::uint32_t payload_flits) const override;
+    double farMemResponseLatency(int ctrl, TileId tile,
+                                 std::uint32_t payload_flits)
+        const override;
 
     /** Sum of link waits along the X-Y route (flattened, O(1)). */
     double pathWait(TileId src, TileId dst) const override;
@@ -55,6 +64,10 @@ class ContentionNoc final : public NocModel
     double memPathWait(TileId tile, int ctrl) const override;
     /** Response-route wait from a controller (attach + mesh legs). */
     double memResponsePathWait(int ctrl, TileId tile) const override;
+    /** Route wait to a controller's far attach link (near when off). */
+    double farMemPathWait(TileId tile, int ctrl) const override;
+    /** Far response-route wait (near when far links are off). */
+    double farMemResponsePathWait(int ctrl, TileId tile) const override;
 
     /**
      * Reference implementation of pathWait: the literal link-by-link
@@ -78,6 +91,10 @@ class ContentionNoc final : public NocModel
                      std::uint32_t flits) override;
     void routeMemResponse(int ctrl, TileId tile,
                           std::uint32_t flits) override;
+    void routeFarMemMsg(TileId tile, int ctrl,
+                        std::uint32_t flits) override;
+    void routeFarMemResponse(int ctrl, TileId tile,
+                             std::uint32_t flits) override;
 
   private:
     /** Directed link leaving a tile, in routing order. */
@@ -102,6 +119,19 @@ class ContentionNoc final : public NocModel
     attachLink(int ctrl) const
     {
         return attachBase + static_cast<std::size_t>(ctrl);
+    }
+
+    /**
+     * Link index of controller `ctrl`'s far-tier attach link. Only
+     * valid when far links are on (the far block sits after the near
+     * attach block).
+     */
+    std::size_t
+    farAttachLink(int ctrl) const
+    {
+        return attachBase +
+            static_cast<std::size_t>(topo.numMemCtrls()) +
+            static_cast<std::size_t>(ctrl);
     }
 
     /**
@@ -138,6 +168,7 @@ class ContentionNoc final : public NocModel
 
     double injScale;
     double maxUtil;
+    bool farLinks;           ///< Far attach links materialized.
     std::size_t attachBase;  ///< First attach-link index.
 
     // Per-link state, indexed by link id.
@@ -150,6 +181,8 @@ class ContentionNoc final : public NocModel
     std::vector<double> waitTbl;     ///< [src * tiles + dst].
     std::vector<double> memReqTbl;   ///< [tile * ctrls + ctrl].
     std::vector<double> memRespTbl;  ///< [ctrl * tiles + tile].
+    std::vector<double> farReqTbl;   ///< Far legs; empty when off.
+    std::vector<double> farRespTbl;  ///< Far legs; empty when off.
 };
 
 } // namespace cdcs

@@ -42,6 +42,8 @@ struct NocLinkStat
     double util = 0.0;
     /** Queueing wait (cycles) currently charged per traversal. */
     double waitCycles = 0.0;
+    /** True for a far-tier attach link (memCtrl is the controller). */
+    bool far = false;
 };
 
 /**
@@ -90,6 +92,29 @@ class NocModel
         return memLatency(tile, ctrl, payload_flits);
     }
 
+    /**
+     * Latency of one message between a tile and controller `ctrl`'s
+     * FAR attach link. The far pool hangs off the same controller
+     * tile as near DRAM, so the mesh legs are identical and only the
+     * attach link differs; models without dedicated far links (and
+     * zero-load models, where an uncontended attach link prices the
+     * same) answer the near-tier latency.
+     */
+    virtual double
+    farMemLatency(TileId tile, int ctrl,
+                  std::uint32_t payload_flits) const
+    {
+        return memLatency(tile, ctrl, payload_flits);
+    }
+
+    /** Far-tier counterpart of memResponseLatency. */
+    virtual double
+    farMemResponseLatency(int ctrl, TileId tile,
+                          std::uint32_t payload_flits) const
+    {
+        return memResponseLatency(ctrl, tile, payload_flits);
+    }
+
     /** Account one tile-to-tile message of a given class. */
     void
     addTraffic(TrafficClass cls, TileId src, TileId dst,
@@ -125,6 +150,32 @@ class NocModel
             static_cast<std::uint64_t>(topo.hopsToCtrl(tile, ctrl)) *
             flits;
         routeMemResponse(ctrl, tile, flits);
+    }
+
+    /**
+     * Account one tile-to-controller message entering the FAR attach
+     * link. The hop count matches the near tier (same controller
+     * tile, one attach hop); only the per-link routing differs.
+     */
+    void
+    addFarMemTraffic(TrafficClass cls, TileId tile, int ctrl,
+                     std::uint32_t flits)
+    {
+        flitHops[static_cast<std::size_t>(cls)] +=
+            static_cast<std::uint64_t>(topo.hopsToCtrl(tile, ctrl)) *
+            flits;
+        routeFarMemMsg(tile, ctrl, flits);
+    }
+
+    /** Far-tier counterpart of addMemResponse. */
+    void
+    addFarMemResponse(TrafficClass cls, int ctrl, TileId tile,
+                      std::uint32_t flits)
+    {
+        flitHops[static_cast<std::size_t>(cls)] +=
+            static_cast<std::uint64_t>(topo.hopsToCtrl(tile, ctrl)) *
+            flits;
+        routeFarMemResponse(ctrl, tile, flits);
     }
 
     /**
@@ -166,6 +217,23 @@ class NocModel
         (void)ctrl;
         (void)tile;
         return 0.0;
+    }
+
+    /**
+     * Route wait to controller `ctrl`'s far attach link. Models
+     * without dedicated far links answer the near-tier wait.
+     */
+    virtual double
+    farMemPathWait(TileId tile, int ctrl) const
+    {
+        return memPathWait(tile, ctrl);
+    }
+
+    /** Far-tier counterpart of memResponsePathWait. */
+    virtual double
+    farMemResponsePathWait(int ctrl, TileId tile) const
+    {
+        return memResponsePathWait(ctrl, tile);
     }
 
     /**
@@ -229,6 +297,23 @@ class NocModel
         (void)ctrl;
         (void)tile;
         (void)flits;
+    }
+
+    /**
+     * Per-link hook for one far-tier memory leg. Models without
+     * dedicated far links fold the traffic into the near accounting.
+     */
+    virtual void
+    routeFarMemMsg(TileId tile, int ctrl, std::uint32_t flits)
+    {
+        routeMemMsg(tile, ctrl, flits);
+    }
+
+    /** Per-link hook for one far-tier memory response. */
+    virtual void
+    routeFarMemResponse(int ctrl, TileId tile, std::uint32_t flits)
+    {
+        routeMemResponse(ctrl, tile, flits);
     }
 
     const Mesh &topo;

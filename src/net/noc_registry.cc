@@ -16,7 +16,8 @@ NocRegistry::NocRegistry()
     add("contention",
         [](const Mesh &mesh, const NocBuildParams &params) {
             return std::make_unique<ContentionNoc>(
-                mesh, params.injScale, params.maxUtil);
+                mesh, params.injScale, params.maxUtil,
+                params.farLinks);
         });
 }
 

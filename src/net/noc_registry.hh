@@ -29,6 +29,12 @@ struct NocBuildParams
     double injScale = 1.0;
     /** Utilization clamp of the queueing delay (contention). */
     double maxUtil = 0.95;
+    /**
+     * Materialize per-controller far-tier attach links (set when a
+     * far memory tier is configured). Models without per-link state
+     * ignore it; off keeps the link population byte-identical.
+     */
+    bool farLinks = false;
 };
 
 /** Process-wide name -> NocModel factory map. */

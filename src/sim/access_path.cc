@@ -5,12 +5,17 @@
 
 #include "common/profile.hh"
 #include "mem/mem_queue.hh"
+#include "obs/stat_registry.hh"
 
 namespace cdcs
 {
 
 namespace
 {
+
+/// Memory accesses served by the far tier.
+const StatId kMemFarAccesses =
+    StatRegistry::counter("mem.far_accesses");
 
 /**
  * Timing-only wrapper: charge a cluster of NoC latency queries to the
@@ -66,6 +71,7 @@ void
 AccessPath::beginChunk()
 {
     chunkMisses = 0;
+    chunkFarMisses = 0;
 }
 
 void
@@ -79,12 +85,19 @@ AccessPath::endChunk(double before, double after)
             cfg.memLinesPerCycle);
     queueDelay = memQueueWait(rho, cfg.memChannels,
                               cfg.memLinesPerCycle);
+    if (cfg.hasFarTier()) {
+        const double far_rho = std::min(
+            0.95, (static_cast<double>(chunkFarMisses) / dt) /
+                cfg.farMemLinesPerCycle);
+        farQueueDelay = memQueueWait(far_rho, cfg.farMemChannels,
+                                     cfg.farMemLinesPerCycle);
+    }
 }
 
-int
-AccessPath::memCtrlFor(TileId core, LineAddr line)
+MemPlacement
+AccessPath::memPlaceFor(TileId core, LineAddr line)
 {
-    return platform.memPlacement->controllerFor(core, line);
+    return platform.memPlacement->placementFor(core, line);
 }
 
 void
@@ -180,40 +193,77 @@ AccessPath::issueAccess(ThreadId t)
         } else {
             // Old bank miss: forward to memory; the response fills
             // the new home (Fig. 10b).
-            const int mc = memCtrlFor(core, sample.line);
+            const MemPlacement mp = memPlaceFor(core, sample.line);
+            const int mc = mp.ctrl;
+            const bool far = mp.tier == MemTier::Far;
             const double mem_leg = timedNocQuery([&] {
+                if (far) {
+                    return noc.farMemLatency(old_tile, mc, ctrl) +
+                        cfg.farMemLatency + farQueueDelay +
+                        noc.farMemResponseLatency(mc, bank_tile,
+                                                  data);
+                }
                 return noc.memLatency(old_tile, mc, ctrl) +
                     cfg.memLatency + queueDelay +
                     noc.memResponseLatency(mc, bank_tile, data);
             });
             lat += mem_leg;
             offchip += mem_leg;
-            noc.addMemTraffic(TrafficClass::LLCToMem, old_tile, mc,
-                              ctrl);
-            noc.addMemResponse(TrafficClass::LLCToMem, mc, bank_tile,
-                               data);
+            if (far) {
+                noc.addFarMemTraffic(TrafficClass::LLCToMem,
+                                     old_tile, mc, ctrl);
+                noc.addFarMemResponse(TrafficClass::LLCToMem, mc,
+                                      bank_tile, data);
+                stats.farMemAccesses++;
+                stats.farOffChipLatSum += mem_leg;
+                StatRegistry::add(kMemFarAccesses);
+                chunkFarMisses++;
+            } else {
+                noc.addMemTraffic(TrafficClass::LLCToMem, old_tile,
+                                  mc, ctrl);
+                noc.addMemResponse(TrafficClass::LLCToMem, mc,
+                                   bank_tile, data);
+                chunkMisses++;
+            }
             stats.memAccesses++;
             noteMemAccess(mc);
-            chunkMisses++;
             fill_res = banks[mr.bank].fill(sample.line, tag, core);
             filled = true;
         }
     } else {
-        const int mc = memCtrlFor(core, sample.line);
+        const MemPlacement mp = memPlaceFor(core, sample.line);
+        const int mc = mp.ctrl;
+        const bool far = mp.tier == MemTier::Far;
         const double mem_leg = timedNocQuery([&] {
+            if (far) {
+                return noc.farMemLatency(bank_tile, mc, ctrl) +
+                    cfg.farMemLatency + farQueueDelay +
+                    noc.farMemResponseLatency(mc, bank_tile, data);
+            }
             return noc.memLatency(bank_tile, mc, ctrl) +
                 cfg.memLatency + queueDelay +
                 noc.memResponseLatency(mc, bank_tile, data);
         });
         lat += mem_leg;
         offchip += mem_leg;
-        noc.addMemTraffic(TrafficClass::LLCToMem, bank_tile, mc,
-                          ctrl);
-        noc.addMemResponse(TrafficClass::LLCToMem, mc, bank_tile,
-                           data);
+        if (far) {
+            noc.addFarMemTraffic(TrafficClass::LLCToMem, bank_tile,
+                                 mc, ctrl);
+            noc.addFarMemResponse(TrafficClass::LLCToMem, mc,
+                                  bank_tile, data);
+            stats.farMemAccesses++;
+            stats.farOffChipLatSum += mem_leg;
+            StatRegistry::add(kMemFarAccesses);
+            chunkFarMisses++;
+        } else {
+            noc.addMemTraffic(TrafficClass::LLCToMem, bank_tile, mc,
+                              ctrl);
+            noc.addMemResponse(TrafficClass::LLCToMem, mc, bank_tile,
+                               data);
+            chunkMisses++;
+        }
         stats.memAccesses++;
         noteMemAccess(mc);
-        chunkMisses++;
         fill_res = banks[mr.bank].fill(sample.line, tag, core);
         filled = true;
     }

@@ -41,9 +41,11 @@ class AccessPath
     void beginChunk();
 
     /**
-     * End a chunk: refresh the M/D/1-style memory queueing delay from
-     * the miss rate observed between mean active cycles `before` and
-     * `after`.
+     * End a chunk: refresh the M/D/m memory queueing delays from the
+     * miss rates observed between mean active cycles `before` and
+     * `after` — one queue per tier, each sized by its own channel
+     * count and service rate, so far-tier pressure never inflates the
+     * near queue (and vice versa).
      */
     void endChunk(double before, double after);
 
@@ -63,12 +65,14 @@ class AccessPath
 
   private:
     /**
-     * Memory controller serving `line` when accessed by `core`:
+     * Two-level placement of `line` when accessed by `core`:
      * delegated to the platform's MemPlacementPolicy (interleave by
      * default; first-touch and contention-rebalanced policies keep
-     * their own page maps).
+     * their own page maps), which consults the attached tiering
+     * policy for near/far residency. With no far tier the tier pins
+     * MemTier::Near.
      */
-    int memCtrlFor(TileId core, LineAddr line);
+    MemPlacement memPlaceFor(TileId core, LineAddr line);
 
     /** Account one memory access against its serving controller. */
     void noteMemAccess(int ctrl);
@@ -79,9 +83,13 @@ class AccessPath
     std::vector<TileId> &threadCore;
     RunStats &stats;
 
-    // Memory-bandwidth queueing state.
+    // Memory-bandwidth queueing state, per tier. chunkMisses counts
+    // near-tier misses only once a far tier is on; with no far tier
+    // every miss is near and the arithmetic is the legacy one.
     double queueDelay = 0.0;
+    double farQueueDelay = 0.0;
     std::uint64_t chunkMisses = 0;
+    std::uint64_t chunkFarMisses = 0;
 
     std::uint64_t monitorTrafficSampleCtr = 0;
 };

@@ -290,6 +290,14 @@ EpochController::runEpochs()
             platform.noc->epochUpdate(noc_elapsed);
             platform.memPlacement->epochUpdate(*platform.noc,
                                                noc_elapsed);
+            // Tier migration rides the same boundary, right after
+            // the controller rebalance, so promotions see the page
+            // pins the placement policy just settled on; each move's
+            // flits are charged through both tiers' attach links.
+            if (platform.tiering != nullptr) {
+                platform.tiering->epochUpdate(*platform.noc,
+                                              noc_elapsed);
+            }
             nocEpochStartMean = epoch_mean;
 
             RuntimeInput input = gatherRuntimeInput();
@@ -373,6 +381,7 @@ EpochController::assemble() const
     res.demandMoves = stats.demandMoves;
     res.moveProbes = stats.moveProbes;
     res.memAccesses = stats.memAccesses;
+    res.farMemAccesses = stats.farMemAccesses;
     res.instantMoved = stats.instantMoved;
     res.bulkInvalidated = stats.bulkInvalidated;
     res.bgInvalidated = stats.bgInvalidated;
@@ -388,12 +397,20 @@ EpochController::assemble() const
     }
     res.onChipLatSum = stats.onChipLatSum;
     res.offChipLatSum = stats.offChipLatSum;
+    res.farOffChipLatSum = stats.farOffChipLatSum;
     for (std::size_t c = 0; c < res.trafficFlitHops.size(); c++) {
         res.trafficFlitHops[c] =
             platform.noc->trafficFlitHops(static_cast<TrafficClass>(c));
     }
     res.nocLinks = platform.noc->linkStats();
     res.memMigratedPages = platform.memPlacement->migratedPages();
+    if (platform.tiering != nullptr) {
+        res.memMigratedPages += platform.tiering->migratedPages();
+        res.tierPromotions = platform.tiering->promotions();
+        res.tierDemotions = platform.tiering->demotions();
+        res.farResidentPages = platform.tiering->farResidentPages();
+        res.tieredPages = platform.tiering->trackedPages();
+    }
 
     // Static energy accrues over the mean per-thread runtime: in the
     // fixed-work methodology threads retire their work at different

@@ -69,6 +69,21 @@ SweepResult::toJson() const
                 energyParts[s][0], energyParts[s][1],
                 energyParts[s][2], energyParts[s][3],
                 energyParts[s][4]);
+        // Far-memory tiering summary, only when the run tracked
+        // tiered pages (a far tier was on) so no-far-tier documents
+        // keep their legacy shape.
+        if (s < firstRun.size() && firstRun[s].tieredPages > 0) {
+            out += ",\n";
+            appendF(out,
+                    "      \"farAccessShare\": %.17g,\n"
+                    "      \"farResidentPages\": %" PRIu64
+                    ",\n      \"tierPromotions\": %" PRIu64
+                    ",\n      \"tierDemotions\": %" PRIu64 "",
+                    firstRun[s].farAccessShare(),
+                    firstRun[s].farResidentPages,
+                    firstRun[s].tierPromotions,
+                    firstRun[s].tierDemotions);
+        }
         // Link-load summary, only under link-tracking noc models so
         // zero-load sweep documents keep their legacy shape.
         if (s < firstRun.size() && !firstRun[s].nocLinks.empty()) {
@@ -155,13 +170,20 @@ ExperimentRunner::cacheKey(const SystemConfig &cfg,
     // The effective policy, so the numaAwareMem alias and an explicit
     // first-touch share entries.
     appendF(key, "memp:%s|", cfg.effectiveMemPlacement().c_str());
+    // Far-memory tier (all-defaults keeps a stable section, like
+    // traf: below).
+    appendF(key, "tier:%.17g,%" PRIu64 ",%d,%.17g,%s|",
+            cfg.farMemRatio, cfg.farMemLatency, cfg.farMemChannels,
+            cfg.farMemLinesPerCycle, cfg.memTiering.c_str());
     // Dynamic traffic (all-defaults keeps a stable section, so the
     // static studies' keys still differ only where behavior does).
     appendF(key,
-            "traf:%.17g,%.17g,%" PRIu64 ",%" PRIu64 ",%d,%.17g,%s|",
+            "traf:%.17g,%.17g,%" PRIu64 ",%" PRIu64 ",%d,%d,%.17g,"
+            "%s|",
             cfg.skewAlpha, cfg.skewFraction, cfg.skewLines,
-            cfg.skewHotLines, cfg.skewDriftEpochs,
-            cfg.skewDriftFraction, cfg.churn.c_str());
+            cfg.skewHotLines, cfg.skewPageHot ? 1 : 0,
+            cfg.skewDriftEpochs, cfg.skewDriftFraction,
+            cfg.churn.c_str());
     // SchemeSpec (name excluded: it is a label, not behavior).
     appendF(key,
             "spec:%d,%d,%d,%d,%u,%u,%u,%d,%d,%d,%d,%d,%.17g,%.17g,"

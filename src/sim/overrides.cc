@@ -6,6 +6,7 @@
 
 #include "common/log.hh"
 #include "mem/mem_placement_registry.hh"
+#include "mem/mem_tiering_registry.hh"
 #include "net/noc_registry.hh"
 #include "workload/traffic.hh"
 
@@ -148,6 +149,25 @@ const KeyDef configKeys[] = {
      [](SystemConfig &c, const Override &v) {
          c.memPlacement = v.value;
      }},
+    {"farMemRatio", "double",
+     [](SystemConfig &c, const Override &v) { c.farMemRatio = v.d; }},
+    {"farMemLatency", "uint",
+     [](SystemConfig &c, const Override &v) {
+         c.farMemLatency = v.u;
+     }},
+    {"farMemChannels", "int",
+     [](SystemConfig &c, const Override &v) {
+         c.farMemChannels = static_cast<int>(v.i);
+     },
+     /*min=*/1},
+    {"farMemLinesPerCycle", "double",
+     [](SystemConfig &c, const Override &v) {
+         c.farMemLinesPerCycle = v.d;
+     }},
+    {"memTiering", "string",
+     [](SystemConfig &c, const Override &v) {
+         c.memTiering = v.value;
+     }},
     {"noc", "string",
      [](SystemConfig &c, const Override &v) {
          c.nocModel = v.value;
@@ -178,6 +198,10 @@ const KeyDef configKeys[] = {
          c.skewHotLines = v.u;
      },
      /*min=*/1},
+    {"skewPageHot", "bool",
+     [](SystemConfig &c, const Override &v) {
+         c.skewPageHot = v.b;
+     }},
     {"skewDriftEpochs", "int",
      [](SystemConfig &c, const Override &v) {
          c.skewDriftEpochs = static_cast<int>(v.i);
@@ -337,6 +361,25 @@ Overrides::add(const std::string &kv, std::string *err)
                 *err += " " + n;
             *err += ")";
         }
+        return false;
+    }
+    if (entry.key == "memTiering" &&
+        !MemTieringRegistry::known(entry.value)) {
+        if (err != nullptr) {
+            *err = "unknown mem tiering policy '" + entry.value +
+                "' (registered:";
+            for (const std::string &n : MemTieringRegistry::names())
+                *err += " " + n;
+            *err += ")";
+        }
+        return false;
+    }
+    if ((entry.key == "farMemRatio" &&
+         (entry.d < 0.0 || entry.d >= 1.0)) ||
+        (entry.key == "farMemLinesPerCycle" && entry.d <= 0.0)) {
+        if (err != nullptr)
+            *err = "bad value '" + entry.value + "' for " +
+                entry.key + " (out of range)";
         return false;
     }
     if (entry.key == "placementCost" && entry.value != "noc" &&

@@ -2,6 +2,7 @@
 
 #include "common/log.hh"
 #include "mem/mem_placement_registry.hh"
+#include "mem/mem_tiering_registry.hh"
 #include "monitor/gmon.hh"
 #include "net/noc_registry.hh"
 #include "monitor/umon.hh"
@@ -22,6 +23,7 @@ Platform::Platform(const SystemConfig &cfg, const SchemeSpec &spec,
     NocBuildParams noc_params;
     noc_params.injScale = cfg.nocInjScale;
     noc_params.maxUtil = cfg.nocMaxUtil;
+    noc_params.farLinks = cfg.hasFarTier();
     noc = NocRegistry::instance().build(cfg.nocModel, mesh,
                                         noc_params);
 
@@ -31,6 +33,24 @@ Platform::Platform(const SystemConfig &cfg, const SchemeSpec &spec,
     mem_params.smoothing = cfg.monitorSmoothing;
     memPlacement = MemPlacementRegistry::instance().build(
         cfg.effectiveMemPlacement(), mesh, mem_params);
+
+    if (cfg.hasFarTier()) {
+        // Overrides::add validates these, but programmatic configs
+        // bypass it; a bad far-tier setup must fail loudly, not
+        // silently misprice the queue model.
+        cdcs_assert(cfg.farMemRatio < 1.0,
+                    "farMemRatio must be in [0, 1)");
+        cdcs_assert(cfg.farMemChannels >= 1,
+                    "farMemChannels must be at least 1");
+        cdcs_assert(cfg.farMemLinesPerCycle > 0.0,
+                    "farMemLinesPerCycle must be positive");
+        MemTieringParams tier_params;
+        tier_params.farRatio = cfg.farMemRatio;
+        tier_params.smoothing = cfg.monitorSmoothing;
+        tiering = MemTieringRegistry::build(cfg.memTiering, mesh,
+                                            tier_params);
+        memPlacement->attachTiering(tiering.get());
+    }
 
     const int num_banks = mesh.numTiles() * cfg.banksPerTile;
     cdcs_assert(mix.numThreads() <= mesh.numTiles(),

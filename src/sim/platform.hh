@@ -15,6 +15,7 @@
 
 #include "cache/partitioned_bank.hh"
 #include "mem/mem_placement.hh"
+#include "mem/mem_tiering.hh"
 #include "mesh/mesh.hh"
 #include "monitor/sampled_monitor.hh"
 #include "net/noc_model.hh"
@@ -56,6 +57,10 @@ class Platform
     /// the MemPlacementRegistry); owns the page map and any
     /// per-controller load accounting.
     std::unique_ptr<MemPlacementPolicy> memPlacement;
+    /// Capacity-tiering policy (cfg.memTiering via the
+    /// MemTieringRegistry), attached to memPlacement; nullptr when no
+    /// far tier is configured (cfg.hasFarTier() == false).
+    std::unique_ptr<MemTieringPolicy> tiering;
     std::vector<PartitionedBank> banks;
     /// Per-VC monitors; empty for schemes that don't want them.
     std::vector<std::unique_ptr<SampledMonitor>> monitors;

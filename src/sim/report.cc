@@ -257,6 +257,12 @@ NocHeatmap::toJson() const
                 link.memCtrl,
                 static_cast<unsigned long long>(link.flits),
                 link.util, link.waitCycles);
+        if (link.far) {
+            // Key present only on far attach links, so tier-less
+            // heatmaps stay byte-identical.
+            out.pop_back();
+            out += ", \"far\": true}";
+        }
     }
     out += "]}";
     return out;
@@ -635,6 +641,31 @@ writeWsSummary(ReportSink &sink, const SweepResult &sweep)
 }
 
 void
+writeTierSummary(ReportSink &sink, const SweepResult &sweep)
+{
+    bool any = false;
+    for (const RunResult &run : sweep.firstRun)
+        any = any || run.tieredPages > 0;
+    if (!any)
+        return;
+    sink.printf("\n%-12s  %8s  %9s  %9s  %9s\n", "scheme",
+                "farShare", "farPages", "promoted", "demoted");
+    for (std::size_t s = 0; s < sweep.firstRun.size(); s++) {
+        const RunResult &run = sweep.firstRun[s];
+        const char *name = s < sweep.schemes.size()
+            ? sweep.schemes[s].name.c_str() : "?";
+        sink.printf("%-12s  %8.3f  %9llu  %9llu  %9llu\n", name,
+                    run.farAccessShare(),
+                    static_cast<unsigned long long>(
+                        run.farResidentPages),
+                    static_cast<unsigned long long>(
+                        run.tierPromotions),
+                    static_cast<unsigned long long>(
+                        run.tierDemotions));
+    }
+}
+
+void
 writeBreakdowns(ReportSink &sink, const SweepResult &sweep)
 {
     if (sweep.schemes.empty())
@@ -738,7 +769,9 @@ writeNocHeatmap(ReportSink &sink, const NocHeatmap &map)
         const int sx = link.src % map.width;
         const int sy = link.src / map.width;
         if (link.memCtrl >= 0) {
-            sink.printf("  mem[%d]@(%d,%d)", link.memCtrl, sx, sy);
+            sink.printf("  %s[%d]@(%d,%d)",
+                        link.far ? "farmem" : "mem", link.memCtrl, sx,
+                        sy);
         } else {
             sink.printf("  (%d,%d)->(%d,%d)", sx, sy,
                         link.dst % map.width, link.dst / map.width);

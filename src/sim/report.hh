@@ -315,6 +315,14 @@ void writeInverseCdf(ReportSink &sink, const SweepResult &sweep);
 /** gmean / max weighted speedups per scheme. */
 void writeWsSummary(ReportSink &sink, const SweepResult &sweep);
 
+/**
+ * Per-scheme far-memory tier counters (mix-0 exemplar runs): far
+ * access share, resident far pages, promotions/demotions. Prints
+ * nothing when no scheme ran with a far tier, so studies can call it
+ * unconditionally without perturbing tier-less output.
+ */
+void writeTierSummary(ReportSink &sink, const SweepResult &sweep);
+
 /** On-/off-chip latency and traffic/energy vs. the last scheme. */
 void writeBreakdowns(ReportSink &sink, const SweepResult &sweep);
 

@@ -27,9 +27,10 @@ namespace
 {
 
 constexpr std::uint32_t recordMagic = 0x43444352; // "CDCR"
-// Format 3: records carry the metrics-trace columns (RunResult
-// statNames + per-epoch stat deltas). Older records are rejected.
-constexpr std::uint32_t recordFormat = 3;
+// Format 4: records carry the far-memory-tier fields (per-tier
+// access/latency counters, tier promotion/demotion totals, and the
+// NocLinkStat far flag). Older records are rejected.
+constexpr std::uint32_t recordFormat = 4;
 
 // Store traffic stats; the record-size histogram buckets by power of
 // two from 4 KiB.
@@ -224,6 +225,7 @@ serializeResult(ByteWriter &w, const RunResult &r)
         w.u64(link.flits);
         w.f64(link.util);
         w.f64(link.waitCycles);
+        w.u32(link.far ? 1 : 0);
     }
     w.u64(r.memMigratedPages);
     w.f64(r.energy.staticE);
@@ -251,6 +253,14 @@ serializeResult(ByteWriter &w, const RunResult &r)
     w.u32(static_cast<std::uint32_t>(r.statNames.size()));
     for (const std::string &name : r.statNames)
         w.str(name);
+    // Far-memory tier (format 4); appended so the field order above
+    // matches format 3 byte for byte up to this point.
+    w.u64(r.farMemAccesses);
+    w.f64(r.farOffChipLatSum);
+    w.u64(r.tierPromotions);
+    w.u64(r.tierDemotions);
+    w.u64(r.farResidentPages);
+    w.u64(r.tieredPages);
 }
 
 bool
@@ -281,16 +291,17 @@ deserializeResult(ByteReader &r, RunResult *out)
         return false;
     out->nocLinks.resize(num_links);
     for (NocLinkStat &link : out->nocLinks) {
-        std::uint32_t src, dst;
+        std::uint32_t src, dst, far;
         std::int64_t ctrl;
         if (!(r.u32(&src) && r.u32(&dst) && r.i64(&ctrl) &&
               r.u64(&link.flits) && r.f64(&link.util) &&
-              r.f64(&link.waitCycles))) {
+              r.f64(&link.waitCycles) && r.u32(&far))) {
             return false;
         }
         link.src = static_cast<TileId>(src);
         link.dst = static_cast<TileId>(dst);
         link.memCtrl = static_cast<int>(ctrl);
+        link.far = far != 0;
     }
     if (!(r.u64(&out->memMigratedPages) && r.f64(&out->energy.staticE) &&
           r.f64(&out->energy.core) && r.f64(&out->energy.net) &&
@@ -337,6 +348,12 @@ deserializeResult(ByteReader &r, RunResult *out)
     for (std::string &name : out->statNames) {
         if (!r.str(&name))
             return false;
+    }
+    if (!(r.u64(&out->farMemAccesses) &&
+          r.f64(&out->farOffChipLatSum) &&
+          r.u64(&out->tierPromotions) && r.u64(&out->tierDemotions) &&
+          r.u64(&out->farResidentPages) && r.u64(&out->tieredPages))) {
+        return false;
     }
     return true;
 }

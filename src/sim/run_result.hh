@@ -64,6 +64,8 @@ struct RunResult
     std::uint64_t demandMoves = 0;
     std::uint64_t moveProbes = 0;
     std::uint64_t memAccesses = 0;
+    /** Subset of memAccesses served by the far tier (0 = no far tier). */
+    std::uint64_t farMemAccesses = 0;
     std::uint64_t instantMoved = 0;
     std::uint64_t bulkInvalidated = 0;
     std::uint64_t bgInvalidated = 0;
@@ -73,6 +75,7 @@ struct RunResult
 
     double onChipLatSum = 0.0;  ///< L2<->LLC network cycles.
     double offChipLatSum = 0.0; ///< Memory + LLC<->mem network cycles.
+    double farOffChipLatSum = 0.0; ///< Far-tier share of offChipLatSum.
 
     std::array<std::uint64_t, 3> trafficFlitHops = {0, 0, 0};
 
@@ -83,10 +86,31 @@ struct RunResult
     std::vector<NocLinkStat> nocLinks;
 
     /**
-     * Pages re-pinned by the memory placement policy over the whole
-     * run (warmup included; 0 for the static policies).
+     * Pages migrated over the whole run (warmup included; 0 for the
+     * static policies): controller re-pins by the placement policy
+     * plus tier promotions/demotions by the tiering policy.
      */
     std::uint64_t memMigratedPages = 0;
+
+    // ---- Far-memory tiering (all 0 when no far tier is configured).
+    /** Pages promoted far -> near over the run (warmup included). */
+    std::uint64_t tierPromotions = 0;
+    /** Pages demoted near -> far over the run (warmup included). */
+    std::uint64_t tierDemotions = 0;
+    /** Pages resident in the far tier at the end of the run. */
+    std::uint64_t farResidentPages = 0;
+    /** Pages the tiering policy tracked (near + far) at the end. */
+    std::uint64_t tieredPages = 0;
+
+    /** Share of memory accesses served by the far tier. */
+    double
+    farAccessShare() const
+    {
+        return memAccesses > 0
+            ? static_cast<double>(farMemAccesses) /
+                static_cast<double>(memAccesses)
+            : 0.0;
+    }
 
     EnergyBreakdown energy;
 

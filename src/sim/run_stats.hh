@@ -26,6 +26,8 @@ struct RunStats
     std::uint64_t demandMoves = 0;
     std::uint64_t moveProbes = 0;
     std::uint64_t memAccesses = 0;
+    /** Subset of memAccesses served by the far tier (0 = no far tier). */
+    std::uint64_t farMemAccesses = 0;
     std::uint64_t instantMoved = 0;
     std::uint64_t bulkInvalidated = 0;
     std::uint64_t bgInvalidated = 0;
@@ -34,6 +36,8 @@ struct RunStats
     RuntimeStepTimes timeSums;
     double onChipLatSum = 0.0;
     double offChipLatSum = 0.0;
+    /** Portion of offChipLatSum paid on far-tier accesses. */
+    double farOffChipLatSum = 0.0;
     /**
      * Memory accesses served per controller (lazily sized by the
      * AccessPath; empty until the first post-reset memory access).

@@ -85,6 +85,7 @@ System::System(const SystemConfig &config, const SchemeSpec &scheme,
         traffic.skewFraction = cfg.skewFraction;
         traffic.skewLines = cfg.skewLines;
         traffic.skewHotLines = cfg.skewHotLines;
+        traffic.skewPageHot = cfg.skewPageHot;
         traffic.skewDriftEpochs = cfg.skewDriftEpochs;
         traffic.skewDriftFraction = cfg.skewDriftFraction;
         traffic.churn = cfg.churn;

@@ -165,6 +165,40 @@ struct SystemConfig
         return memPlacement;
     }
 
+    // ---- Far-memory tier (src/mem/mem_tiering.hh). All knobs
+    // default to "no far tier": with farMemRatio == 0 no tiering
+    // policy is built, no far attach links are materialized and every
+    // study is byte-identical to pre-tier binaries (CI byte-diffs
+    // this).
+
+    /**
+     * Fraction of pages resident in the far (CXL-style) capacity
+     * tier. 0 disables the far tier entirely; positive values build
+     * the memTiering policy, per-tier queue state and far attach
+     * links.
+     */
+    double farMemRatio = 0.0;
+    /** Far-tier access latency (cycles; the near tier pays memLatency). */
+    Cycles farMemLatency = 300;
+    /** Far-tier channel count for the M/D/m queue model. */
+    int farMemChannels = 4;
+    /** Far-tier aggregate service rate (lines/cycle). */
+    double farMemLinesPerCycle = 0.2;
+    /**
+     * Capacity-tiering policy, by MemTieringRegistry name: "static"
+     * (a fixed hash split — residency never changes) or "hotness"
+     * (EWMA hotness-ranked promotion/demotion per epoch, with
+     * hysteresis, cooldown and a DRAM-row migration budget).
+     */
+    std::string memTiering = "static";
+
+    /** Whether a far memory tier is configured. */
+    bool
+    hasFarTier() const
+    {
+        return farMemRatio > 0.0;
+    }
+
     // ---- Dynamic multi-tenant traffic (src/workload/traffic.hh).
     // All knobs default off: with skewAlpha == 0 and an empty churn
     // string no TrafficSchedule is attached and every RNG draw is
@@ -178,6 +212,12 @@ struct SystemConfig
     std::uint64_t skewLines = 65536;
     /** Hottest ranks routed through the drifting hot-set table. */
     std::uint64_t skewHotLines = 1024;
+    /**
+     * Seat the hot-set table page-aligned (consecutive ranks fill
+     * whole pages) instead of line-scattered, so page-level hotness
+     * mirrors the Zipf line skew. The tiering study's workload shape.
+     */
+    bool skewPageHot = false;
     /** Re-seat part of the hot set every N epochs; 0 = static. */
     int skewDriftEpochs = 0;
     /** Fraction of the hot-set table re-seated per drift. */

@@ -34,10 +34,28 @@ TrafficSchedule::TrafficSchedule(const TrafficConfig &config)
     const std::uint64_t table =
         std::min(cfg.skewHotLines, cfg.skewLines);
     hotLine.resize(static_cast<std::size_t>(table));
+    // Page-aligned seating hashes once per linesPerPage-rank block so
+    // consecutive ranks fill whole pages; pages with no full block
+    // left (a footprint under one page) degenerate to page 0. Drift
+    // re-seats single ranks either way, so alignment erodes under
+    // drift — the tiering study that relies on it doesn't drift.
+    const std::uint64_t pages =
+        std::max<std::uint64_t>(1, cfg.skewLines >> pageLineShift);
     for (std::size_t r = 0; r < hotLine.size(); r++) {
-        hotLine[r] =
-            mix64(cfg.seed ^ (hotSeatSalt + r * 0x9E3779B97F4A7C15ull)) %
-            cfg.skewLines;
+        if (cfg.skewPageHot) {
+            const std::uint64_t block = r >> pageLineShift;
+            const std::uint64_t page =
+                mix64(cfg.seed ^
+                      (hotSeatSalt + block * 0x9E3779B97F4A7C15ull)) %
+                pages;
+            hotLine[r] = page * linesPerPage +
+                (r & (linesPerPage - 1));
+        } else {
+            hotLine[r] =
+                mix64(cfg.seed ^
+                      (hotSeatSalt + r * 0x9E3779B97F4A7C15ull)) %
+                cfg.skewLines;
+        }
     }
 }
 

@@ -52,6 +52,15 @@ struct TrafficConfig
     std::uint64_t skewLines = 65536;
     /** Ranks routed through the drifting hot-set table. */
     std::uint64_t skewHotLines = 1024;
+    /**
+     * Seat the hot-set table page-aligned: each run of linesPerPage
+     * consecutive ranks fills one (hashed) page instead of scattering
+     * line by line, so page-level popularity mirrors the Zipf line
+     * skew. Off by default (line-scattered seats, the historical
+     * layout); the far-memory tiering study turns it on so page
+     * migration has a hot set to chase.
+     */
+    bool skewPageHot = false;
     /** Re-seat part of the hot set every this many epochs; 0 never. */
     int skewDriftEpochs = 0;
     /** Fraction of the hot-set table re-seated per drift. */

@@ -1,0 +1,513 @@
+/**
+ * @file
+ * Tests for the far-memory tiering layer: registry round-trip and
+ * override validation, legacy placement bit-identity through the
+ * two-level placementFor, the no-far-tier off state matching the
+ * default run byte-for-byte, the DRAM-row migration throttle, the
+ * hotness policy's hysteresis/cooldown/budget determinism, per-tier
+ * M/D/m queue isolation, and serial-vs-parallel sweep identity for a
+ * tiering configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "mem/mem_migration.hh"
+#include "mem/mem_placement.hh"
+#include "mem/mem_placement_registry.hh"
+#include "mem/mem_tiering.hh"
+#include "mem/mem_tiering_registry.hh"
+#include "net/contention_noc.hh"
+#include "sim/experiment.hh"
+#include "sim/experiment_runner.hh"
+#include "sim/overrides.hh"
+
+namespace cdcs
+{
+namespace
+{
+
+TEST(MemTieringRegistryTest, BuiltInPoliciesRegistered)
+{
+    EXPECT_TRUE(MemTieringRegistry::known("static"));
+    EXPECT_TRUE(MemTieringRegistry::known("hotness"));
+    EXPECT_FALSE(MemTieringRegistry::known("no-such-policy"));
+
+    const Mesh mesh(4, 4);
+    MemTieringParams params;
+    params.farRatio = 0.5;
+    for (const char *name : {"static", "hotness"}) {
+        const auto policy =
+            MemTieringRegistry::build(name, mesh, params);
+        EXPECT_STREQ(policy->name(), name);
+    }
+    const auto names = MemTieringRegistry::names();
+    ASSERT_GE(names.size(), 2u);
+    for (std::size_t i = 1; i < names.size(); i++)
+        EXPECT_LT(names[i - 1], names[i]);
+}
+
+TEST(MemTieringOverridesTest, ValidatesTierKnobs)
+{
+    Overrides ov;
+    std::string err;
+    EXPECT_TRUE(ov.add("farMemRatio=0.5", &err)) << err;
+    EXPECT_TRUE(ov.add("memTiering=hotness", &err)) << err;
+    EXPECT_TRUE(ov.add("farMemLatency=500", &err)) << err;
+    EXPECT_TRUE(ov.add("farMemChannels=2", &err)) << err;
+    EXPECT_TRUE(ov.add("farMemLinesPerCycle=0.1", &err)) << err;
+
+    // farMemRatio must stay in [0, 1): 1.0 would leave no near tier.
+    EXPECT_FALSE(ov.add("farMemRatio=1.0", &err));
+    EXPECT_FALSE(ov.add("farMemRatio=-0.1", &err));
+    EXPECT_FALSE(ov.add("farMemLinesPerCycle=0", &err));
+    EXPECT_FALSE(ov.add("farMemChannels=0", &err));
+
+    // An unknown tiering policy is rejected with the registry listed.
+    EXPECT_FALSE(ov.add("memTiering=no-such-policy", &err));
+    EXPECT_NE(err.find("no-such-policy"), std::string::npos);
+    EXPECT_NE(err.find("hotness"), std::string::npos);
+
+    SystemConfig cfg;
+    ov.apply(cfg);
+    EXPECT_EQ(cfg.farMemRatio, 0.5);
+    EXPECT_EQ(cfg.memTiering, "hotness");
+    EXPECT_EQ(cfg.farMemLatency, 500u);
+    EXPECT_TRUE(cfg.hasFarTier());
+}
+
+TEST(MemTieringTest, LegacyPoliciesPinNearWithoutTiering)
+{
+    // With no tiering policy attached (the no-far-tier state), the
+    // two-level placementFor must be the controller decision alone:
+    // same controller as controllerFor, tier pinned to Near.
+    const Mesh mesh(8, 8);
+    MemPlacementRegistry &registry = MemPlacementRegistry::instance();
+    const MemPlacementBuildParams params;
+    for (const char *name :
+         {"interleave", "first-touch", "contention"}) {
+        const auto policy = registry.build(name, mesh, params);
+        ASSERT_EQ(policy->tieringPolicy(), nullptr);
+        for (LineAddr line = 0; line < 200000; line += 1009) {
+            const TileId core =
+                static_cast<TileId>(line % mesh.numTiles());
+            const MemPlacement mp = policy->placementFor(core, line);
+            EXPECT_EQ(mp.ctrl, policy->controllerFor(core, line));
+            EXPECT_EQ(mp.tier, MemTier::Near);
+        }
+    }
+}
+
+TEST(MemTieringTest, StaticSplitTracksConfiguredRatio)
+{
+    const Mesh mesh(4, 4);
+    MemTieringParams params;
+    params.farRatio = 0.25;
+    StaticTieringPolicy policy(mesh, params);
+    const std::uint64_t total = 20000;
+    std::uint64_t far = 0;
+    for (std::uint64_t p = 0; p < total; p++) {
+        const LineAddr line = static_cast<LineAddr>(p)
+            << pageLineShift;
+        far += policy.onAccess(line, 0) == MemTier::Far ? 1 : 0;
+    }
+    EXPECT_EQ(policy.trackedPages(), total);
+    EXPECT_EQ(policy.farResidentPages(), far);
+    const double share = static_cast<double>(far) / total;
+    EXPECT_NEAR(share, params.farRatio, 0.02);
+
+    // Residency is a pure page property: re-touching never moves it.
+    StaticTieringPolicy again(mesh, params);
+    for (std::uint64_t p = 0; p < 100; p++) {
+        const LineAddr line = static_cast<LineAddr>(p)
+            << pageLineShift;
+        EXPECT_EQ(policy.onAccess(line, 1), again.onAccess(line, 2));
+    }
+    EXPECT_EQ(policy.migratedPages(), 0u);
+}
+
+TEST(RowBudgetSelectTest, SpendsBudgetInWholeRows)
+{
+    // Rows (shift 2): {0,1} -> row 0, {4,6} -> row 1, {8} -> row 2.
+    const std::vector<std::uint64_t> pages = {0, 4, 8, 1, 6};
+    const std::vector<double> weights = {1.0, 5.0, 3.0, 2.0, 5.0};
+    // Row weights: row 0 = 3, row 1 = 10, row 2 = 3; budget 2 keeps
+    // rows 1 and 0 (the row-id tiebreak drops row 2) whole, members
+    // in candidate order within each row.
+    const auto kept = rowBudgetSelect(pages, weights, 2);
+    ASSERT_EQ(kept.size(), 4u);
+    EXPECT_EQ(kept[0], 1u); // page 4 (row 1)
+    EXPECT_EQ(kept[1], 4u); // page 6 (row 1)
+    EXPECT_EQ(kept[2], 0u); // page 0 (row 0, id-tiebreak over row 2)
+    EXPECT_EQ(kept[3], 3u); // page 1 (row 0)
+
+    // A large budget keeps everything; a zero/negative one, nothing.
+    EXPECT_EQ(rowBudgetSelect(pages, weights, 100).size(), 5u);
+    EXPECT_TRUE(rowBudgetSelect(pages, weights, 0).empty());
+    EXPECT_TRUE(rowBudgetSelect(pages, weights, -3).empty());
+}
+
+/** Touch page `p` through the policy `n` times from controller 0. */
+void
+touch(MemTieringPolicy &policy, std::uint64_t page, int n)
+{
+    for (int i = 0; i < n; i++)
+        policy.onAccess(static_cast<LineAddr>(page) << pageLineShift,
+                        0);
+}
+
+/** First `count` pages (by id) the split seeds into `tier`. */
+std::vector<std::uint64_t>
+seededPages(const Mesh &mesh, const MemTieringParams &params,
+            MemTier tier, std::size_t count)
+{
+    StaticTieringPolicy probe(mesh, params);
+    std::vector<std::uint64_t> out;
+    for (std::uint64_t p = 0; out.size() < count && p < 100000; p++) {
+        const MemTier got = probe.onAccess(
+            static_cast<LineAddr>(p) << pageLineShift, 0);
+        if (got == tier)
+            out.push_back(p);
+    }
+    return out;
+}
+
+TEST(HotnessTieringTest, PromotesHotFarPagesUnderMarginAndBudget)
+{
+    const Mesh mesh(4, 4);
+    MemTieringParams params;
+    params.farRatio = 0.5;
+    params.promoteMargin = 2.0;
+    params.cooldownEpochs = 1;
+    params.rowBudget = 1;
+    HotnessTieringPolicy policy(mesh, params);
+    ContentionNoc noc(mesh, 1.0, 0.95, /*far_links=*/true);
+
+    const auto far_seed = seededPages(mesh, params, MemTier::Far, 8);
+    const auto near_seed =
+        seededPages(mesh, params, MemTier::Near, 8);
+    ASSERT_EQ(far_seed.size(), 8u);
+    ASSERT_EQ(near_seed.size(), 8u);
+
+    // Hot far pages, cold (but tracked) near pages — touched in two
+    // consecutive epochs so the far pages pass the reuse filter.
+    for (int epoch = 0; epoch < 2; epoch++) {
+        for (std::uint64_t p : far_seed)
+            touch(policy, p, 20);
+        for (std::uint64_t p : near_seed)
+            touch(policy, p, 1);
+        policy.epochUpdate(noc, 1000.0);
+    }
+
+    // 20 > 2.0 * 1 clears the margin, so promotions happen — but the
+    // one-row budget bounds each direction at one DRAM row's worth of
+    // pages (4 with dramRowShift = 2).
+    EXPECT_GT(policy.promotions(), 0u);
+    EXPECT_EQ(policy.promotions(), policy.demotions());
+    EXPECT_LE(policy.promotions(), std::uint64_t{1} << dramRowShift);
+    EXPECT_EQ(policy.migratedPages(),
+              policy.promotions() + policy.demotions());
+    // 1:1 swaps hold the far-resident count at the seeded split.
+    EXPECT_EQ(policy.farResidentPages(), far_seed.size());
+}
+
+TEST(HotnessTieringTest, MarginBlocksNoiseLevelPromotions)
+{
+    const Mesh mesh(4, 4);
+    MemTieringParams params;
+    params.farRatio = 0.5;
+    params.promoteMargin = 2.0;
+    HotnessTieringPolicy policy(mesh, params);
+    ContentionNoc noc(mesh, 1.0, 0.95, /*far_links=*/true);
+
+    // Far pages only modestly hotter than the near ones: 10 accesses
+    // vs 8 does not clear the 2x hysteresis margin, so nothing moves
+    // even though the far pages pass the reuse filter (two touched
+    // epochs).
+    for (int epoch = 0; epoch < 2; epoch++) {
+        for (std::uint64_t p :
+             seededPages(mesh, params, MemTier::Far, 4))
+            touch(policy, p, 10);
+        for (std::uint64_t p :
+             seededPages(mesh, params, MemTier::Near, 4))
+            touch(policy, p, 8);
+        policy.epochUpdate(noc, 1000.0);
+    }
+    EXPECT_EQ(policy.migratedPages(), 0u);
+}
+
+TEST(HotnessTieringTest, CooldownStopsPingPong)
+{
+    const Mesh mesh(4, 4);
+    MemTieringParams params;
+    params.farRatio = 0.5;
+    params.promoteMargin = 2.0;
+    params.cooldownEpochs = 2;
+    params.rowBudget = 8;
+    HotnessTieringPolicy policy(mesh, params);
+    ContentionNoc noc(mesh, 1.0, 0.95, /*far_links=*/true);
+
+    const auto far_seed = seededPages(mesh, params, MemTier::Far, 2);
+    const auto near_seed =
+        seededPages(mesh, params, MemTier::Near, 2);
+    // Two hot epochs: the far pages pass the reuse filter on the
+    // second update and get promoted.
+    for (int epoch = 0; epoch < 2; epoch++) {
+        for (std::uint64_t p : far_seed)
+            touch(policy, p, 50);
+        for (std::uint64_t p : near_seed)
+            touch(policy, p, 1);
+        policy.epochUpdate(noc, 1000.0);
+    }
+    const std::uint64_t moved = policy.migratedPages();
+    EXPECT_GT(moved, 0u);
+
+    // Reversed heat next epoch: the just-moved pages are inside the
+    // cooldown window, so they must sit the swap out.
+    for (std::uint64_t p : far_seed)
+        touch(policy, p, 1);
+    for (std::uint64_t p : near_seed)
+        touch(policy, p, 50);
+    policy.epochUpdate(noc, 1000.0);
+    EXPECT_EQ(policy.migratedPages(), moved);
+}
+
+TEST(HotnessTieringTest, ReuseFilterBlocksOneShotScans)
+{
+    const Mesh mesh(4, 4);
+    MemTieringParams params;
+    params.farRatio = 0.5;
+    params.promoteMargin = 2.0;
+    params.cooldownEpochs = 1;
+    params.rowBudget = 8;
+    HotnessTieringPolicy policy(mesh, params);
+    ContentionNoc noc(mesh, 1.0, 0.95, /*far_links=*/true);
+
+    const auto far_seed = seededPages(mesh, params, MemTier::Far, 2);
+    const auto near_seed =
+        seededPages(mesh, params, MemTier::Near, 2);
+    const std::uint64_t sustained = far_seed[0];
+    const std::uint64_t scan = far_seed[1];
+
+    // Epoch 1: a one-shot scan fills a whole far page (a miss burst
+    // far above any sustained page) next to a modestly hot far page.
+    touch(policy, sustained, 6);
+    touch(policy, scan, 64);
+    for (std::uint64_t p : near_seed)
+        touch(policy, p, 1);
+    policy.epochUpdate(noc, 1000.0);
+    EXPECT_EQ(policy.promotions(), 0u); // Nothing passes reuse yet.
+
+    // Epoch 2: the scan never returns, the sustained page does. Only
+    // the sustained page qualifies — without the reuse filter the
+    // scan's burst (EWMA 32 vs 6) would outrank it for the budget.
+    touch(policy, sustained, 6);
+    for (std::uint64_t p : near_seed)
+        touch(policy, p, 1);
+    policy.epochUpdate(noc, 1000.0);
+    EXPECT_EQ(policy.promotions(), 1u);
+    EXPECT_EQ(policy.onAccess(static_cast<LineAddr>(sustained)
+                                  << pageLineShift,
+                              0),
+              MemTier::Near);
+    EXPECT_EQ(policy.onAccess(static_cast<LineAddr>(scan)
+                                  << pageLineShift,
+                              0),
+              MemTier::Far);
+}
+
+TEST(HotnessTieringTest, EpochDynamicsAreDeterministic)
+{
+    const Mesh mesh(4, 4);
+    const auto run_history = [&mesh] {
+        MemTieringParams params;
+        params.farRatio = 0.5;
+        params.cooldownEpochs = 1;
+        params.rowBudget = 2;
+        HotnessTieringPolicy policy(mesh, params);
+        ContentionNoc noc(mesh, 1.0, 0.95, /*far_links=*/true);
+        for (int epoch = 0; epoch < 4; epoch++) {
+            for (std::uint64_t p = 0; p < 64; p++)
+                touch(policy, p,
+                      static_cast<int>((p * 13 + epoch * 7) % 31));
+            noc.epochUpdate(1000.0);
+            policy.epochUpdate(noc, 1000.0);
+        }
+        std::vector<int> tiers;
+        for (std::uint64_t p = 0; p < 64; p++) {
+            tiers.push_back(static_cast<int>(policy.onAccess(
+                static_cast<LineAddr>(p) << pageLineShift, 0)));
+        }
+        tiers.push_back(static_cast<int>(policy.migratedPages()));
+        return tiers;
+    };
+    EXPECT_EQ(run_history(), run_history());
+}
+
+/** Fields that must agree between two runs byte-for-byte. */
+void
+expectRunsIdentical(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.totalInstrs, b.totalInstrs);
+    EXPECT_EQ(a.wallCycles, b.wallCycles);
+    EXPECT_EQ(a.llcAccesses, b.llcAccesses);
+    EXPECT_EQ(a.llcHits, b.llcHits);
+    EXPECT_EQ(a.memAccesses, b.memAccesses);
+    EXPECT_EQ(a.farMemAccesses, b.farMemAccesses);
+    EXPECT_EQ(a.onChipLatSum, b.onChipLatSum);
+    EXPECT_EQ(a.offChipLatSum, b.offChipLatSum);
+    EXPECT_EQ(a.farOffChipLatSum, b.farOffChipLatSum);
+    EXPECT_EQ(a.memMigratedPages, b.memMigratedPages);
+    EXPECT_EQ(a.tierPromotions, b.tierPromotions);
+    EXPECT_EQ(a.tieredPages, b.tieredPages);
+    for (std::size_t c = 0; c < a.trafficFlitHops.size(); c++)
+        EXPECT_EQ(a.trafficFlitHops[c], b.trafficFlitHops[c]);
+    ASSERT_EQ(a.threadCycles.size(), b.threadCycles.size());
+    for (std::size_t t = 0; t < a.threadCycles.size(); t++)
+        EXPECT_EQ(a.threadCycles[t], b.threadCycles[t]);
+}
+
+TEST(MemTieringTest, OffStateMatchesDefaultBitForBit)
+{
+    // farMemRatio = 0 must be the pre-tier simulator: no tiering
+    // policy is built, so every other far knob (latency, channels,
+    // the policy name) is inert and the run is bit-identical to the
+    // untouched default config.
+    SystemConfig base;
+    base.meshWidth = 6;
+    base.meshHeight = 6;
+    base.accessesPerThreadEpoch = 5000;
+    base.epochs = 4;
+    base.warmupEpochs = 2;
+    base.nocModel = "contention";
+
+    SystemConfig off = base;
+    off.farMemRatio = 0.0;
+    off.memTiering = "hotness";
+    off.farMemLatency = 999;
+    off.farMemChannels = 1;
+    off.farMemLinesPerCycle = 0.01;
+    ASSERT_FALSE(off.hasFarTier());
+
+    const MixSpec mix = MixSpec::cpu(8, 41);
+    for (const SchemeSpec &scheme :
+         {SchemeSpec::snuca(), SchemeSpec::cdcs()}) {
+        const RunResult a = runScheme(base, scheme, mix);
+        const RunResult b = runScheme(off, scheme, mix);
+        expectRunsIdentical(a, b);
+        EXPECT_EQ(a.farMemAccesses, 0u);
+        EXPECT_EQ(a.tieredPages, 0u);
+        EXPECT_EQ(a.farOffChipLatSum, 0.0);
+    }
+}
+
+TEST(MemTieringTest, FarTierServesConfiguredShare)
+{
+    SystemConfig cfg;
+    cfg.meshWidth = 6;
+    cfg.meshHeight = 6;
+    cfg.accessesPerThreadEpoch = 5000;
+    cfg.epochs = 4;
+    cfg.warmupEpochs = 2;
+    cfg.farMemRatio = 0.5;
+    cfg.memTiering = "static";
+
+    const RunResult run =
+        runScheme(cfg, SchemeSpec::snuca(), MixSpec::cpu(8, 43));
+    EXPECT_GT(run.memAccesses, 0u);
+    EXPECT_GT(run.farMemAccesses, 0u);
+    EXPECT_LT(run.farMemAccesses, run.memAccesses);
+    EXPECT_GT(run.tieredPages, 0u);
+    EXPECT_GT(run.farResidentPages, 0u);
+    EXPECT_GT(run.farOffChipLatSum, 0.0);
+    EXPECT_LT(run.farOffChipLatSum, run.offChipLatSum);
+    // The page-hash split puts roughly farMemRatio of accesses far
+    // under a uniform workload.
+    EXPECT_NEAR(run.farAccessShare(), cfg.farMemRatio, 0.15);
+}
+
+TEST(MemTieringTest, PerTierQueuesAreIsolated)
+{
+    // The far tier's M/D/m queue and serial latency are charged to
+    // far accesses only: stretching the far latency must leave the
+    // access counts and the on-chip path untouched (S-NUCA has no
+    // latency feedback into its access stream) while the off-chip
+    // total strictly grows by at least the serial-latency delta.
+    SystemConfig slow;
+    slow.meshWidth = 6;
+    slow.meshHeight = 6;
+    slow.accessesPerThreadEpoch = 5000;
+    slow.epochs = 3;
+    slow.warmupEpochs = 1;
+    slow.farMemRatio = 0.5;
+    slow.memTiering = "static";
+    slow.farMemLatency = 600;
+    SystemConfig fast = slow;
+    fast.farMemLatency = 300;
+
+    const MixSpec mix = MixSpec::cpu(8, 47);
+    const RunResult a = runScheme(fast, SchemeSpec::snuca(), mix);
+    const RunResult b = runScheme(slow, SchemeSpec::snuca(), mix);
+    EXPECT_EQ(a.memAccesses, b.memAccesses);
+    EXPECT_EQ(a.farMemAccesses, b.farMemAccesses);
+    EXPECT_EQ(a.llcAccesses, b.llcAccesses);
+    EXPECT_EQ(a.onChipLatSum, b.onChipLatSum);
+    EXPECT_GT(a.farMemAccesses, 0u);
+    EXPECT_GT(b.offChipLatSum, a.offChipLatSum);
+    EXPECT_GT(b.farOffChipLatSum, a.farOffChipLatSum);
+
+    // More far channels (same per-line rate) can only shrink the far
+    // queue's contribution.
+    SystemConfig wide = fast;
+    wide.farMemChannels = 16;
+    const RunResult c = runScheme(wide, SchemeSpec::snuca(), mix);
+    EXPECT_EQ(c.farMemAccesses, a.farMemAccesses);
+    EXPECT_LE(c.offChipLatSum, a.offChipLatSum);
+}
+
+TEST(MemTieringTest, TieringSweepSerialParallelIdentical)
+{
+    SystemConfig cfg;
+    cfg.meshWidth = 6;
+    cfg.meshHeight = 6;
+    cfg.accessesPerThreadEpoch = 3000;
+    cfg.epochs = 3;
+    cfg.warmupEpochs = 1;
+    cfg.nocModel = "contention";
+    cfg.skewAlpha = 1.4;
+    cfg.skewFraction = 0.5;
+    cfg.farMemRatio = 0.5;
+    cfg.memTiering = "hotness";
+
+    const auto mix_of = [](int m) { return MixSpec::cpu(8, 600 + m); };
+    const std::vector<SchemeSpec> schemes = {SchemeSpec::snuca(),
+                                             SchemeSpec::cdcs()};
+    ExperimentRunner::Options serial_opts;
+    serial_opts.workers = 1;
+    ExperimentRunner::Options parallel_opts;
+    parallel_opts.workers = 4;
+    ExperimentRunner serial(serial_opts);
+    ExperimentRunner parallel(parallel_opts);
+
+    const SweepResult a = serial.sweep(cfg, schemes, 3, mix_of);
+    const SweepResult b = parallel.sweep(cfg, schemes, 3, mix_of);
+    ASSERT_EQ(a.firstRun.size(), b.firstRun.size());
+    for (std::size_t s = 0; s < a.firstRun.size(); s++) {
+        expectRunsIdentical(a.firstRun[s], b.firstRun[s]);
+        EXPECT_EQ(a.firstRun[s].tierDemotions,
+                  b.firstRun[s].tierDemotions);
+        EXPECT_EQ(a.firstRun[s].farResidentPages,
+                  b.firstRun[s].farResidentPages);
+    }
+    ASSERT_EQ(a.ws.size(), b.ws.size());
+    for (std::size_t s = 0; s < a.ws.size(); s++) {
+        ASSERT_EQ(a.ws[s].size(), b.ws[s].size());
+        for (std::size_t m = 0; m < a.ws[s].size(); m++)
+            EXPECT_EQ(a.ws[s][m], b.ws[s][m]);
+    }
+}
+
+} // anonymous namespace
+} // namespace cdcs

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Plot the far-memory tiering study's summary artifact.
+
+Consumes the ``tiering_summary.json`` artifact that ``cdcs_studies
+run tiering --set jsonDir=DIR`` writes (schema ``"cdcs-tiering-v1"``):
+``{"schema", "cells": [{"ratio", "inj", "policy", "schemes":
+[{"name", "gmeanWs", "offChipLat", "farShare", "promotions"},
+...]}, ...]}``. Renders, per injection scale, the gmean weighted
+speedup and far access share vs. the far-capacity ratio, with one
+curve per (tiering policy, scheme) — the static-vs-hotness gap is
+the benefit of hotness-ranked migration.
+
+matplotlib is imported lazily so the ``--check`` mode (schema
+validation, used by CI) runs anywhere.
+
+Usage:
+    plot_tiering.py tiering_summary.json [-o out.png]
+    plot_tiering.py --check tiering_summary.json...
+"""
+
+import argparse
+import json
+import sys
+
+CELL_KEYS = {"ratio", "inj", "policy", "schemes"}
+SCHEME_KEYS = {"name", "gmeanWs", "offChipLat", "farShare", "promotions"}
+
+
+def load_summary(path):
+    """Parse and validate one summary artifact; exits on bad schema."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "cdcs-tiering-v1":
+        sys.exit(f"{path}: schema is not cdcs-tiering-v1")
+    cells = doc.get("cells")
+    if not cells:
+        sys.exit(f"{path}: no cells")
+    for i, cell in enumerate(cells):
+        missing = CELL_KEYS - cell.keys()
+        if missing:
+            sys.exit(f"{path}: cell {i} missing keys {sorted(missing)}")
+        if not 0.0 < cell["ratio"] < 1.0:
+            sys.exit(f"{path}: cell {i} ratio {cell['ratio']} not in (0,1)")
+        if cell["policy"] not in ("static", "hotness"):
+            sys.exit(f"{path}: cell {i} unknown policy {cell['policy']!r}")
+        if not cell["schemes"]:
+            sys.exit(f"{path}: cell {i} has no schemes")
+        for j, scheme in enumerate(cell["schemes"]):
+            missing = SCHEME_KEYS - scheme.keys()
+            if missing:
+                sys.exit(
+                    f"{path}: cell {i} scheme {j} missing keys "
+                    f"{sorted(missing)}"
+                )
+            if not 0.0 <= scheme["farShare"] <= 1.0:
+                sys.exit(
+                    f"{path}: cell {i} scheme {j} farShare "
+                    f"{scheme['farShare']} not in [0,1]"
+                )
+            if scheme["promotions"] < 0:
+                sys.exit(f"{path}: cell {i} scheme {j} negative promotions")
+            if cell["policy"] == "static" and scheme["promotions"] != 0:
+                sys.exit(
+                    f"{path}: cell {i} static policy reports "
+                    f"{scheme['promotions']} promotions"
+                )
+    return doc
+
+
+def check(paths):
+    for path in paths:
+        doc = load_summary(path)
+        cells = doc["cells"]
+        ratios = sorted({cell["ratio"] for cell in cells})
+        injs = sorted({cell["inj"] for cell in cells})
+        schemes = [s["name"] for s in cells[0]["schemes"]]
+        print(
+            f"{path}: {len(cells)} cells, ratios {ratios}, "
+            f"inj scales {injs}, schemes {schemes}"
+        )
+    print(f"{len(paths)} artifact(s) OK")
+
+
+def plot(path, out):
+    try:
+        import matplotlib
+    except ImportError:
+        sys.exit(
+            "matplotlib is required for plotting; install it or use "
+            "--check for schema validation only"
+        )
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    doc = load_summary(path)
+    cells = doc["cells"]
+    injs = sorted({cell["inj"] for cell in cells})
+    fig, axes = plt.subplots(
+        2, len(injs), figsize=(5 * len(injs), 7), squeeze=False
+    )
+    for col, inj in enumerate(injs):
+        ax_ws, ax_share = axes[0][col], axes[1][col]
+        sub = [c for c in cells if c["inj"] == inj]
+        policies = sorted({c["policy"] for c in sub})
+        schemes = [s["name"] for s in sub[0]["schemes"]]
+        for policy in policies:
+            style = "--" if policy == "static" else "-"
+            rows = sorted(
+                (c for c in sub if c["policy"] == policy),
+                key=lambda c: c["ratio"],
+            )
+            ratios = [c["ratio"] for c in rows]
+            for idx, scheme in enumerate(schemes):
+                ax_ws.plot(
+                    ratios,
+                    [c["schemes"][idx]["gmeanWs"] for c in rows],
+                    style, marker="o", label=f"{scheme} ({policy})",
+                )
+                ax_share.plot(
+                    ratios,
+                    [c["schemes"][idx]["farShare"] for c in rows],
+                    style, marker="o", label=f"{scheme} ({policy})",
+                )
+        ax_ws.set_title(f"injection scale {inj}")
+        ax_ws.set_ylabel("gmean weighted speedup")
+        ax_share.set_ylabel("far access share")
+        ax_share.set_xlabel("far capacity ratio")
+        ax_ws.legend(fontsize=7)
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("artifacts", nargs="+", help="summary JSON")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="validate the artifact schema and exit (no matplotlib)",
+    )
+    parser.add_argument(
+        "-o", "--output", help="output image (default: <first input>.png)"
+    )
+    args = parser.parse_args()
+
+    if args.check:
+        check(args.artifacts)
+        return
+    if len(args.artifacts) != 1:
+        sys.exit("plotting takes exactly one summary artifact")
+    out = args.output or args.artifacts[0].rsplit(".", 1)[0] + ".png"
+    plot(args.artifacts[0], out)
+
+
+if __name__ == "__main__":
+    main()
